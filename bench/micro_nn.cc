@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the §8 discussion: the asymmetry
+// between prediction/gradient cost and training cost that makes DeepXplore
+// cheap relative to training, plus the per-iteration cost of the joint
+// optimization on each domain's models.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/constraints/constraint.h"
+#include "src/models/trainer.h"
+#include "src/util/rng.h"
+
+namespace dx {
+
+Model& CachedModel(const std::string& name) {
+  static std::map<std::string, Model>* cache = new std::map<std::string, Model>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    it = cache->emplace(name, ModelZoo::Trained(name)).first;
+  }
+  return it->second;
+}
+
+const Tensor& SampleInput(Domain domain) {
+  return ModelZoo::TestSet(domain).inputs[0];
+}
+
+void BM_Forward(benchmark::State& state, const std::string& name, Domain domain) {
+  Model& model = CachedModel(name);
+  const Tensor& x = SampleInput(domain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(x));
+  }
+}
+
+void BM_InputGradient(benchmark::State& state, const std::string& name, Domain domain) {
+  Model& model = CachedModel(name);
+  const Tensor& x = SampleInput(domain);
+  for (auto _ : state) {
+    const ForwardTrace trace = model.Forward(x);
+    Tensor seed(model.output_shape());
+    seed[0] = 1.0f;
+    benchmark::DoNotOptimize(model.BackwardInput(trace, model.num_layers() - 1, seed));
+  }
+}
+
+void BM_TrainingStep(benchmark::State& state, const std::string& name, Domain domain) {
+  // One example of forward + parameter backward — the unit of training cost.
+  Model model = ModelZoo::Build(name, 1);
+  const Dataset& train = ModelZoo::TrainSet(domain);
+  Trainer::CalibrateNormLayers(&model, train, 8);
+  const Tensor& x = train.inputs[0];
+  std::vector<Tensor> grads = model.InitParamGrads();
+  for (auto _ : state) {
+    const ForwardTrace trace = model.Forward(x);
+    Tensor seed(model.output_shape());
+    seed[0] = 1.0f;
+    benchmark::DoNotOptimize(
+        model.BackwardParams(trace, model.num_layers() - 1, seed, &grads));
+  }
+}
+
+void BM_JointOptimizationIteration(benchmark::State& state, Domain domain) {
+  static std::map<Domain, std::vector<Model>>* zoo =
+      new std::map<Domain, std::vector<Model>>();
+  if (zoo->find(domain) == zoo->end()) {
+    zoo->emplace(domain, ModelZoo::TrainedDomain(domain));
+  }
+  std::vector<Model>& models = zoo->at(domain);
+  const auto constraint = bench::DefaultConstraint(domain);
+  DeepXplore engine(bench::Pointers(models), constraint.get(),
+                    bench::DefaultConfig(domain));
+  const Tensor& x = SampleInput(domain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.JointGradient(x, 0, 0));
+  }
+}
+
+}  // namespace dx
+
+int main(int argc, char** argv) {
+  using dx::Domain;
+  const std::pair<const char*, Domain> models[] = {
+      {"MNI_C3", Domain::kMnist},   {"IMG_C1", Domain::kImageNet},
+      {"DRV_C1", Domain::kDriving}, {"PDF_C2", Domain::kPdf},
+      {"APP_C1", Domain::kDrebin}};
+  for (const auto& [name_cstr, domain] : models) {
+    const std::string name(name_cstr);
+    const Domain d = domain;
+    benchmark::RegisterBenchmark(
+        ("Forward/" + name).c_str(),
+        [name, d](benchmark::State& state) { dx::BM_Forward(state, name, d); });
+    benchmark::RegisterBenchmark(
+        ("InputGradient/" + name).c_str(),
+        [name, d](benchmark::State& state) { dx::BM_InputGradient(state, name, d); });
+    benchmark::RegisterBenchmark(
+        ("TrainingStep/" + name).c_str(),
+        [name, d](benchmark::State& state) { dx::BM_TrainingStep(state, name, d); });
+  }
+  for (const auto& [name_cstr, domain] : models) {
+    const Domain d = domain;
+    benchmark::RegisterBenchmark(
+        ("JointOptIteration/" + dx::DomainName(d)).c_str(),
+        [d](benchmark::State& state) { dx::BM_JointOptimizationIteration(state, d); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 1: "Details of the DNNs and datasets used to evaluate DeepXplore".
+//
+// Prints, per zoo model: neuron count, architecture, the accuracy the paper
+// reported for its (full-scale) counterpart, and the accuracy our trained
+// stand-in reaches on its synthetic dataset.
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/models/trainer.h"
+#include "src/util/table.h"
+
+namespace dx {
+namespace {
+
+const std::map<std::string, std::string>& PaperAccuracies() {
+  static const std::map<std::string, std::string> acc = {
+      {"MNI_C1", "98.3%"},    {"MNI_C2", "98.9%"},   {"MNI_C3", "99.05%"},
+      {"IMG_C1", "92.6%**"},  {"IMG_C2", "92.7%**"}, {"IMG_C3", "96.43%**"},
+      {"DRV_C1", "99.91%#"},  {"DRV_C2", "99.94%#"}, {"DRV_C3", "99.96%#"},
+      {"PDF_C1", "98.5%-"},   {"PDF_C2", "98.5%-"},  {"PDF_C3", "98.5%-"},
+      {"APP_C1", "98.92%"},   {"APP_C2", "96.79%"},  {"APP_C3", "92.66%"},
+  };
+  return acc;
+}
+
+int Run() {
+  bench::BenchArgs args;
+  bench::PrintHeader("Table 1", "datasets and DNNs (zoo summary + accuracies)", args);
+  TablePrinter table({"Dataset", "DNN name", "Arch (ours)", "Paper arch", "# Neurons",
+                      "# Params", "Paper acc.", "Our acc."});
+  for (const ModelInfo& info : ZooModels()) {
+    const Model model = ModelZoo::Trained(info.name);
+    const Dataset& test = ModelZoo::TestSet(info.domain);
+    const float acc = Trainer::PaperAccuracy(model, test);
+    table.AddRow({DomainName(info.domain), info.name, info.arch, info.paper_arch,
+                  std::to_string(model.TotalNeurons()), std::to_string(model.NumParams()),
+                  PaperAccuracies().at(info.name), TablePrinter::Percent(acc, 2)});
+  }
+  std::cout << table.ToString()
+            << "** top-5 accuracy in the paper (pretrained ImageNet nets)\n"
+               "#  1 - MSE, steering angle is continuous\n"
+               "-  SVM accuracy reported by Srndic et al.\n"
+               "Architectures are faithful down-scalings trained on synthetic\n"
+               "stand-in datasets (see DESIGN.md for the substitution table).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dx
+
+int main() { return dx::Run(); }

@@ -1,0 +1,90 @@
+// Table 3: "The features added to the manifest file by DeepXplore for
+// generating two sample malware inputs which Android app classifiers
+// incorrectly mark as benign."
+//
+// Picks malware seeds the whole ensemble agrees are malware, runs the engine
+// with the Drebin add-only manifest constraint until one model flips to
+// benign, and prints the manifest features that were added (before=0 ->
+// after=1), top-3 first — the paper's exact presentation.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/data/drebin.h"
+#include "src/util/table.h"
+
+namespace dx {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Table 3", "manifest features added for malware->benign evasions",
+                     args);
+
+  std::vector<Model> models = ModelZoo::TrainedDomain(Domain::kDrebin);
+  const auto constraint = bench::DefaultConstraint(Domain::kDrebin);
+  DeepXploreConfig config = bench::DefaultConfig(Domain::kDrebin);
+  config.max_iterations_per_seed = 200;
+  config.rng_seed = 77;
+  DeepXplore engine(bench::Pointers(models), constraint.get(), config);
+
+  const Dataset& test = ModelZoo::TestSet(Domain::kDrebin);
+  int produced = 0;
+  for (int i = 0; i < test.size() && produced < 2; ++i) {
+    if (test.Label(i) != kDrebinMalwareClass) {
+      continue;
+    }
+    const Tensor& seed = test.inputs[static_cast<size_t>(i)];
+    // The evasion scenario: everyone starts by (correctly) saying malware.
+    bool all_malware = true;
+    for (const Model& m : models) {
+      all_malware = all_malware && m.PredictClass(seed) == kDrebinMalwareClass;
+    }
+    if (!all_malware) {
+      continue;
+    }
+    const auto result = engine.GenerateFromSeed(seed, i);
+    if (!result.has_value()) {
+      continue;
+    }
+    // Some model now calls this app benign.
+    bool any_benign = false;
+    for (const int label : result->labels) {
+      any_benign = any_benign || label == kDrebinBenignClass;
+    }
+    if (!any_benign) {
+      continue;
+    }
+    ++produced;
+    std::vector<int> added;
+    for (int f = 0; f < kDrebinFeatureCount; ++f) {
+      if (seed[f] == 0.0f && result->input[f] == 1.0f) {
+        added.push_back(f);
+      }
+    }
+    std::cout << "input " << produced << " (seed #" << i << ", " << added.size()
+              << " manifest feature(s) added, " << result->iterations
+              << " iterations, deviating model "
+              << DomainModelNames(Domain::kDrebin)[static_cast<size_t>(
+                     result->deviating_model)]
+              << "):\n";
+    TablePrinter table({"feature", "before", "after"});
+    const size_t top = std::min<size_t>(3, added.size());
+    for (size_t k = 0; k < top; ++k) {
+      table.AddRow({DrebinFeatureName(added[k]), "0", "1"});
+    }
+    std::cout << table.ToString();
+  }
+  if (produced == 0) {
+    std::cout << "no malware->benign evasion found (increase --seeds)\n";
+    return 1;
+  }
+  std::cout << "Every modified feature lives in the manifest and was only ever\n"
+               "added (0 -> 1), matching the paper's constraint semantics.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dx
+
+int main(int argc, char** argv) { return dx::Run(argc, argv); }

@@ -1,0 +1,24 @@
+#include "src/analysis/diversity.h"
+
+#include <stdexcept>
+
+#include "src/tensor/ops.h"
+
+namespace dx {
+
+float AverageSeedL1Diversity(const std::vector<GeneratedTest>& tests,
+                             const std::vector<Tensor>& seeds) {
+  if (tests.empty()) {
+    return 0.0f;
+  }
+  double sum = 0.0;
+  for (const GeneratedTest& t : tests) {
+    if (t.seed_index < 0 || t.seed_index >= static_cast<int>(seeds.size())) {
+      throw std::out_of_range("AverageSeedL1Diversity: bad seed index");
+    }
+    sum += L1Distance(t.input, seeds[static_cast<size_t>(t.seed_index)]);
+  }
+  return static_cast<float>(sum / static_cast<double>(tests.size()));
+}
+
+}  // namespace dx

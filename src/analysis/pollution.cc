@@ -1,0 +1,54 @@
+#include "src/analysis/pollution.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/analysis/ssim.h"
+
+namespace dx {
+
+PollutionDetectionResult DetectPollutedSamples(const Dataset& train, int polluted_label,
+                                               const std::vector<Tensor>& difference_inputs,
+                                               const std::vector<int>& truly_polluted,
+                                               int neighbors_per_test) {
+  // Candidate pool: training samples currently carrying the polluted label.
+  std::vector<int> candidates;
+  for (int i = 0; i < train.size(); ++i) {
+    if (train.Label(i) == polluted_label) {
+      candidates.push_back(i);
+    }
+  }
+
+  std::set<int> flagged_set;
+  for (const Tensor& input : difference_inputs) {
+    std::vector<std::pair<float, int>> scored;
+    scored.reserve(candidates.size());
+    for (const int i : candidates) {
+      scored.emplace_back(Ssim(input, train.inputs[static_cast<size_t>(i)]), i);
+    }
+    const int take = std::min<int>(neighbors_per_test, static_cast<int>(scored.size()));
+    std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (int k = 0; k < take; ++k) {
+      flagged_set.insert(scored[static_cast<size_t>(k)].second);
+    }
+  }
+
+  const std::set<int> truth(truly_polluted.begin(), truly_polluted.end());
+  PollutionDetectionResult result;
+  result.flagged.assign(flagged_set.begin(), flagged_set.end());
+  int hits = 0;
+  for (const int i : result.flagged) {
+    if (truth.count(i) > 0) {
+      ++hits;
+    }
+  }
+  result.precision = result.flagged.empty()
+                         ? 0.0f
+                         : static_cast<float>(hits) / static_cast<float>(result.flagged.size());
+  result.recall =
+      truth.empty() ? 0.0f : static_cast<float>(hits) / static_cast<float>(truth.size());
+  return result;
+}
+
+}  // namespace dx

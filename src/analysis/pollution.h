@@ -1,0 +1,31 @@
+// §7.3 "Detecting training data pollution attack".
+//
+// Two LeNet-5 models are trained on clean vs. label-polluted data; DeepXplore
+// generates inputs the two models disagree on, and the training samples most
+// structurally similar (SSIM) to those inputs are flagged as likely polluted.
+#ifndef DX_SRC_ANALYSIS_POLLUTION_H_
+#define DX_SRC_ANALYSIS_POLLUTION_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/tensor.h"
+
+namespace dx {
+
+struct PollutionDetectionResult {
+  std::vector<int> flagged;  // Indices into the training set.
+  float precision = 0.0f;    // Fraction of flagged that are truly polluted.
+  float recall = 0.0f;       // Fraction of polluted that were flagged.
+};
+
+// Flags, for each difference-inducing input, its `neighbors_per_test` most
+// SSIM-similar training samples restricted to samples labeled
+// `polluted_label`, then scores against the ground-truth polluted indices.
+PollutionDetectionResult DetectPollutedSamples(
+    const Dataset& train, int polluted_label, const std::vector<Tensor>& difference_inputs,
+    const std::vector<int>& truly_polluted, int neighbors_per_test = 3);
+
+}  // namespace dx
+
+#endif  // DX_SRC_ANALYSIS_POLLUTION_H_

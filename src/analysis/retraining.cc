@@ -1,0 +1,58 @@
+#include "src/analysis/retraining.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "src/models/trainer.h"
+
+namespace dx {
+
+int MajorityVoteLabel(const std::vector<Model*>& voters, const Tensor& input) {
+  if (voters.empty()) {
+    throw std::invalid_argument("MajorityVoteLabel: no voters");
+  }
+  std::map<int, int> votes;
+  for (const Model* m : voters) {
+    ++votes[m->PredictClass(input)];
+  }
+  int best_label = votes.begin()->first;
+  int best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+Dataset AugmentWithVotedLabels(const Dataset& train, const std::vector<Tensor>& extra_inputs,
+                               const std::vector<Model*>& voters) {
+  if (train.regression()) {
+    throw std::invalid_argument("AugmentWithVotedLabels: classification only");
+  }
+  Dataset augmented = train;
+  augmented.name = train.name + "/augmented";
+  for (const Tensor& input : extra_inputs) {
+    augmented.Add(input, static_cast<float>(MajorityVoteLabel(voters, input)));
+  }
+  return augmented;
+}
+
+std::vector<float> RetrainAccuracyCurve(Model* model, const Dataset& augmented,
+                                        const Dataset& test, int epochs, uint64_t seed,
+                                        float learning_rate) {
+  std::vector<float> curve;
+  curve.push_back(Trainer::Accuracy(*model, test));
+  for (int e = 0; e < epochs; ++e) {
+    TrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.learning_rate = learning_rate;
+    cfg.seed = seed + static_cast<uint64_t>(e);
+    Trainer::Fit(model, augmented, cfg);
+    curve.push_back(Trainer::Accuracy(*model, test));
+  }
+  return curve;
+}
+
+}  // namespace dx

@@ -1,0 +1,95 @@
+#include "src/analysis/ssim.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dx {
+namespace {
+
+constexpr int kWindow = 8;
+constexpr float kC1 = 0.01f * 0.01f;  // (K1 * L)^2 with L = 1.
+constexpr float kC2 = 0.03f * 0.03f;
+
+// Channel-averaged luminance plane.
+std::vector<float> Luminance(const Tensor& t, int* height, int* width) {
+  if (t.ndim() == 2) {
+    *height = t.dim(0);
+    *width = t.dim(1);
+    return t.values();
+  }
+  if (t.ndim() != 3) {
+    throw std::invalid_argument("Ssim: expected HW or CHW image");
+  }
+  const int c = t.dim(0);
+  *height = t.dim(1);
+  *width = t.dim(2);
+  std::vector<float> lum(static_cast<size_t>(*height) * *width, 0.0f);
+  for (int ch = 0; ch < c; ++ch) {
+    for (size_t i = 0; i < lum.size(); ++i) {
+      lum[i] += t[static_cast<int64_t>(ch) * (*height) * (*width) + static_cast<int64_t>(i)];
+    }
+  }
+  for (auto& v : lum) {
+    v /= static_cast<float>(c);
+  }
+  return lum;
+}
+
+}  // namespace
+
+float Ssim(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("Ssim: shape mismatch");
+  }
+  int h = 0;
+  int w = 0;
+  const std::vector<float> la = Luminance(a, &h, &w);
+  int h2 = 0;
+  int w2 = 0;
+  const std::vector<float> lb = Luminance(b, &h2, &w2);
+  if (h < kWindow || w < kWindow) {
+    throw std::invalid_argument("Ssim: image smaller than 8x8 window");
+  }
+
+  double total = 0.0;
+  int windows = 0;
+  const int step = kWindow / 2;  // 50% overlap.
+  for (int y0 = 0; y0 + kWindow <= h; y0 += step) {
+    for (int x0 = 0; x0 + kWindow <= w; x0 += step) {
+      double mu_a = 0.0;
+      double mu_b = 0.0;
+      for (int y = y0; y < y0 + kWindow; ++y) {
+        for (int x = x0; x < x0 + kWindow; ++x) {
+          mu_a += la[static_cast<size_t>(y) * w + x];
+          mu_b += lb[static_cast<size_t>(y) * w + x];
+        }
+      }
+      const double n = kWindow * kWindow;
+      mu_a /= n;
+      mu_b /= n;
+      double var_a = 0.0;
+      double var_b = 0.0;
+      double cov = 0.0;
+      for (int y = y0; y < y0 + kWindow; ++y) {
+        for (int x = x0; x < x0 + kWindow; ++x) {
+          const double da = la[static_cast<size_t>(y) * w + x] - mu_a;
+          const double db = lb[static_cast<size_t>(y) * w + x] - mu_b;
+          var_a += da * da;
+          var_b += db * db;
+          cov += da * db;
+        }
+      }
+      var_a /= n - 1;
+      var_b /= n - 1;
+      cov /= n - 1;
+      const double ssim = ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                          ((mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2));
+      total += ssim;
+      ++windows;
+    }
+  }
+  return static_cast<float>(total / windows);
+}
+
+}  // namespace dx

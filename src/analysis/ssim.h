@@ -1,0 +1,18 @@
+// Structural similarity index (Wang et al. 2004), used by the §7.3
+// pollution-detection experiment to match generated error-inducing inputs
+// back to training samples.
+#ifndef DX_SRC_ANALYSIS_SSIM_H_
+#define DX_SRC_ANALYSIS_SSIM_H_
+
+#include "src/tensor/tensor.h"
+
+namespace dx {
+
+// Mean SSIM over sliding 8x8 windows of two same-shape images in [0, 1]
+// (multi-channel inputs are averaged to luminance first). Returns a value in
+// [-1, 1]; 1 means identical structure.
+float Ssim(const Tensor& a, const Tensor& b);
+
+}  // namespace dx
+
+#endif  // DX_SRC_ANALYSIS_SSIM_H_

@@ -1,0 +1,27 @@
+// Adversarial-testing baseline: FGSM (Goodfellow et al., ICLR'15), the
+// adversarial input generator the paper compares against in Figure 9 and
+// Figure 10.
+#ifndef DX_SRC_BASELINES_ADVERSARIAL_H_
+#define DX_SRC_BASELINES_ADVERSARIAL_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/nn/model.h"
+
+namespace dx {
+
+class Rng;
+
+// One FGSM step: x' = clamp(x + eps * sign(∇_x loss(F(x), label)), 0, 1).
+// For classifiers `label` is the true class; for regressors the loss is MSE
+// against `target` (pass the ground-truth steering angle via `target`).
+Tensor Fgsm(const Model& model, const Tensor& x, int label, float target, float eps);
+
+// Generates k adversarial inputs from random dataset samples against `model`.
+std::vector<Tensor> AdversarialInputs(const Model& model, const Dataset& data, int k,
+                                      float eps, Rng& rng);
+
+}  // namespace dx
+
+#endif  // DX_SRC_BASELINES_ADVERSARIAL_H_

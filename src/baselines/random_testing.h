@@ -1,0 +1,19 @@
+// Random-selection baseline: k inputs drawn uniformly (without replacement)
+// from the original test set — the paper's "random" comparator.
+#ifndef DX_SRC_BASELINES_RANDOM_TESTING_H_
+#define DX_SRC_BASELINES_RANDOM_TESTING_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/tensor.h"
+
+namespace dx {
+
+class Rng;
+
+std::vector<Tensor> RandomInputs(const Dataset& data, int k, Rng& rng);
+
+}  // namespace dx
+
+#endif  // DX_SRC_BASELINES_RANDOM_TESTING_H_

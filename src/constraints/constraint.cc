@@ -1,0 +1,14 @@
+#include "src/constraints/constraint.h"
+
+#include "src/util/rng.h"
+
+namespace dx {
+
+void Constraint::ProjectInput(Tensor* x) const { x->ClampInPlace(0.0f, 1.0f); }
+
+Tensor UnconstrainedImage::Apply(const Tensor& grad, const Tensor& /*x*/,
+                                 Rng& /*rng*/) const {
+  return grad;
+}
+
+}  // namespace dx

@@ -1,0 +1,80 @@
+// Neuron coverage (paper §4.1): the fraction of neurons whose scaled output
+// exceeded threshold t for at least one test input.
+//
+// Neuron values follow the reference implementation: one neuron per Dense
+// unit, one per Conv2D/Residual output channel (spatial mean). Per §7.1,
+// neuron outputs are min-max scaled to [0, 1] *within each layer* before
+// thresholding (scaling can be disabled for raw-activation experiments such
+// as Table 2's t = 0 runs).
+#ifndef DX_SRC_COVERAGE_NEURON_COVERAGE_H_
+#define DX_SRC_COVERAGE_NEURON_COVERAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/model.h"
+
+namespace dx {
+
+class Rng;
+
+struct NeuronId {
+  int layer = 0;
+  int index = 0;
+
+  bool operator==(const NeuronId&) const = default;
+};
+
+struct CoverageOptions {
+  float threshold = 0.0f;
+  // Min-max scale neuron values within each layer before thresholding.
+  bool scale_per_layer = true;
+  // Drop Dense-layer neurons (paper's Table 8 excludes fully-connected
+  // layers on the vision domains since their neurons are very hard to
+  // activate).
+  bool exclude_dense = false;
+  // Drop the final classification layer's neurons (its "neurons" are the
+  // model's output logits).
+  bool exclude_output_layer = true;
+};
+
+class NeuronCoverageTracker {
+ public:
+  NeuronCoverageTracker(const Model& model, CoverageOptions options);
+
+  // Marks every neuron activated by this trace.
+  void Update(const Model& model, const ForwardTrace& trace);
+
+  int total_neurons() const { return total_; }
+  int covered_neurons() const;
+  float Coverage() const;
+  bool IsCovered(const NeuronId& id) const;
+
+  // Uniformly random uncovered neuron; false when fully covered.
+  bool PickUncovered(Rng& rng, NeuronId* id) const;
+
+  // Neuron values of one trace, scaled per options (exposed for analysis).
+  // Each entry parallels TrackedNeurons().
+  std::vector<float> NeuronValues(const Model& model, const ForwardTrace& trace) const;
+  // Activated neuron ids for a single trace (used by the Table 7 overlap
+  // experiment).
+  std::vector<NeuronId> Activated(const Model& model, const ForwardTrace& trace) const;
+  // All tracked neuron ids in canonical order.
+  const std::vector<NeuronId>& TrackedNeurons() const { return neurons_; }
+
+  const CoverageOptions& options() const { return options_; }
+
+ private:
+  int FlatIndex(const NeuronId& id) const;
+
+  CoverageOptions options_;
+  std::vector<NeuronId> neurons_;
+  // Maps layer -> offset into neurons_/covered_ (-1 when not tracked).
+  std::vector<int> layer_offset_;
+  std::vector<bool> covered_;
+  int total_ = 0;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_COVERAGE_NEURON_COVERAGE_H_

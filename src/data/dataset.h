@@ -1,0 +1,54 @@
+// In-memory labeled dataset container shared by all five synthetic domains.
+//
+// Classification datasets store the class index in targets[i]; regression
+// datasets (driving) store the scalar target. All generators are fully
+// deterministic given (n, seed).
+#ifndef DX_SRC_DATA_DATASET_H_
+#define DX_SRC_DATA_DATASET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace dx {
+
+class Rng;
+
+struct Dataset {
+  std::string name;
+  Shape input_shape;
+  int num_classes = 0;  // 0 => regression
+  std::vector<Tensor> inputs;
+  std::vector<float> targets;
+
+  int size() const { return static_cast<int>(inputs.size()); }
+  bool regression() const { return num_classes == 0; }
+  // Class label of sample i (classification only).
+  int Label(int i) const;
+  // Regression target of sample i.
+  float Target(int i) const { return targets[static_cast<size_t>(i)]; }
+
+  // Appends one sample.
+  void Add(Tensor input, float target);
+
+  // Deterministically shuffles and splits off the first `fraction` as train.
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng& rng) const;
+
+  // Random subset of k samples (without replacement).
+  Dataset Sample(int k, Rng& rng) const;
+
+  // Validates internal consistency; throws std::logic_error on corruption.
+  void CheckConsistency() const;
+};
+
+// Relabels `fraction` of samples whose label is `from_class` to `to_class`
+// (the paper's §7.3 training-data pollution attack). Returns the indices of
+// the polluted samples.
+std::vector<int> PolluteLabels(Dataset* dataset, int from_class, int to_class,
+                               double fraction, Rng& rng);
+
+}  // namespace dx
+
+#endif  // DX_SRC_DATA_DATASET_H_

@@ -1,0 +1,37 @@
+// Drebin substitute: sparse binary Android-app feature vectors.
+//
+// Feature layout mirrors Drebin's categories at reduced width: the first
+// kDrebinManifestFeatures features come from the app manifest (permissions,
+// intents, activities, providers, services) — the only ones DeepXplore is
+// allowed to modify, and only 0 -> 1 — and the rest are code features
+// (restricted API calls, network addresses). Malware is generated from
+// planted "family" signatures over indicator features, so the MLPs of Grosse
+// et al. separate the classes with high accuracy.
+#ifndef DX_SRC_DATA_DREBIN_H_
+#define DX_SRC_DATA_DREBIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace dx {
+
+inline constexpr int kDrebinFeatureCount = 512;
+inline constexpr int kDrebinManifestFeatures = 256;
+inline constexpr int kDrebinBenignClass = 0;
+inline constexpr int kDrebinMalwareClass = 1;
+
+// Human-readable name of a feature (e.g. "permission::CALL_PHONE").
+const std::string& DrebinFeatureName(int feature);
+
+// True when the feature lives in the manifest (modifiable by DeepXplore).
+bool DrebinIsManifestFeature(int feature);
+
+// n samples, inputs {512} in {0,1}, labels 0 = benign / 1 = malware
+// (malware_fraction of the samples are malware).
+Dataset MakeSyntheticDrebin(int n, uint64_t seed, double malware_fraction = 0.3);
+
+}  // namespace dx
+
+#endif  // DX_SRC_DATA_DREBIN_H_

@@ -1,0 +1,147 @@
+#include "src/data/pdf.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+std::vector<PdfFeatureSpec> BuildSpecs() {
+  std::vector<PdfFeatureSpec> specs;
+  specs.reserve(kPdfFeatureCount);
+  // Curated PDFrate-style features, including those the paper's Table 4
+  // reports DeepXplore modifying. {name, min, max, integer, modifiable,
+  // increment_only}.
+  specs.push_back({"size", 1.0f, 100.0f, true, true, true});  // In 10-KB units.
+  specs.push_back({"count_action", 0.0f, 50.0f, true, true, true});
+  specs.push_back({"count_endobj", 0.0f, 200.0f, true, true, true});
+  specs.push_back({"count_font", 0.0f, 50.0f, true, true, true});
+  specs.push_back({"author_num", 0.0f, 20.0f, true, true, false});
+  specs.push_back({"count_javascript", 0.0f, 30.0f, true, false, false});
+  specs.push_back({"count_js", 0.0f, 30.0f, true, false, false});
+  specs.push_back({"count_page", 1.0f, 500.0f, true, true, true});
+  specs.push_back({"count_obj", 1.0f, 500.0f, true, true, true});
+  specs.push_back({"count_stream", 0.0f, 200.0f, true, true, true});
+  specs.push_back({"count_trailer", 0.0f, 10.0f, true, true, true});
+  specs.push_back({"count_xref", 0.0f, 10.0f, true, true, true});
+  specs.push_back({"count_startxref", 0.0f, 10.0f, true, true, true});
+  specs.push_back({"count_eof", 1.0f, 10.0f, true, false, false});
+  specs.push_back({"count_image_small", 0.0f, 100.0f, true, true, true});
+  specs.push_back({"count_image_large", 0.0f, 50.0f, true, true, true});
+  specs.push_back({"count_embedded_file", 0.0f, 20.0f, true, false, false});
+  specs.push_back({"count_openaction", 0.0f, 5.0f, true, false, false});
+  specs.push_back({"count_launch", 0.0f, 5.0f, true, false, false});
+  specs.push_back({"producer_len", 0.0f, 100.0f, true, true, true});
+  specs.push_back({"creator_len", 0.0f, 100.0f, true, true, true});
+  specs.push_back({"title_num", 0.0f, 30.0f, true, true, true});
+  specs.push_back({"keywords_num", 0.0f, 30.0f, true, true, true});
+  specs.push_back({"subject_len", 0.0f, 100.0f, true, true, true});
+  specs.push_back({"count_annotation", 0.0f, 100.0f, true, true, true});
+  specs.push_back({"count_acroform", 0.0f, 5.0f, true, true, true});
+  specs.push_back({"pos_eof_max", 0.0f, 100.0f, true, false, false});
+  specs.push_back({"len_stream_avg", 0.0f, 100.0f, true, true, true});
+  specs.push_back({"count_filter", 0.0f, 50.0f, true, true, true});
+  specs.push_back({"count_nestedfilter", 0.0f, 20.0f, true, true, true});
+  // Generic structural counters fill out the 135-feature vector.
+  const std::array<const char*, 3> prefixes = {"count_box_", "len_field_", "num_meta_"};
+  int i = 0;
+  while (static_cast<int>(specs.size()) < kPdfFeatureCount) {
+    const char* prefix = prefixes[static_cast<size_t>(i % 3)];
+    // Every third generated feature is frozen (non-modifiable) to mirror
+    // Šrndic's mix of mutable and immutable features.
+    const bool modifiable = i % 3 != 2;
+    specs.push_back({std::string(prefix) + std::to_string(i), 0.0f, 60.0f, true, modifiable,
+                     /*increment_only=*/true});
+    ++i;
+  }
+  return specs;
+}
+
+const PdfFeatureSpec& SpecAt(int feature) {
+  const auto& specs = PdfFeatureSpecs();
+  if (feature < 0 || feature >= kPdfFeatureCount) {
+    throw std::out_of_range("pdf feature index out of range");
+  }
+  return specs[static_cast<size_t>(feature)];
+}
+
+// Truncated-normal raw draw for a feature.
+float DrawRaw(Rng& rng, const PdfFeatureSpec& spec, float mean_frac, float stddev_frac) {
+  const float span = spec.max_value - spec.min_value;
+  float raw = spec.min_value + span * mean_frac +
+              static_cast<float>(rng.Normal(0.0, stddev_frac)) * span;
+  raw = std::clamp(raw, spec.min_value, spec.max_value);
+  if (spec.integer) {
+    raw = std::round(raw);
+  }
+  return raw;
+}
+
+}  // namespace
+
+const std::vector<PdfFeatureSpec>& PdfFeatureSpecs() {
+  static const std::vector<PdfFeatureSpec> specs = BuildSpecs();
+  return specs;
+}
+
+float PdfNormalize(int feature, float raw) {
+  const PdfFeatureSpec& spec = SpecAt(feature);
+  return (raw - spec.min_value) / (spec.max_value - spec.min_value);
+}
+
+float PdfRawValue(int feature, float normalized) {
+  const PdfFeatureSpec& spec = SpecAt(feature);
+  float raw = spec.min_value + normalized * (spec.max_value - spec.min_value);
+  raw = std::clamp(raw, spec.min_value, spec.max_value);
+  if (spec.integer) {
+    raw = std::round(raw);
+  }
+  return raw;
+}
+
+Dataset MakeSyntheticPdf(int n, uint64_t seed, double malware_fraction) {
+  Rng rng(seed);
+  const auto& specs = PdfFeatureSpecs();
+  Dataset ds{"pdf", {kPdfFeatureCount}, 2, {}, {}};
+  ds.inputs.reserve(static_cast<size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    const bool malware = rng.NextDouble() < malware_fraction;
+    Tensor x({kPdfFeatureCount});
+    for (int f = 0; f < kPdfFeatureCount; ++f) {
+      const PdfFeatureSpec& spec = specs[static_cast<size_t>(f)];
+      float mean_frac = 0.3f;
+      float stddev_frac = 0.12f;
+      // Class-separating features (mirroring real malicious-PDF statistics:
+      // small files with scripts/actions and thin metadata vs. rich benign
+      // documents).
+      if (spec.name == "count_javascript" || spec.name == "count_js" ||
+          spec.name == "count_openaction" || spec.name == "count_launch" ||
+          spec.name == "count_embedded_file") {
+        mean_frac = malware ? 0.55f : 0.02f;
+      } else if (spec.name == "count_action") {
+        mean_frac = malware ? 0.5f : 0.08f;
+      } else if (spec.name == "size" || spec.name == "count_page" ||
+                 spec.name == "count_font" || spec.name == "count_endobj" ||
+                 spec.name == "count_obj" || spec.name == "count_stream") {
+        mean_frac = malware ? 0.06f : 0.45f;
+      } else if (spec.name == "author_num" || spec.name == "title_num" ||
+                 spec.name == "keywords_num" || spec.name == "producer_len" ||
+                 spec.name == "creator_len") {
+        mean_frac = malware ? 0.08f : 0.5f;
+        stddev_frac = 0.18f;
+      }
+      const float raw = DrawRaw(rng, spec, mean_frac, stddev_frac);
+      x[f] = PdfNormalize(f, raw);
+    }
+    ds.Add(std::move(x), malware ? static_cast<float>(kPdfMalwareClass)
+                                 : static_cast<float>(kPdfBenignClass));
+  }
+  return ds;
+}
+
+}  // namespace dx

@@ -1,0 +1,46 @@
+// Contagio/VirusTotal substitute: 135 PDFrate-style static document features.
+//
+// Features are count/size statistics (count_action, count_font, author_num,
+// ...) with per-feature modification rules following Šrndic & Laskov's
+// practical-evasion restrictions: some features cannot be changed at all
+// (they would corrupt the file), most can only be *incremented* (content can
+// be appended to a PDF but not safely removed), and all are integers within
+// bounds. Inputs to the networks are normalized to [0, 1] per feature.
+#ifndef DX_SRC_DATA_PDF_H_
+#define DX_SRC_DATA_PDF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace dx {
+
+inline constexpr int kPdfFeatureCount = 135;
+inline constexpr int kPdfBenignClass = 0;
+inline constexpr int kPdfMalwareClass = 1;
+
+struct PdfFeatureSpec {
+  std::string name;
+  float min_value;      // Raw units.
+  float max_value;      // Raw units.
+  bool integer;         // Round raw values to integers.
+  bool modifiable;      // May DeepXplore change this feature at all?
+  bool increment_only;  // Only increases allowed (append-only semantics).
+};
+
+// The full 135-entry feature table (stable across calls).
+const std::vector<PdfFeatureSpec>& PdfFeatureSpecs();
+
+// Raw <-> normalized conversions for one feature.
+float PdfNormalize(int feature, float raw);
+float PdfRawValue(int feature, float normalized);
+
+// n samples, inputs {135} normalized to [0, 1], labels 0 = benign /
+// 1 = malicious.
+Dataset MakeSyntheticPdf(int n, uint64_t seed, double malware_fraction = 0.5);
+
+}  // namespace dx
+
+#endif  // DX_SRC_DATA_PDF_H_

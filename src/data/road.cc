@@ -1,0 +1,107 @@
+#include "src/data/road.h"
+#include <algorithm>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+constexpr int kH = kRoadImageHeight;
+constexpr int kW = kRoadImageWidth;
+
+}  // namespace
+
+Tensor RenderRoadScene(Rng& rng, float* steering) {
+  Tensor img({3, kH, kW});
+
+  const float curvature = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  const float lateral = static_cast<float>(rng.Uniform(-0.25, 0.25));
+  const int horizon = static_cast<int>(rng.UniformInt(kH / 4, kH / 2));
+  const float road_halfwidth = static_cast<float>(rng.Uniform(0.28, 0.42));
+  const float brightness = static_cast<float>(rng.Uniform(0.75, 1.05));
+  const float noise = static_cast<float>(rng.Uniform(0.0, 0.03));
+
+  // Sky / grass / asphalt base colors with mild variation.
+  const float sky_r = 0.45f + 0.1f * rng.NextFloat();
+  const float sky_g = 0.6f + 0.1f * rng.NextFloat();
+  const float sky_b = 0.85f + 0.1f * rng.NextFloat();
+  const float grass_g = 0.45f + 0.15f * rng.NextFloat();
+  const float road_gray = 0.35f + 0.1f * rng.NextFloat();
+
+  for (int y = 0; y < kH; ++y) {
+    if (y < horizon) {
+      // Sky with vertical gradient.
+      const float t = static_cast<float>(y) / std::max(1, horizon);
+      for (int x = 0; x < kW; ++x) {
+        img.at({0, y, x}) = sky_r * (1.0f - 0.3f * t);
+        img.at({1, y, x}) = sky_g * (1.0f - 0.2f * t);
+        img.at({2, y, x}) = sky_b;
+      }
+      continue;
+    }
+    // Perspective depth: 0 at horizon, 1 at bottom.
+    const float depth = static_cast<float>(y - horizon) / std::max(1, kH - 1 - horizon);
+    // Road centerline bends with curvature as it approaches the horizon.
+    const float center =
+        0.5f + lateral * depth + curvature * 0.5f * (1.0f - depth) * (1.0f - depth);
+    const float halfwidth = road_halfwidth * (0.15f + 0.85f * depth);
+    const float left = center - halfwidth;
+    const float right = center + halfwidth;
+    const float lane_marking = center;
+
+    for (int x = 0; x < kW; ++x) {
+      const float u = (static_cast<float>(x) + 0.5f) / kW;
+      float r;
+      float g;
+      float b;
+      if (u >= left && u <= right) {
+        r = g = b = road_gray * (0.8f + 0.2f * depth);
+        // Dashed center lane marking.
+        if (std::abs(u - lane_marking) < 0.012f && (y / 3) % 2 == 0) {
+          r = g = b = 0.9f;
+        }
+        // Road edges.
+        if (std::abs(u - left) < 0.015f || std::abs(u - right) < 0.015f) {
+          r = g = b = 0.85f;
+        }
+      } else {
+        r = 0.2f;
+        g = grass_g * (0.7f + 0.3f * depth);
+        b = 0.15f;
+      }
+      img.at({0, y, x}) = r;
+      img.at({1, y, x}) = g;
+      img.at({2, y, x}) = b;
+    }
+  }
+
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    img[i] = std::clamp(img[i] * brightness + static_cast<float>(rng.Normal(0.0, noise)),
+                        0.0f, 1.0f);
+  }
+
+  // Ground truth: steer into the curve, correct for lateral offset.
+  const float angle = std::clamp(0.8f * curvature + 0.6f * lateral +
+                                     static_cast<float>(rng.Normal(0.0, 0.02)),
+                                 -1.0f, 1.0f);
+  if (steering != nullptr) {
+    *steering = angle;
+  }
+  return img;
+}
+
+Dataset MakeSyntheticRoad(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{"driving", {3, kH, kW}, 0, {}, {}};
+  ds.inputs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    float angle = 0.0f;
+    Tensor img = RenderRoadScene(rng, &angle);
+    ds.Add(std::move(img), angle);
+  }
+  return ds;
+}
+
+}  // namespace dx

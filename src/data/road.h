@@ -1,0 +1,32 @@
+// Udacity driving substitute: procedural dashcam-style road scenes with a
+// ground-truth steering angle (regression target in [-1, 1]).
+//
+// A scene is sky + grass + a perspective road whose centerline curves with a
+// curvature parameter; steering is a deterministic function of curvature and
+// lateral offset, plus small noise. The three DAVE variants are trained on
+// this task exactly as the paper trains them on the Udacity dataset.
+#ifndef DX_SRC_DATA_ROAD_H_
+#define DX_SRC_DATA_ROAD_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+
+namespace dx {
+
+inline constexpr int kRoadImageHeight = 32;
+inline constexpr int kRoadImageWidth = 64;
+
+// n regression samples, CHW inputs {3, 32, 64}, targets in [-1, 1].
+Dataset MakeSyntheticRoad(int n, uint64_t seed);
+
+// Renders one scene; *steering receives the ground-truth angle.
+Tensor RenderRoadScene(Rng& rng, float* steering);
+
+// The paper's differential-behavior predicate for driving: two steering
+// angles "disagree" when they differ by more than this (normalized units).
+inline constexpr float kSteeringDisagreement = 0.2f;
+
+}  // namespace dx
+
+#endif  // DX_SRC_DATA_ROAD_H_

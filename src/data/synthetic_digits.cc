@@ -1,0 +1,115 @@
+#include "src/data/synthetic_digits.h"
+#include <algorithm>
+#include <stdexcept>
+
+#include <array>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+struct Segment {
+  float x1, y1, x2, y2;
+};
+
+// Seven-segment geometry in the unit square (x right, y down).
+constexpr Segment kTop{0.25f, 0.15f, 0.75f, 0.15f};
+constexpr Segment kTopLeft{0.25f, 0.15f, 0.25f, 0.5f};
+constexpr Segment kTopRight{0.75f, 0.15f, 0.75f, 0.5f};
+constexpr Segment kMiddle{0.25f, 0.5f, 0.75f, 0.5f};
+constexpr Segment kBottomLeft{0.25f, 0.5f, 0.25f, 0.85f};
+constexpr Segment kBottomRight{0.75f, 0.5f, 0.75f, 0.85f};
+constexpr Segment kBottom{0.25f, 0.85f, 0.75f, 0.85f};
+
+const std::array<std::vector<Segment>, 10>& DigitStrokes() {
+  static const std::array<std::vector<Segment>, 10> strokes = {{
+      /*0*/ {kTop, kTopLeft, kTopRight, kBottomLeft, kBottomRight, kBottom},
+      /*1*/ {{0.55f, 0.2f, 0.45f, 0.3f}, {0.45f, 0.3f, 0.45f, 0.85f}},
+      /*2*/ {kTop, kTopRight, kMiddle, kBottomLeft, kBottom},
+      /*3*/ {kTop, kTopRight, kMiddle, kBottomRight, kBottom},
+      /*4*/ {kTopLeft, kTopRight, kMiddle, kBottomRight},
+      /*5*/ {kTop, kTopLeft, kMiddle, kBottomRight, kBottom},
+      /*6*/ {kTop, kTopLeft, kMiddle, kBottomLeft, kBottomRight, kBottom},
+      /*7*/ {kTop, {0.75f, 0.15f, 0.45f, 0.85f}},
+      /*8*/ {kTop, kTopLeft, kTopRight, kMiddle, kBottomLeft, kBottomRight, kBottom},
+      /*9*/ {kTop, kTopLeft, kTopRight, kMiddle, kBottomRight, kBottom},
+  }};
+  return strokes;
+}
+
+float DistanceToSegment(float px, float py, const Segment& s) {
+  const float dx = s.x2 - s.x1;
+  const float dy = s.y2 - s.y1;
+  const float len_sq = dx * dx + dy * dy;
+  float t = len_sq > 0.0f ? ((px - s.x1) * dx + (py - s.y1) * dy) / len_sq : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = s.x1 + t * dx;
+  const float cy = s.y1 + t * dy;
+  return std::sqrt((px - cx) * (px - cx) + (py - cy) * (py - cy));
+}
+
+}  // namespace
+
+Tensor RenderDigit(int digit, Rng& rng) {
+  if (digit < 0 || digit > 9) {
+    throw std::invalid_argument("RenderDigit: digit out of range");
+  }
+  const int size = kDigitImageSize;
+  Tensor img({1, size, size});
+
+  // Random affine jitter.
+  const float angle = static_cast<float>(rng.Uniform(-0.22, 0.22));  // ~±12.5°
+  const float scale = static_cast<float>(rng.Uniform(0.85, 1.1));
+  const float tx = static_cast<float>(rng.Uniform(-0.08, 0.08));
+  const float ty = static_cast<float>(rng.Uniform(-0.08, 0.08));
+  const float thickness = static_cast<float>(rng.Uniform(0.035, 0.075));
+  const float intensity = static_cast<float>(rng.Uniform(0.75, 1.0));
+  const float noise = static_cast<float>(rng.Uniform(0.0, 0.06));
+  const float cos_a = std::cos(angle);
+  const float sin_a = std::sin(angle);
+
+  const auto& strokes = DigitStrokes()[static_cast<size_t>(digit)];
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      // Map pixel center to unit square, then apply the inverse affine
+      // transform around the center (0.5, 0.5).
+      const float ux = (static_cast<float>(x) + 0.5f) / size;
+      const float uy = (static_cast<float>(y) + 0.5f) / size;
+      const float cx = (ux - 0.5f - tx) / scale;
+      const float cy = (uy - 0.5f - ty) / scale;
+      const float rx = cos_a * cx + sin_a * cy + 0.5f;
+      const float ry = -sin_a * cx + cos_a * cy + 0.5f;
+
+      float min_dist = 1e9f;
+      for (const Segment& s : strokes) {
+        min_dist = std::min(min_dist, DistanceToSegment(rx, ry, s));
+      }
+      // Smooth falloff for anti-aliasing.
+      const float edge = thickness;
+      float v = 0.0f;
+      if (min_dist < edge) {
+        v = intensity;
+      } else if (min_dist < edge + 0.03f) {
+        v = intensity * (1.0f - (min_dist - edge) / 0.03f);
+      }
+      v += static_cast<float>(rng.Normal(0.0, noise));
+      img.at({0, y, x}) = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+  return img;
+}
+
+Dataset MakeSyntheticDigits(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{"digits", {1, kDigitImageSize, kDigitImageSize}, 10, {}, {}};
+  ds.inputs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int digit = i % 10;  // Balanced classes.
+    ds.Add(RenderDigit(digit, rng), static_cast<float>(digit));
+  }
+  return ds;
+}
+
+}  // namespace dx

@@ -1,0 +1,27 @@
+// MNIST substitute: procedurally rendered 28x28 grayscale digits.
+//
+// Each digit class is a fixed set of strokes (seven-segment layout plus
+// digit-specific diagonals) rendered with a random affine transform
+// (translation, rotation, scale), random stroke thickness and intensity, and
+// additive pixel noise. The task has the same input shape and class count as
+// MNIST and trains the LeNet family to high accuracy.
+#ifndef DX_SRC_DATA_SYNTHETIC_DIGITS_H_
+#define DX_SRC_DATA_SYNTHETIC_DIGITS_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+
+namespace dx {
+
+inline constexpr int kDigitImageSize = 28;
+
+// n samples with uniformly distributed labels 0..9, CHW inputs {1, 28, 28}.
+Dataset MakeSyntheticDigits(int n, uint64_t seed);
+
+// Renders a single digit (used by tests and the Figure 8 gallery).
+Tensor RenderDigit(int digit, Rng& rng);
+
+}  // namespace dx
+
+#endif  // DX_SRC_DATA_SYNTHETIC_DIGITS_H_

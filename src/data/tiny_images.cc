@@ -1,0 +1,222 @@
+#include "src/data/tiny_images.h"
+#include <algorithm>
+#include <stdexcept>
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+constexpr int kSize = kTinyImageSize;
+
+struct Rgb {
+  float r, g, b;
+};
+
+Rgb RandomColor(Rng& rng, float min_brightness = 0.25f) {
+  for (;;) {
+    const Rgb c{rng.NextFloat(), rng.NextFloat(), rng.NextFloat()};
+    if (c.r + c.g + c.b > 3.0f * min_brightness) {
+      return c;
+    }
+  }
+}
+
+void SetPixel(Tensor* img, int y, int x, const Rgb& c, float alpha = 1.0f) {
+  img->at({0, y, x}) = (1.0f - alpha) * img->at({0, y, x}) + alpha * c.r;
+  img->at({1, y, x}) = (1.0f - alpha) * img->at({1, y, x}) + alpha * c.g;
+  img->at({2, y, x}) = (1.0f - alpha) * img->at({2, y, x}) + alpha * c.b;
+}
+
+void FillBackground(Tensor* img, const Rgb& c) {
+  for (int y = 0; y < kSize; ++y) {
+    for (int x = 0; x < kSize; ++x) {
+      SetPixel(img, y, x, c);
+    }
+  }
+}
+
+}  // namespace
+
+const std::string& TinyImageClassName(int label) {
+  static const std::array<std::string, kTinyImageClasses> names = {
+      "h-stripes", "v-stripes", "d-stripes", "checker", "dots",
+      "disk",      "triangle",  "gradient",  "cross",   "blobs"};
+  if (label < 0 || label >= kTinyImageClasses) {
+    throw std::out_of_range("TinyImageClassName: bad label");
+  }
+  return names[static_cast<size_t>(label)];
+}
+
+Tensor RenderTinyImage(int label, Rng& rng) {
+  if (label < 0 || label >= kTinyImageClasses) {
+    throw std::out_of_range("RenderTinyImage: bad label");
+  }
+  Tensor img({3, kSize, kSize});
+  const Rgb bg = RandomColor(rng, 0.1f);
+  const Rgb fg = RandomColor(rng, 0.35f);
+  FillBackground(&img, bg);
+
+  const float freq = static_cast<float>(rng.Uniform(2.5, 5.5));
+  const float phase = static_cast<float>(rng.Uniform(0.0, 2.0 * std::numbers::pi));
+  const auto wave = [&](float t) {
+    return 0.5f + 0.5f * std::sin(freq * t * 2.0f * static_cast<float>(std::numbers::pi) /
+                                      kSize +
+                                  phase);
+  };
+
+  switch (label) {
+    case 0:  // Horizontal stripes.
+      for (int y = 0; y < kSize; ++y) {
+        for (int x = 0; x < kSize; ++x) {
+          SetPixel(&img, y, x, fg, wave(static_cast<float>(y)) > 0.5f ? 1.0f : 0.0f);
+        }
+      }
+      break;
+    case 1:  // Vertical stripes.
+      for (int y = 0; y < kSize; ++y) {
+        for (int x = 0; x < kSize; ++x) {
+          SetPixel(&img, y, x, fg, wave(static_cast<float>(x)) > 0.5f ? 1.0f : 0.0f);
+        }
+      }
+      break;
+    case 2:  // Diagonal stripes.
+      for (int y = 0; y < kSize; ++y) {
+        for (int x = 0; x < kSize; ++x) {
+          SetPixel(&img, y, x, fg,
+                   wave(static_cast<float>(x + y) * 0.7071f) > 0.5f ? 1.0f : 0.0f);
+        }
+      }
+      break;
+    case 3: {  // Checkerboard.
+      const int cell = static_cast<int>(rng.UniformInt(3, 6));
+      for (int y = 0; y < kSize; ++y) {
+        for (int x = 0; x < kSize; ++x) {
+          if (((x / cell) + (y / cell)) % 2 == 0) {
+            SetPixel(&img, y, x, fg);
+          }
+        }
+      }
+      break;
+    }
+    case 4: {  // Dot grid.
+      const int step = static_cast<int>(rng.UniformInt(6, 9));
+      const float radius = static_cast<float>(rng.Uniform(1.5, 2.6));
+      for (int cy = step / 2; cy < kSize; cy += step) {
+        for (int cx = step / 2; cx < kSize; cx += step) {
+          for (int y = 0; y < kSize; ++y) {
+            for (int x = 0; x < kSize; ++x) {
+              const float d = std::hypot(static_cast<float>(y - cy), static_cast<float>(x - cx));
+              if (d < radius) {
+                SetPixel(&img, y, x, fg);
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+    case 5: {  // Single large disk.
+      const float cy = static_cast<float>(rng.Uniform(10, 22));
+      const float cx = static_cast<float>(rng.Uniform(10, 22));
+      const float radius = static_cast<float>(rng.Uniform(7, 12));
+      for (int y = 0; y < kSize; ++y) {
+        for (int x = 0; x < kSize; ++x) {
+          if (std::hypot(y - cy, x - cx) < radius) {
+            SetPixel(&img, y, x, fg);
+          }
+        }
+      }
+      break;
+    }
+    case 6: {  // Upward triangle.
+      const int apex_x = static_cast<int>(rng.UniformInt(12, 20));
+      const int apex_y = static_cast<int>(rng.UniformInt(4, 8));
+      const int base_y = static_cast<int>(rng.UniformInt(24, 29));
+      const float half_width = static_cast<float>(rng.Uniform(8, 13));
+      for (int y = apex_y; y <= base_y && y < kSize; ++y) {
+        const float frac = static_cast<float>(y - apex_y) / std::max(1, base_y - apex_y);
+        const int hw = static_cast<int>(frac * half_width);
+        for (int x = std::max(0, apex_x - hw); x <= std::min(kSize - 1, apex_x + hw); ++x) {
+          SetPixel(&img, y, x, fg);
+        }
+      }
+      break;
+    }
+    case 7: {  // Smooth linear gradient between the two colors.
+      const float angle = static_cast<float>(rng.Uniform(0.0, 2.0 * std::numbers::pi));
+      const float dx = std::cos(angle);
+      const float dy = std::sin(angle);
+      for (int y = 0; y < kSize; ++y) {
+        for (int x = 0; x < kSize; ++x) {
+          const float t =
+              std::clamp((dx * x + dy * y) / (kSize * 1.4f) + 0.5f, 0.0f, 1.0f);
+          SetPixel(&img, y, x, fg, t);
+        }
+      }
+      break;
+    }
+    case 8: {  // Cross / plus sign.
+      const int cx = static_cast<int>(rng.UniformInt(13, 19));
+      const int cy = static_cast<int>(rng.UniformInt(13, 19));
+      const int arm = static_cast<int>(rng.UniformInt(10, 14));
+      const int width = static_cast<int>(rng.UniformInt(2, 4));
+      for (int y = 0; y < kSize; ++y) {
+        for (int x = 0; x < kSize; ++x) {
+          const bool in_v = std::abs(x - cx) <= width && std::abs(y - cy) <= arm;
+          const bool in_h = std::abs(y - cy) <= width && std::abs(x - cx) <= arm;
+          if (in_v || in_h) {
+            SetPixel(&img, y, x, fg);
+          }
+        }
+      }
+      break;
+    }
+    case 9: {  // Random soft blobs.
+      const int blobs = static_cast<int>(rng.UniformInt(3, 6));
+      for (int b = 0; b < blobs; ++b) {
+        const float cy = static_cast<float>(rng.Uniform(4, 28));
+        const float cx = static_cast<float>(rng.Uniform(4, 28));
+        const float radius = static_cast<float>(rng.Uniform(3, 7));
+        const Rgb c = RandomColor(rng, 0.3f);
+        for (int y = 0; y < kSize; ++y) {
+          for (int x = 0; x < kSize; ++x) {
+            const float d = std::hypot(y - cy, x - cx);
+            if (d < radius) {
+              SetPixel(&img, y, x, c, 1.0f - d / radius);
+            }
+          }
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Global brightness jitter and pixel noise.
+  const float gain = static_cast<float>(rng.Uniform(0.92, 1.06));
+  const float noise = static_cast<float>(rng.Uniform(0.0, 0.04));
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    img[i] = std::clamp(img[i] * gain + static_cast<float>(rng.Normal(0.0, noise)), 0.0f,
+                        1.0f);
+  }
+  return img;
+}
+
+Dataset MakeSyntheticTinyImages(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{"tinyimages", {3, kSize, kSize}, kTinyImageClasses, {}, {}};
+  ds.inputs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int label = i % kTinyImageClasses;
+    ds.Add(RenderTinyImage(label, rng), static_cast<float>(label));
+  }
+  return ds;
+}
+
+}  // namespace dx

@@ -1,0 +1,31 @@
+// ImageNet substitute: 32x32 RGB procedural texture/shape classes.
+//
+// Ten visually distinct classes (stripes at several orientations, checker,
+// dots, disk, triangle, gradient, cross, blobs) with randomized colors,
+// frequencies, phases, and noise. Serves as the shared task for the
+// MiniVGG16 / MiniVGG19 / MiniResNet trio.
+#ifndef DX_SRC_DATA_TINY_IMAGES_H_
+#define DX_SRC_DATA_TINY_IMAGES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace dx {
+
+inline constexpr int kTinyImageSize = 32;
+inline constexpr int kTinyImageClasses = 10;
+
+// Class names used in bench output (stand-ins for ImageNet synsets).
+const std::string& TinyImageClassName(int label);
+
+// n samples with balanced labels, CHW inputs {3, 32, 32} in [0, 1].
+Dataset MakeSyntheticTinyImages(int n, uint64_t seed);
+
+// Renders one image of the given class.
+Tensor RenderTinyImage(int label, Rng& rng);
+
+}  // namespace dx
+
+#endif  // DX_SRC_DATA_TINY_IMAGES_H_

@@ -1,0 +1,370 @@
+#include "src/models/zoo.h"
+
+#include <array>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "src/data/drebin.h"
+#include "src/data/pdf.h"
+#include "src/data/road.h"
+#include "src/data/synthetic_digits.h"
+#include "src/data/tiny_images.h"
+#include "src/models/trainer.h"
+#include "src/nn/batchnorm.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/dropout.h"
+#include "src/nn/flatten.h"
+#include "src/nn/pool2d.h"
+#include "src/nn/residual.h"
+#include "src/nn/softmax_layer.h"
+#include "src/util/cache.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace dx {
+namespace {
+
+// Bump to invalidate stale cache entries when architectures change.
+constexpr const char* kZooVersion = "v5";
+
+bool FastMode() {
+  const char* env = std::getenv("DEEPXPLORE_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+struct DomainConfig {
+  int train_samples;
+  int test_samples;
+  int epochs;
+  float learning_rate;
+  uint64_t data_seed;
+};
+
+DomainConfig ConfigFor(Domain domain) {
+  const int divisor = FastMode() ? 4 : 1;
+  // The ImageNet stand-in needs more data per class to train its deeper
+  // models even in fast mode.
+  const int img_divisor = FastMode() ? 2 : 1;
+  switch (domain) {
+    case Domain::kMnist:
+      return {1500 / divisor, 500 / divisor, 8, 3e-3f, 101};
+    case Domain::kImageNet:
+      return {1200 / img_divisor, 400 / divisor, 8, 3e-3f, 202};
+    case Domain::kDriving:
+      return {1500 / divisor, 400 / divisor, 5, 3e-3f, 303};
+    case Domain::kPdf:
+      return {2500 / divisor, 800 / divisor, 8, 1e-3f, 404};
+    case Domain::kDrebin:
+      return {2500 / divisor, 800 / divisor, 8, 1e-3f, 505};
+  }
+  throw std::invalid_argument("unknown domain");
+}
+
+// ---- Architecture builders ---------------------------------------------------------------
+
+Model BuildLenet(const std::string& name, int variant, uint64_t seed) {
+  Rng rng(seed);
+  Model m(name, {1, kDigitImageSize, kDigitImageSize});
+  if (variant == 1) {
+    m.Emplace<Conv2D>(1, 4, 5, 5, 1, 0, Activation::kTanh).InitParams(rng);
+    m.Emplace<Pool2D>(PoolMode::kAvg, 2);
+    m.Emplace<Conv2D>(4, 12, 5, 5, 1, 0, Activation::kTanh).InitParams(rng);
+    m.Emplace<Pool2D>(PoolMode::kAvg, 2);
+    m.Emplace<Flatten>();
+    m.Emplace<Dense>(12 * 4 * 4, 10).InitParams(rng);
+  } else {
+    m.Emplace<Conv2D>(1, 6, 5, 5, 1, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Pool2D>(PoolMode::kMax, 2);
+    m.Emplace<Conv2D>(6, 16, 5, 5, 1, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Pool2D>(PoolMode::kMax, 2);
+    m.Emplace<Flatten>();
+    m.Emplace<Dense>(16 * 4 * 4, 120, Activation::kRelu).InitParams(rng);
+    if (variant == 5) {
+      m.Emplace<Dense>(120, 84, Activation::kRelu).InitParams(rng);
+      m.Emplace<Dense>(84, 10).InitParams(rng);
+    } else {
+      m.Emplace<Dense>(120, 10).InitParams(rng);
+    }
+  }
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+Model BuildMiniVgg(const std::string& name, int convs_in_last_block, uint64_t seed) {
+  Rng rng(seed);
+  // He-normal init: deep ReLU stacks are collapse-prone under Glorot uniform
+  // at this width (4-16 channels).
+  const WeightInit init = WeightInit::kHeNormal;
+  Model m(name, {3, kTinyImageSize, kTinyImageSize});
+  // Block 1 (32x32, 4 channels).
+  m.Emplace<Conv2D>(3, 4, 3, 3, 1, 1, Activation::kRelu).InitParams(rng, init);
+  m.Emplace<Conv2D>(4, 4, 3, 3, 1, 1, Activation::kRelu).InitParams(rng, init);
+  m.Emplace<Pool2D>(PoolMode::kMax, 2);
+  // Block 2 (16x16, 8 channels).
+  m.Emplace<Conv2D>(4, 8, 3, 3, 1, 1, Activation::kRelu).InitParams(rng, init);
+  m.Emplace<Conv2D>(8, 8, 3, 3, 1, 1, Activation::kRelu).InitParams(rng, init);
+  m.Emplace<Pool2D>(PoolMode::kMax, 2);
+  // Block 3 (8x8, 16 channels); VGG19 variant is one conv deeper.
+  m.Emplace<Conv2D>(8, 16, 3, 3, 1, 1, Activation::kRelu).InitParams(rng, init);
+  for (int i = 1; i < convs_in_last_block; ++i) {
+    m.Emplace<Conv2D>(16, 16, 3, 3, 1, 1, Activation::kRelu).InitParams(rng, init);
+  }
+  m.Emplace<Pool2D>(PoolMode::kMax, 2);
+  // Head (4x4x16 = 256).
+  m.Emplace<Flatten>();
+  m.Emplace<Dense>(256, 64, Activation::kRelu).InitParams(rng, init);
+  m.Emplace<Dense>(64, kTinyImageClasses).InitParams(rng, init);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+Model BuildMiniResnet(const std::string& name, uint64_t seed) {
+  Rng rng(seed);
+  Model m(name, {3, kTinyImageSize, kTinyImageSize});
+  m.Emplace<Conv2D>(3, 8, 3, 3, 1, 1, Activation::kRelu).InitParams(rng);
+  m.Emplace<ResidualBlock>(8, 16, 2).InitParams(rng);   // 16x16
+  m.Emplace<ResidualBlock>(16, 16, 1).InitParams(rng);
+  m.Emplace<ResidualBlock>(16, 32, 2).InitParams(rng);  // 8x8
+  m.Emplace<ResidualBlock>(32, 32, 1).InitParams(rng);
+  m.Emplace<Pool2D>(PoolMode::kAvg, 8);  // Global average pool -> 32x1x1.
+  m.Emplace<Flatten>();
+  m.Emplace<Dense>(32, kTinyImageClasses).InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+Model BuildDave(const std::string& name, int variant, uint64_t seed) {
+  Rng rng(seed);
+  const WeightInit init =
+      variant == 2 ? WeightInit::kNormalized : WeightInit::kGlorotUniform;
+  Model m(name, {3, kRoadImageHeight, kRoadImageWidth});
+  if (variant == 1) {
+    // DAVE-orig fully replicates the Nvidia architecture, including the
+    // leading normalization layer.
+    m.Emplace<BatchNorm>(3);
+  }
+  m.Emplace<Conv2D>(3, 12, 5, 5, 2, 0, Activation::kRelu).InitParams(rng, init);
+  m.Emplace<Conv2D>(12, 16, 5, 5, 2, 0, Activation::kRelu).InitParams(rng, init);
+  if (variant != 3) {
+    // DAVE-dropout cuts down the convolutional stack.
+    m.Emplace<Conv2D>(16, 20, 3, 3, 1, 0, Activation::kRelu).InitParams(rng, init);
+    m.Emplace<Flatten>();
+    m.Emplace<Dense>(20 * 3 * 11, 64, Activation::kRelu).InitParams(rng, init);
+  } else {
+    m.Emplace<Flatten>();
+    m.Emplace<Dense>(16 * 5 * 13, 64, Activation::kRelu).InitParams(rng, init);
+    m.Emplace<Dropout>(0.25f);
+  }
+  m.Emplace<Dense>(64, 16, Activation::kRelu).InitParams(rng, init);
+  if (variant == 3) {
+    m.Emplace<Dropout>(0.25f);
+  }
+  m.Emplace<Dense>(16, 1, Activation::kTanh).InitParams(rng, init);
+  return m;
+}
+
+Model BuildMlp(const std::string& name, int input_dim, const std::vector<int>& hidden,
+               int classes, uint64_t seed) {
+  Rng rng(seed);
+  Model m(name, {input_dim});
+  int in = input_dim;
+  for (const int h : hidden) {
+    m.Emplace<Dense>(in, h, Activation::kRelu).InitParams(rng);
+    in = h;
+  }
+  m.Emplace<Dense>(in, classes).InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+uint64_t SeedFor(const std::string& name) { return Fnv1a64("seed:" + name); }
+
+}  // namespace
+
+const std::string& DomainName(Domain domain) {
+  static const std::array<std::string, kNumDomains> names = {"MNIST", "ImageNet", "Driving",
+                                                             "VirusTotal", "Drebin"};
+  return names[static_cast<size_t>(domain)];
+}
+
+std::vector<Domain> AllDomains() {
+  return {Domain::kMnist, Domain::kImageNet, Domain::kDriving, Domain::kPdf,
+          Domain::kDrebin};
+}
+
+const std::vector<ModelInfo>& ZooModels() {
+  static const std::vector<ModelInfo> models = {
+      {"MNI_C1", Domain::kMnist, "LeNet-1", "LeNet-1, LeCun et al."},
+      {"MNI_C2", Domain::kMnist, "LeNet-4", "LeNet-4, LeCun et al."},
+      {"MNI_C3", Domain::kMnist, "LeNet-5", "LeNet-5, LeCun et al."},
+      {"IMG_C1", Domain::kImageNet, "MiniVGG-16", "VGG-16, Simonyan et al."},
+      {"IMG_C2", Domain::kImageNet, "MiniVGG-19", "VGG-19, Simonyan et al."},
+      {"IMG_C3", Domain::kImageNet, "MiniResNet", "ResNet50, He et al."},
+      {"DRV_C1", Domain::kDriving, "Dave-orig", "Dave-orig, Bojarski et al."},
+      {"DRV_C2", Domain::kDriving, "Dave-norminit", "Dave-norminit"},
+      {"DRV_C3", Domain::kDriving, "Dave-dropout", "Dave-dropout"},
+      {"PDF_C1", Domain::kPdf, "<200, 200>", "<200, 200>"},
+      {"PDF_C2", Domain::kPdf, "<200, 200, 200>", "<200, 200, 200>"},
+      {"PDF_C3", Domain::kPdf, "<200, 200, 200, 200>", "<200, 200, 200, 200>"},
+      {"APP_C1", Domain::kDrebin, "<200, 200>", "<200, 200>, Grosse et al."},
+      {"APP_C2", Domain::kDrebin, "<50, 50>", "<50, 50>, Grosse et al."},
+      {"APP_C3", Domain::kDrebin, "<200, 10>", "<200, 10>, Grosse et al."},
+  };
+  return models;
+}
+
+std::vector<std::string> DomainModelNames(Domain domain) {
+  std::vector<std::string> names;
+  for (const ModelInfo& info : ZooModels()) {
+    if (info.domain == domain) {
+      names.push_back(info.name);
+    }
+  }
+  return names;
+}
+
+const ModelInfo& FindModel(const std::string& name) {
+  for (const ModelInfo& info : ZooModels()) {
+    if (info.name == name) {
+      return info;
+    }
+  }
+  throw std::out_of_range("unknown zoo model: " + name);
+}
+
+const Dataset& ModelZoo::TrainSet(Domain domain) {
+  static std::map<Domain, Dataset> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(domain);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const DomainConfig cfg = ConfigFor(domain);
+  Dataset ds;
+  switch (domain) {
+    case Domain::kMnist:
+      ds = MakeSyntheticDigits(cfg.train_samples, cfg.data_seed);
+      break;
+    case Domain::kImageNet:
+      ds = MakeSyntheticTinyImages(cfg.train_samples, cfg.data_seed);
+      break;
+    case Domain::kDriving:
+      ds = MakeSyntheticRoad(cfg.train_samples, cfg.data_seed);
+      break;
+    case Domain::kPdf:
+      ds = MakeSyntheticPdf(cfg.train_samples, cfg.data_seed);
+      break;
+    case Domain::kDrebin:
+      ds = MakeSyntheticDrebin(cfg.train_samples, cfg.data_seed);
+      break;
+  }
+  return cache.emplace(domain, std::move(ds)).first->second;
+}
+
+const Dataset& ModelZoo::TestSet(Domain domain) {
+  static std::map<Domain, Dataset> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(domain);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const DomainConfig cfg = ConfigFor(domain);
+  // Disjoint from the train set via a distinct seed stream.
+  Dataset ds;
+  switch (domain) {
+    case Domain::kMnist:
+      ds = MakeSyntheticDigits(cfg.test_samples, cfg.data_seed + 1);
+      break;
+    case Domain::kImageNet:
+      ds = MakeSyntheticTinyImages(cfg.test_samples, cfg.data_seed + 1);
+      break;
+    case Domain::kDriving:
+      ds = MakeSyntheticRoad(cfg.test_samples, cfg.data_seed + 1);
+      break;
+    case Domain::kPdf:
+      ds = MakeSyntheticPdf(cfg.test_samples, cfg.data_seed + 1);
+      break;
+    case Domain::kDrebin:
+      ds = MakeSyntheticDrebin(cfg.test_samples, cfg.data_seed + 1);
+      break;
+  }
+  return cache.emplace(domain, std::move(ds)).first->second;
+}
+
+Model ModelZoo::Build(const std::string& name, uint64_t seed) {
+  if (name == "MNI_C1") return BuildLenet(name, 1, seed);
+  if (name == "MNI_C2") return BuildLenet(name, 4, seed);
+  if (name == "MNI_C3") return BuildLenet(name, 5, seed);
+  if (name == "IMG_C1") return BuildMiniVgg(name, 2, seed);
+  if (name == "IMG_C2") return BuildMiniVgg(name, 3, seed);
+  if (name == "IMG_C3") return BuildMiniResnet(name, seed);
+  if (name == "DRV_C1") return BuildDave(name, 1, seed);
+  if (name == "DRV_C2") return BuildDave(name, 2, seed);
+  if (name == "DRV_C3") return BuildDave(name, 3, seed);
+  if (name == "PDF_C1") return BuildMlp(name, kPdfFeatureCount, {200, 200}, 2, seed);
+  if (name == "PDF_C2") return BuildMlp(name, kPdfFeatureCount, {200, 200, 200}, 2, seed);
+  if (name == "PDF_C3") {
+    return BuildMlp(name, kPdfFeatureCount, {200, 200, 200, 200}, 2, seed);
+  }
+  if (name == "APP_C1") return BuildMlp(name, kDrebinFeatureCount, {200, 200}, 2, seed);
+  if (name == "APP_C2") return BuildMlp(name, kDrebinFeatureCount, {50, 50}, 2, seed);
+  if (name == "APP_C3") return BuildMlp(name, kDrebinFeatureCount, {200, 10}, 2, seed);
+  throw std::out_of_range("unknown zoo model: " + name);
+}
+
+Model ModelZoo::Trained(const std::string& name) {
+  const ModelInfo& info = FindModel(name);
+  const DomainConfig cfg = ConfigFor(info.domain);
+  const std::string key = std::string("zoo/") + kZooVersion + "/" + name + "/" +
+                          std::to_string(cfg.train_samples) + "/" +
+                          std::to_string(cfg.epochs) + "/" + std::to_string(cfg.data_seed);
+  if (const auto blob = FileCache::Global().Get(key)) {
+    return Model::Deserialize(*blob);
+  }
+  Model model = Build(name, SeedFor(name));
+  TrainConfig train_cfg;
+  train_cfg.epochs = cfg.epochs;
+  train_cfg.learning_rate = cfg.learning_rate;
+  if (name == "IMG_C2") {
+    // The deeper VGG variant needs a gentler rate to train stably at this
+    // width (per-model tuning, as the paper does for its pretrained nets).
+    train_cfg.learning_rate = 1.5e-3f;
+  }
+  train_cfg.seed = SeedFor(name) ^ 0xabcdef;
+  Timer timer;
+  Trainer::Fit(&model, TrainSet(info.domain), train_cfg);
+  DX_LOG(Info) << "trained " << name << " in " << timer.ElapsedSeconds() << "s, paper-acc "
+               << Trainer::PaperAccuracy(model, TestSet(info.domain));
+  FileCache::Global().Put(key, model.Serialize());
+  return model;
+}
+
+std::vector<Model> ModelZoo::TrainedDomain(Domain domain) {
+  std::vector<Model> models;
+  for (const std::string& name : DomainModelNames(domain)) {
+    models.push_back(Trained(name));
+  }
+  return models;
+}
+
+Model ModelZoo::BuildCustomLenet1(int conv1_filters, int conv2_filters, uint64_t seed) {
+  Rng rng(seed);
+  Model m("lenet1_custom", {1, kDigitImageSize, kDigitImageSize});
+  m.Emplace<Conv2D>(1, conv1_filters, 5, 5, 1, 0, Activation::kTanh).InitParams(rng);
+  m.Emplace<Pool2D>(PoolMode::kAvg, 2);
+  m.Emplace<Conv2D>(conv1_filters, conv2_filters, 5, 5, 1, 0, Activation::kTanh)
+      .InitParams(rng);
+  m.Emplace<Pool2D>(PoolMode::kAvg, 2);
+  m.Emplace<Flatten>();
+  m.Emplace<Dense>(conv2_filters * 4 * 4, 10).InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+}  // namespace dx

@@ -1,0 +1,68 @@
+// The 15-model zoo of Table 1: three independently trained DNNs per domain.
+//
+//   MNIST      MNI_C1..C3  LeNet-1 / LeNet-4 / LeNet-5
+//   ImageNet   IMG_C1..C3  MiniVGG16 / MiniVGG19 / MiniResNet (scaled-down)
+//   Driving    DRV_C1..C3  DAVE-orig / DAVE-norminit / DAVE-dropout
+//   VirusTotal PDF_C1..C3  <200,200> / <200,200,200> / <200,200,200,200>
+//   Drebin     APP_C1..C3  <200,200> / <50,50> / <200,10>
+//
+// Trained models are cached on disk (see util/cache.h) keyed by architecture,
+// dataset configuration, and seed, so the zoo trains once per machine.
+// DEEPXPLORE_FAST=1 shrinks dataset sizes and epochs for quick test runs.
+#ifndef DX_SRC_MODELS_ZOO_H_
+#define DX_SRC_MODELS_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/nn/model.h"
+
+namespace dx {
+
+enum class Domain : int { kMnist = 0, kImageNet = 1, kDriving = 2, kPdf = 3, kDrebin = 4 };
+
+inline constexpr int kNumDomains = 5;
+
+// Paper-style dataset label ("MNIST", "ImageNet", "Driving", "VirusTotal",
+// "Drebin").
+const std::string& DomainName(Domain domain);
+std::vector<Domain> AllDomains();
+
+struct ModelInfo {
+  std::string name;        // e.g. "MNI_C1"
+  Domain domain;
+  std::string arch;        // e.g. "LeNet-1"
+  std::string paper_arch;  // what the paper used, e.g. "LeNet-1, LeCun et al."
+};
+
+// All 15 zoo entries in Table 1 order.
+const std::vector<ModelInfo>& ZooModels();
+// The three model names of one domain.
+std::vector<std::string> DomainModelNames(Domain domain);
+// Info lookup; throws std::out_of_range for unknown names.
+const ModelInfo& FindModel(const std::string& name);
+
+class ModelZoo {
+ public:
+  // Deterministic shared datasets (generated once per process).
+  static const Dataset& TrainSet(Domain domain);
+  static const Dataset& TestSet(Domain domain);
+
+  // Freshly initialized (untrained) model by zoo name.
+  static Model Build(const std::string& name, uint64_t seed);
+
+  // Trained model, from the disk cache when available.
+  static Model Trained(const std::string& name);
+
+  // All three trained models of a domain.
+  static std::vector<Model> TrainedDomain(Domain domain);
+
+  // LeNet-1 with custom conv filter counts / training-set size / epochs —
+  // used by the Table 12 model-similarity experiment.
+  static Model BuildCustomLenet1(int conv1_filters, int conv2_filters, uint64_t seed);
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_MODELS_ZOO_H_

@@ -1,0 +1,86 @@
+#include "src/nn/activation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dx {
+
+void ApplyActivation(Activation act, Tensor* t) {
+  float* p = t->data();
+  const int64_t n = t->numel();
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+      }
+      return;
+    case Activation::kTanh:
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = std::tanh(p[i]);
+      }
+      return;
+    case Activation::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown activation");
+}
+
+void ApplyActivationGrad(Activation act, const Tensor& y, Tensor* grad) {
+  if (y.shape() != grad->shape()) {
+    throw std::invalid_argument("ApplyActivationGrad shape mismatch");
+  }
+  const float* py = y.data();
+  float* pg = grad->data();
+  const int64_t n = y.numel();
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      for (int64_t i = 0; i < n; ++i) {
+        if (py[i] <= 0.0f) {
+          pg[i] = 0.0f;
+        }
+      }
+      return;
+    case Activation::kTanh:
+      for (int64_t i = 0; i < n; ++i) {
+        pg[i] *= 1.0f - py[i] * py[i];
+      }
+      return;
+    case Activation::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) {
+        pg[i] *= py[i] * (1.0f - py[i]);
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown activation");
+}
+
+std::string ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "none";
+}
+
+Activation ActivationFromName(const std::string& name) {
+  if (name == "none") return Activation::kNone;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  throw std::invalid_argument("unknown activation name: " + name);
+}
+
+}  // namespace dx

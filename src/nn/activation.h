@@ -1,0 +1,27 @@
+// Pointwise activation functions applied inside Dense / Conv2D layers.
+//
+// Derivatives are expressed in terms of the *post-activation* value y so that
+// layers never need to store pre-activation tensors.
+#ifndef DX_SRC_NN_ACTIVATION_H_
+#define DX_SRC_NN_ACTIVATION_H_
+
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace dx {
+
+enum class Activation : int { kNone = 0, kRelu = 1, kTanh = 2, kSigmoid = 3 };
+
+// Applies the activation elementwise in place.
+void ApplyActivation(Activation act, Tensor* t);
+
+// Multiplies grad elementwise by act'(x) computed from y = act(x).
+void ApplyActivationGrad(Activation act, const Tensor& y, Tensor* grad);
+
+std::string ActivationName(Activation act);
+Activation ActivationFromName(const std::string& name);
+
+}  // namespace dx
+
+#endif  // DX_SRC_NN_ACTIVATION_H_

@@ -1,0 +1,122 @@
+#include "src/nn/batchnorm.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dx {
+
+BatchNorm::BatchNorm(int num_features, float eps)
+    : num_features_(num_features),
+      eps_(eps),
+      gamma_({num_features}, 1.0f),
+      beta_({num_features}),
+      mu_({num_features}),
+      var_({num_features}, 1.0f) {
+  if (num_features <= 0) {
+    throw std::invalid_argument("BatchNorm: num_features must be positive");
+  }
+}
+
+void BatchNorm::SetStatistics(const std::vector<float>& mean,
+                              const std::vector<float>& variance) {
+  if (static_cast<int>(mean.size()) != num_features_ ||
+      static_cast<int>(variance.size()) != num_features_) {
+    throw std::invalid_argument("BatchNorm::SetStatistics: wrong feature count");
+  }
+  mu_ = Tensor({num_features_}, mean);
+  var_ = Tensor({num_features_}, variance);
+  calibrated_ = true;
+}
+
+std::string BatchNorm::Describe() const {
+  std::ostringstream out;
+  out << "batchnorm " << num_features_ << (calibrated_ ? " (calibrated)" : "");
+  return out.str();
+}
+
+Shape BatchNorm::OutputShape(const Shape& input_shape) const {
+  const bool chw = input_shape.size() == 3 && input_shape[0] == num_features_;
+  const bool flat = input_shape.size() == 1 && input_shape[0] == num_features_;
+  if (!chw && !flat) {
+    throw std::invalid_argument("BatchNorm: input " + ShapeToString(input_shape) +
+                                " incompatible with " + std::to_string(num_features_) +
+                                " features");
+  }
+  return input_shape;
+}
+
+void BatchNorm::PlaneGeometry(const Tensor& input, int* channels, int64_t* plane) const {
+  *channels = num_features_;
+  *plane = input.numel() / num_features_;
+}
+
+Tensor BatchNorm::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
+                          Tensor* /*aux*/) const {
+  OutputShape(input.shape());
+  int channels = 0;
+  int64_t plane = 0;
+  PlaneGeometry(input, &channels, &plane);
+  Tensor out = input;
+  float* p = out.data();
+  for (int c = 0; c < channels; ++c) {
+    const float scale = gamma_[c] / std::sqrt(var_[c] + eps_);
+    const float shift = beta_[c] - mu_[c] * scale;
+    float* row = p + static_cast<size_t>(c) * plane;
+    for (int64_t i = 0; i < plane; ++i) {
+      row[i] = row[i] * scale + shift;
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm::Backward(const Tensor& input, const Tensor& /*output*/,
+                           const Tensor& grad_output, const Tensor& /*aux*/,
+                           std::vector<Tensor>* param_grads) const {
+  int channels = 0;
+  int64_t plane = 0;
+  PlaneGeometry(input, &channels, &plane);
+  Tensor grad_in(input.shape());
+  const float* pg = grad_output.data();
+  const float* px = input.data();
+  float* pgi = grad_in.data();
+
+  Tensor* g_gamma = nullptr;
+  Tensor* g_beta = nullptr;
+  if (param_grads != nullptr) {
+    if (param_grads->size() != 4) {
+      throw std::invalid_argument("BatchNorm::Backward: expected 4 param grad tensors");
+    }
+    g_gamma = &(*param_grads)[0];
+    g_beta = &(*param_grads)[1];
+    // mu/var grads ((*param_grads)[2], [3]) stay zero: statistics are frozen.
+  }
+
+  for (int c = 0; c < channels; ++c) {
+    const float inv_std = 1.0f / std::sqrt(var_[c] + eps_);
+    const float scale = gamma_[c] * inv_std;
+    const float* g_row = pg + static_cast<size_t>(c) * plane;
+    const float* x_row = px + static_cast<size_t>(c) * plane;
+    float* gi_row = pgi + static_cast<size_t>(c) * plane;
+    double acc_gamma = 0.0;
+    double acc_beta = 0.0;
+    for (int64_t i = 0; i < plane; ++i) {
+      gi_row[i] = g_row[i] * scale;
+      acc_gamma += static_cast<double>(g_row[i]) * (x_row[i] - mu_[c]) * inv_std;
+      acc_beta += g_row[i];
+    }
+    if (g_gamma != nullptr) {
+      (*g_gamma)[c] += static_cast<float>(acc_gamma);
+      (*g_beta)[c] += static_cast<float>(acc_beta);
+    }
+  }
+  return grad_in;
+}
+
+void BatchNorm::SerializeConfig(BinaryWriter& writer) const {
+  writer.WriteI64(num_features_);
+  writer.WriteF32(eps_);
+  writer.WriteI64(calibrated_ ? 1 : 0);
+}
+
+}  // namespace dx

@@ -1,0 +1,263 @@
+#include "src/nn/conv2d.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+int ConvOutExtent(int in, int kernel, int stride, int padding) {
+  const int padded = in + 2 * padding - kernel;
+  if (padded < 0) {
+    throw std::invalid_argument("Conv2D: kernel larger than padded input");
+  }
+  return padded / stride + 1;
+}
+
+}  // namespace
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel_h, int kernel_w, int stride,
+               int padding, Activation act)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_h_(kernel_h),
+      kernel_w_(kernel_w),
+      stride_(stride),
+      padding_(padding),
+      act_(act),
+      weight_({out_channels, in_channels, kernel_h, kernel_w}),
+      bias_({out_channels}) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel_h <= 0 || kernel_w <= 0 ||
+      stride <= 0 || padding < 0) {
+    throw std::invalid_argument("Conv2D: bad constructor arguments");
+  }
+}
+
+void Conv2D::InitParams(Rng& rng, WeightInit init) {
+  const float fan_in = static_cast<float>(in_channels_ * kernel_h_ * kernel_w_);
+  const float fan_out = static_cast<float>(out_channels_ * kernel_h_ * kernel_w_);
+  switch (init) {
+    case WeightInit::kGlorotUniform: {
+      const float limit = std::sqrt(6.0f / (fan_in + fan_out));
+      weight_ = Tensor::RandUniform(weight_.shape(), rng, -limit, limit);
+      break;
+    }
+    case WeightInit::kHeNormal:
+      weight_ = Tensor::Randn(weight_.shape(), rng, std::sqrt(2.0f / fan_in));
+      break;
+    case WeightInit::kNormalized: {
+      weight_ = Tensor::Randn(weight_.shape(), rng, 1.0f);
+      const int64_t per_filter = static_cast<int64_t>(in_channels_) * kernel_h_ * kernel_w_;
+      for (int o = 0; o < out_channels_; ++o) {
+        float* f = weight_.data() + o * per_filter;
+        double norm = 0.0;
+        for (int64_t i = 0; i < per_filter; ++i) {
+          norm += static_cast<double>(f[i]) * f[i];
+        }
+        const float inv = static_cast<float>(1.0 / std::max(1e-12, std::sqrt(norm)));
+        for (int64_t i = 0; i < per_filter; ++i) {
+          f[i] *= inv;
+        }
+      }
+      break;
+    }
+  }
+  bias_.Fill(0.0f);
+}
+
+std::string Conv2D::Describe() const {
+  std::ostringstream out;
+  out << "conv2d " << in_channels_ << "->" << out_channels_ << " k" << kernel_h_ << "x"
+      << kernel_w_ << " s" << stride_ << " p" << padding_ << " " << ActivationName(act_);
+  return out.str();
+}
+
+Shape Conv2D::OutputShape(const Shape& input_shape) const {
+  if (input_shape.size() != 3 || input_shape[0] != in_channels_) {
+    throw std::invalid_argument("Conv2D: expected CHW input with " +
+                                std::to_string(in_channels_) + " channels, got " +
+                                ShapeToString(input_shape));
+  }
+  return {out_channels_, ConvOutExtent(input_shape[1], kernel_h_, stride_, padding_),
+          ConvOutExtent(input_shape[2], kernel_w_, stride_, padding_)};
+}
+
+Tensor Conv2D::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
+                       Tensor* /*aux*/) const {
+  const Shape out_shape = OutputShape(input.shape());
+  const int in_h = input.dim(1);
+  const int in_w = input.dim(2);
+  const int out_h = out_shape[1];
+  const int out_w = out_shape[2];
+  Tensor out(out_shape);
+
+  const float* px = input.data();
+  const float* pw = weight_.data();
+  float* py = out.data();
+
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    float* out_plane = py + static_cast<size_t>(oc) * out_h * out_w;
+    const float* w_filter =
+        pw + static_cast<size_t>(oc) * in_channels_ * kernel_h_ * kernel_w_;
+    const float b = bias_[oc];
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        out_plane[oy * out_w + ox] = b;
+      }
+    }
+    for (int ic = 0; ic < in_channels_; ++ic) {
+      const float* in_plane = px + static_cast<size_t>(ic) * in_h * in_w;
+      const float* w_plane = w_filter + static_cast<size_t>(ic) * kernel_h_ * kernel_w_;
+      for (int oy = 0; oy < out_h; ++oy) {
+        const int iy0 = oy * stride_ - padding_;
+        for (int ky = 0; ky < kernel_h_; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= in_h) {
+            continue;
+          }
+          const float* in_row = in_plane + static_cast<size_t>(iy) * in_w;
+          const float* w_row = w_plane + static_cast<size_t>(ky) * kernel_w_;
+          float* out_row = out_plane + static_cast<size_t>(oy) * out_w;
+          for (int ox = 0; ox < out_w; ++ox) {
+            const int ix0 = ox * stride_ - padding_;
+            float acc = 0.0f;
+            for (int kx = 0; kx < kernel_w_; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix >= 0 && ix < in_w) {
+                acc += w_row[kx] * in_row[ix];
+              }
+            }
+            out_row[ox] += acc;
+          }
+        }
+      }
+    }
+  }
+  ApplyActivation(act_, &out);
+  return out;
+}
+
+Tensor Conv2D::Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
+                        const Tensor& /*aux*/, std::vector<Tensor>* param_grads) const {
+  Tensor grad_pre = grad_output;
+  ApplyActivationGrad(act_, output, &grad_pre);
+
+  const int in_h = input.dim(1);
+  const int in_w = input.dim(2);
+  const int out_h = output.dim(1);
+  const int out_w = output.dim(2);
+
+  Tensor grad_in(input.shape());
+  const float* px = input.data();
+  const float* pw = weight_.data();
+  const float* pg = grad_pre.data();
+  float* pgi = grad_in.data();
+
+  Tensor* gw = nullptr;
+  Tensor* gb = nullptr;
+  if (param_grads != nullptr) {
+    if (param_grads->size() != 2) {
+      throw std::invalid_argument("Conv2D::Backward: expected 2 param grad tensors");
+    }
+    gw = &(*param_grads)[0];
+    gb = &(*param_grads)[1];
+  }
+
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    const float* g_plane = pg + static_cast<size_t>(oc) * out_h * out_w;
+    const float* w_filter =
+        pw + static_cast<size_t>(oc) * in_channels_ * kernel_h_ * kernel_w_;
+    float* gw_filter = gw != nullptr
+                           ? gw->data() + static_cast<size_t>(oc) * in_channels_ * kernel_h_ *
+                                              kernel_w_
+                           : nullptr;
+    if (gb != nullptr) {
+      double acc = 0.0;
+      for (int i = 0; i < out_h * out_w; ++i) {
+        acc += g_plane[i];
+      }
+      (*gb)[oc] += static_cast<float>(acc);
+    }
+    for (int ic = 0; ic < in_channels_; ++ic) {
+      const float* in_plane = px + static_cast<size_t>(ic) * in_h * in_w;
+      const float* w_plane = w_filter + static_cast<size_t>(ic) * kernel_h_ * kernel_w_;
+      float* gi_plane = pgi + static_cast<size_t>(ic) * in_h * in_w;
+      float* gw_plane =
+          gw_filter != nullptr ? gw_filter + static_cast<size_t>(ic) * kernel_h_ * kernel_w_
+                               : nullptr;
+      for (int oy = 0; oy < out_h; ++oy) {
+        const int iy0 = oy * stride_ - padding_;
+        const float* g_row = g_plane + static_cast<size_t>(oy) * out_w;
+        for (int ky = 0; ky < kernel_h_; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= in_h) {
+            continue;
+          }
+          const float* in_row = in_plane + static_cast<size_t>(iy) * in_w;
+          float* gi_row = gi_plane + static_cast<size_t>(iy) * in_w;
+          const float* w_row = w_plane + static_cast<size_t>(ky) * kernel_w_;
+          float* gw_row =
+              gw_plane != nullptr ? gw_plane + static_cast<size_t>(ky) * kernel_w_ : nullptr;
+          for (int ox = 0; ox < out_w; ++ox) {
+            const float g = g_row[ox];
+            if (g == 0.0f) {
+              continue;
+            }
+            const int ix0 = ox * stride_ - padding_;
+            for (int kx = 0; kx < kernel_w_; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix < 0 || ix >= in_w) {
+                continue;
+              }
+              gi_row[ix] += g * w_row[kx];
+              if (gw_row != nullptr) {
+                gw_row[kx] += g * in_row[ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+float Conv2D::NeuronValue(const Tensor& output, int index) const {
+  if (index < 0 || index >= out_channels_) {
+    throw std::out_of_range("Conv2D::NeuronValue: bad neuron index");
+  }
+  const int plane = output.dim(1) * output.dim(2);
+  const float* p = output.data() + static_cast<size_t>(index) * plane;
+  double acc = 0.0;
+  for (int i = 0; i < plane; ++i) {
+    acc += p[i];
+  }
+  return static_cast<float>(acc / plane);
+}
+
+void Conv2D::AddNeuronSeed(Tensor* seed, int index, float weight) const {
+  if (index < 0 || index >= out_channels_) {
+    throw std::out_of_range("Conv2D::AddNeuronSeed: bad neuron index");
+  }
+  const int plane = seed->dim(1) * seed->dim(2);
+  float* p = seed->data() + static_cast<size_t>(index) * plane;
+  const float w = weight / static_cast<float>(plane);
+  for (int i = 0; i < plane; ++i) {
+    p[i] += w;
+  }
+}
+
+void Conv2D::SerializeConfig(BinaryWriter& writer) const {
+  writer.WriteI64(in_channels_);
+  writer.WriteI64(out_channels_);
+  writer.WriteI64(kernel_h_);
+  writer.WriteI64(kernel_w_);
+  writer.WriteI64(stride_);
+  writer.WriteI64(padding_);
+  writer.WriteString(ActivationName(act_));
+}
+
+}  // namespace dx

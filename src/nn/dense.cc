@@ -1,0 +1,147 @@
+#include "src/nn/dense.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace dx {
+
+Dense::Dense(int in_features, int out_features, Activation act)
+    : in_features_(in_features),
+      out_features_(out_features),
+      act_(act),
+      weight_({out_features, in_features}),
+      bias_({out_features}) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Dense: feature counts must be positive");
+  }
+}
+
+void Dense::InitParams(Rng& rng, WeightInit init) {
+  const float fan_in = static_cast<float>(in_features_);
+  const float fan_out = static_cast<float>(out_features_);
+  switch (init) {
+    case WeightInit::kGlorotUniform: {
+      const float limit = std::sqrt(6.0f / (fan_in + fan_out));
+      weight_ = Tensor::RandUniform(weight_.shape(), rng, -limit, limit);
+      break;
+    }
+    case WeightInit::kHeNormal:
+      weight_ = Tensor::Randn(weight_.shape(), rng, std::sqrt(2.0f / fan_in));
+      break;
+    case WeightInit::kNormalized: {
+      // Gaussian init normalized so each output unit's weight row has unit L2
+      // norm (the DAVE-norminit scheme).
+      weight_ = Tensor::Randn(weight_.shape(), rng, 1.0f);
+      for (int o = 0; o < out_features_; ++o) {
+        double norm = 0.0;
+        float* row = weight_.data() + static_cast<size_t>(o) * in_features_;
+        for (int i = 0; i < in_features_; ++i) {
+          norm += static_cast<double>(row[i]) * row[i];
+        }
+        const float inv = static_cast<float>(1.0 / std::max(1e-12, std::sqrt(norm)));
+        for (int i = 0; i < in_features_; ++i) {
+          row[i] *= inv;
+        }
+      }
+      break;
+    }
+  }
+  bias_.Fill(0.0f);
+}
+
+std::string Dense::Describe() const {
+  std::ostringstream out;
+  out << "dense " << in_features_ << "->" << out_features_ << " " << ActivationName(act_);
+  return out.str();
+}
+
+Shape Dense::OutputShape(const Shape& input_shape) const {
+  if (NumElements(input_shape) != in_features_) {
+    throw std::invalid_argument("Dense: input shape " + ShapeToString(input_shape) +
+                                " incompatible with in_features " +
+                                std::to_string(in_features_));
+  }
+  return {out_features_};
+}
+
+Tensor Dense::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
+                      Tensor* /*aux*/) const {
+  if (input.numel() != in_features_) {
+    throw std::invalid_argument("Dense::Forward: bad input size");
+  }
+  Tensor out({out_features_});
+  const float* px = input.data();
+  const float* pw = weight_.data();
+  float* py = out.data();
+  for (int o = 0; o < out_features_; ++o) {
+    const float* row = pw + static_cast<size_t>(o) * in_features_;
+    double acc = bias_[o];
+    for (int i = 0; i < in_features_; ++i) {
+      acc += static_cast<double>(row[i]) * px[i];
+    }
+    py[o] = static_cast<float>(acc);
+  }
+  ApplyActivation(act_, &out);
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
+                       const Tensor& /*aux*/, std::vector<Tensor>* param_grads) const {
+  Tensor grad_pre = grad_output;  // dL/d(pre-activation)
+  ApplyActivationGrad(act_, output, &grad_pre);
+
+  Tensor grad_in({in_features_});
+  const float* pg = grad_pre.data();
+  const float* pw = weight_.data();
+  float* pgi = grad_in.data();
+  for (int o = 0; o < out_features_; ++o) {
+    const float g = pg[o];
+    if (g == 0.0f) {
+      continue;
+    }
+    const float* row = pw + static_cast<size_t>(o) * in_features_;
+    for (int i = 0; i < in_features_; ++i) {
+      pgi[i] += g * row[i];
+    }
+  }
+
+  if (param_grads != nullptr) {
+    if (param_grads->size() != 2) {
+      throw std::invalid_argument("Dense::Backward: expected 2 param grad tensors");
+    }
+    Tensor& gw = (*param_grads)[0];
+    Tensor& gb = (*param_grads)[1];
+    const float* px = input.data();
+    for (int o = 0; o < out_features_; ++o) {
+      const float g = pg[o];
+      gb[o] += g;
+      if (g == 0.0f) {
+        continue;
+      }
+      float* grow = gw.data() + static_cast<size_t>(o) * in_features_;
+      for (int i = 0; i < in_features_; ++i) {
+        grow[i] += g * px[i];
+      }
+    }
+  }
+  return grad_in;
+}
+
+float Dense::NeuronValue(const Tensor& output, int index) const {
+  return output.at(static_cast<int64_t>(index));
+}
+
+void Dense::AddNeuronSeed(Tensor* seed, int index, float weight) const {
+  seed->at(static_cast<int64_t>(index)) += weight;
+}
+
+void Dense::SerializeConfig(BinaryWriter& writer) const {
+  writer.WriteI64(in_features_);
+  writer.WriteI64(out_features_);
+  writer.WriteString(ActivationName(act_));
+}
+
+}  // namespace dx

@@ -1,0 +1,56 @@
+#include "src/nn/dropout.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace dx {
+
+Dropout::Dropout(float rate) : rate_(rate) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+std::string Dropout::Describe() const {
+  std::ostringstream out;
+  out << "dropout " << rate_;
+  return out.str();
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training, Rng* rng, Tensor* aux) const {
+  if (!training || rate_ == 0.0f) {
+    return input;
+  }
+  if (rng == nullptr) {
+    throw std::invalid_argument("Dropout::Forward: training mode requires an Rng");
+  }
+  Tensor mask(input.shape());
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = rng->Bernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  Tensor out = input;
+  out.MulInPlace(mask);
+  if (aux != nullptr) {
+    *aux = std::move(mask);
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& /*input*/, const Tensor& /*output*/,
+                         const Tensor& grad_output, const Tensor& aux,
+                         std::vector<Tensor>* /*param_grads*/) const {
+  if (aux.empty()) {
+    // Inference-mode trace: identity.
+    return grad_output;
+  }
+  Tensor grad_in = grad_output;
+  grad_in.MulInPlace(aux);
+  return grad_in;
+}
+
+void Dropout::SerializeConfig(BinaryWriter& writer) const { writer.WriteF32(rate_); }
+
+}  // namespace dx

@@ -1,0 +1,32 @@
+// Inverted dropout: active only in training mode; identity at inference.
+#ifndef DX_SRC_NN_DROPOUT_H_
+#define DX_SRC_NN_DROPOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace dx {
+
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float rate);
+
+  std::string Kind() const override { return "dropout"; }
+  std::string Describe() const override;
+  Shape OutputShape(const Shape& input_shape) const override { return input_shape; }
+  Tensor Forward(const Tensor& input, bool training, Rng* rng, Tensor* aux) const override;
+  Tensor Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
+                  const Tensor& aux, std::vector<Tensor>* param_grads) const override;
+  void SerializeConfig(BinaryWriter& writer) const override;
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_NN_DROPOUT_H_

@@ -1,0 +1,1 @@
+#include "src/nn/flatten.h"

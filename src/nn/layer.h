@@ -1,0 +1,83 @@
+// Layer: the building block of sequential models.
+//
+// Layers are stateless with respect to execution: Forward takes an input and
+// returns an output (plus an optional auxiliary tensor such as a dropout mask
+// or pooling argmax map), and Backward recomputes gradients from the recorded
+// (input, output, aux) triple. This design makes reverse-mode differentiation
+// from *any* internal layer straightforward — which is exactly what
+// DeepXplore's neuron-coverage objective needs.
+//
+// Coverage neurons: following the DeepXplore reference implementation, a
+// "neuron" is one output unit of a Dense layer or one output channel of a
+// Conv2D layer (its activation value is the spatial mean). Other layers
+// expose zero neurons.
+#ifndef DX_SRC_NN_LAYER_H_
+#define DX_SRC_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/util/serialize.h"
+
+namespace dx {
+
+class Rng;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Stable type tag used by serialization ("dense", "conv2d", ...).
+  virtual std::string Kind() const = 0;
+  // Short human-readable description, e.g. "conv2d 6x(5x5) relu".
+  virtual std::string Describe() const = 0;
+
+  // Output shape for a given input shape; throws on incompatible input.
+  virtual Shape OutputShape(const Shape& input_shape) const = 0;
+
+  // Computes the layer output. `training` toggles dropout; `rng` is required
+  // only when training with stochastic layers. If the layer needs state for
+  // its backward pass beyond (input, output), it stores it in `*aux`.
+  virtual Tensor Forward(const Tensor& input, bool training, Rng* rng, Tensor* aux) const = 0;
+
+  // Given dLoss/dOutput in `grad_output`, returns dLoss/dInput. If
+  // `param_grads` is non-null it must hold one zero-or-accumulating tensor per
+  // parameter (same order as Params()); parameter gradients are added into it.
+  virtual Tensor Backward(const Tensor& input, const Tensor& output,
+                          const Tensor& grad_output, const Tensor& aux,
+                          std::vector<Tensor>* param_grads) const = 0;
+
+  // Trainable parameters (empty for parameterless layers).
+  virtual std::vector<Tensor*> MutableParams() { return {}; }
+  virtual std::vector<const Tensor*> Params() const { return {}; }
+
+  // Number of coverage neurons this layer contributes.
+  virtual int NumNeurons() const { return 0; }
+  // Scalar activation of neuron `index` given this layer's output.
+  virtual float NeuronValue(const Tensor& output, int index) const;
+  // Adds `weight * d(neuron_index)/d(output)` into `seed` (shaped like the
+  // layer output); used to seed backprop for the coverage objective.
+  virtual void AddNeuronSeed(Tensor* seed, int index, float weight) const;
+
+  // Serializes constructor configuration (not parameters).
+  virtual void SerializeConfig(BinaryWriter& writer) const = 0;
+};
+
+// One recorded forward pass through a Model. outputs[l] and aux[l] correspond
+// to layer l; the input of layer l is outputs[l-1] (or `input` for l == 0).
+struct ForwardTrace {
+  Tensor input;
+  std::vector<Tensor> outputs;
+  std::vector<Tensor> aux;
+
+  const Tensor& LayerInput(int layer) const {
+    return layer == 0 ? input : outputs[static_cast<size_t>(layer) - 1];
+  }
+  const Tensor& Output() const { return outputs.back(); }
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_NN_LAYER_H_

@@ -1,0 +1,54 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dx {
+
+LossResult SoftmaxCrossEntropy::Compute(const Model& model, const ForwardTrace& trace,
+                                        const Tensor& target) const {
+  const int last = model.num_layers() - 1;
+  if (last < 1 || model.layer(last).Kind() != "softmax") {
+    throw std::invalid_argument("SoftmaxCrossEntropy requires a final softmax layer");
+  }
+  const Tensor& probs = trace.outputs[static_cast<size_t>(last)];
+  if (probs.shape() != target.shape()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: target shape mismatch");
+  }
+  LossResult result;
+  double loss = 0.0;
+  for (int64_t i = 0; i < probs.numel(); ++i) {
+    if (target[i] > 0.0f) {
+      loss -= target[i] * std::log(std::max(probs[i], 1e-12f));
+    }
+  }
+  result.loss = static_cast<float>(loss);
+  // Fused gradient at the logits: y - t.
+  result.grad = probs;
+  result.grad.SubInPlace(target);
+  result.seed_layer = last - 1;
+  return result;
+}
+
+LossResult MeanSquaredError::Compute(const Model& model, const ForwardTrace& trace,
+                                     const Tensor& target) const {
+  const int last = model.num_layers() - 1;
+  const Tensor& out = trace.outputs[static_cast<size_t>(last)];
+  if (out.shape() != target.shape()) {
+    throw std::invalid_argument("MeanSquaredError: target shape mismatch");
+  }
+  LossResult result;
+  const float inv_n = 1.0f / static_cast<float>(out.numel());
+  result.grad = Tensor(out.shape());
+  double loss = 0.0;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    const float diff = out[i] - target[i];
+    loss += static_cast<double>(diff) * diff;
+    result.grad[i] = 2.0f * diff * inv_n;
+  }
+  result.loss = static_cast<float>(loss * inv_n);
+  result.seed_layer = last;
+  return result;
+}
+
+}  // namespace dx

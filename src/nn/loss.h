@@ -1,0 +1,43 @@
+// Training losses. Each loss returns the scalar loss plus the gradient seed
+// and the layer index at which backprop should start — this lets softmax
+// cross-entropy use the numerically stable fused form (gradient y − t seeded
+// at the *logits* layer, skipping the softmax Jacobian).
+#ifndef DX_SRC_NN_LOSS_H_
+#define DX_SRC_NN_LOSS_H_
+
+#include "src/nn/model.h"
+#include "src/tensor/tensor.h"
+
+namespace dx {
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;         // dLoss/d(output of seed_layer)
+  int seed_layer = 0;  // layer index to start backprop from
+};
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  // `target`: one-hot class vector for classification, value tensor for
+  // regression; must match the relevant output shape.
+  virtual LossResult Compute(const Model& model, const ForwardTrace& trace,
+                             const Tensor& target) const = 0;
+};
+
+// Requires the model's final layer to be SoftmaxLayer.
+class SoftmaxCrossEntropy : public Loss {
+ public:
+  LossResult Compute(const Model& model, const ForwardTrace& trace,
+                     const Tensor& target) const override;
+};
+
+class MeanSquaredError : public Loss {
+ public:
+  LossResult Compute(const Model& model, const ForwardTrace& trace,
+                     const Tensor& target) const override;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_NN_LOSS_H_

@@ -1,0 +1,74 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dx {
+namespace {
+
+void CheckAligned(const std::vector<Tensor*>& params, const std::vector<Tensor>& grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("optimizer: params/grads size mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->shape() != grads[i].shape()) {
+      throw std::invalid_argument("optimizer: grad shape mismatch at param " +
+                                  std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(float learning_rate, float momentum) : lr_(learning_rate), momentum_(momentum) {}
+
+void Sgd::Step(const std::vector<Tensor*>& params, const std::vector<Tensor>& grads) {
+  CheckAligned(params, grads);
+  if (momentum_ == 0.0f) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->Axpy(-lr_, grads[i]);
+    }
+    return;
+  }
+  if (velocity_.empty()) {
+    for (const Tensor* p : params) {
+      velocity_.emplace_back(p->shape());
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& vel = velocity_[i];
+    vel.Scale(momentum_).Axpy(1.0f, grads[i]);
+    params[i]->Axpy(-lr_, vel);
+  }
+}
+
+Adam::Adam(float learning_rate, float beta1, float beta2, float eps)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::Step(const std::vector<Tensor*>& params, const std::vector<Tensor>& grads) {
+  CheckAligned(params, grads);
+  if (m_.empty()) {
+    for (const Tensor* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+  }
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    Tensor& p = *params[i];
+    const Tensor& g = grads[i];
+    for (int64_t k = 0; k < p.numel(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
+      const float m_hat = m[k] / bias1;
+      const float v_hat = v[k] / bias2;
+      p[k] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace dx

@@ -1,0 +1,50 @@
+// First-order optimizers operating on a model's flat parameter list.
+//
+// State (momentum / Adam moments) is allocated lazily on the first Step and
+// keyed by position, so an optimizer instance is bound to one model.
+#ifndef DX_SRC_NN_OPTIMIZER_H_
+#define DX_SRC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace dx {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update; `grads` must align with `params`.
+  virtual void Step(const std::vector<Tensor*>& params, const std::vector<Tensor>& grads) = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate, float momentum = 0.0f);
+  void Step(const std::vector<Tensor*>& params, const std::vector<Tensor>& grads) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float learning_rate = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+  void Step(const std::vector<Tensor*>& params, const std::vector<Tensor>& grads) override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_NN_OPTIMIZER_H_

@@ -1,0 +1,136 @@
+#include "src/nn/pool2d.h"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dx {
+
+Pool2D::Pool2D(PoolMode mode, int kernel, int stride)
+    : mode_(mode), kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel <= 0 || stride_ <= 0) {
+    throw std::invalid_argument("Pool2D: kernel and stride must be positive");
+  }
+}
+
+std::string Pool2D::Describe() const {
+  std::ostringstream out;
+  out << (mode_ == PoolMode::kMax ? "maxpool" : "avgpool") << " k" << kernel_ << " s"
+      << stride_;
+  return out.str();
+}
+
+Shape Pool2D::OutputShape(const Shape& input_shape) const {
+  if (input_shape.size() != 3) {
+    throw std::invalid_argument("Pool2D: expected CHW input, got " +
+                                ShapeToString(input_shape));
+  }
+  if (input_shape[1] < kernel_ || input_shape[2] < kernel_) {
+    throw std::invalid_argument("Pool2D: kernel larger than input");
+  }
+  const int out_h = (input_shape[1] - kernel_) / stride_ + 1;
+  const int out_w = (input_shape[2] - kernel_) / stride_ + 1;
+  return {input_shape[0], out_h, out_w};
+}
+
+Tensor Pool2D::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
+                       Tensor* aux) const {
+  const Shape out_shape = OutputShape(input.shape());
+  const int channels = out_shape[0];
+  const int out_h = out_shape[1];
+  const int out_w = out_shape[2];
+  const int in_h = input.dim(1);
+  const int in_w = input.dim(2);
+  Tensor out(out_shape);
+  Tensor argmax;
+  if (mode_ == PoolMode::kMax) {
+    argmax = Tensor(out_shape);  // Flat input offsets of winners, stored as float.
+  }
+
+  const float* px = input.data();
+  float* py = out.data();
+  for (int c = 0; c < channels; ++c) {
+    const float* in_plane = px + static_cast<size_t>(c) * in_h * in_w;
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        const int iy0 = oy * stride_;
+        const int ix0 = ox * stride_;
+        const int64_t out_idx =
+            (static_cast<int64_t>(c) * out_h + oy) * out_w + ox;
+        if (mode_ == PoolMode::kMax) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int64_t idx = static_cast<int64_t>(iy0 + ky) * in_w + (ix0 + kx);
+              const float v = in_plane[idx];
+              if (v > best) {
+                best = v;
+                best_idx = static_cast<int64_t>(c) * in_h * in_w + idx;
+              }
+            }
+          }
+          py[out_idx] = best;
+          argmax[out_idx] = static_cast<float>(best_idx);
+        } else {
+          double acc = 0.0;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              acc += in_plane[static_cast<size_t>(iy0 + ky) * in_w + (ix0 + kx)];
+            }
+          }
+          py[out_idx] = static_cast<float>(acc / (kernel_ * kernel_));
+        }
+      }
+    }
+  }
+  if (aux != nullptr && mode_ == PoolMode::kMax) {
+    *aux = std::move(argmax);
+  }
+  return out;
+}
+
+Tensor Pool2D::Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
+                        const Tensor& aux, std::vector<Tensor>* /*param_grads*/) const {
+  Tensor grad_in(input.shape());
+  const int64_t n_out = output.numel();
+  if (mode_ == PoolMode::kMax) {
+    if (aux.numel() != n_out) {
+      throw std::invalid_argument("Pool2D::Backward: missing argmax aux tensor");
+    }
+    for (int64_t i = 0; i < n_out; ++i) {
+      grad_in[static_cast<int64_t>(aux[i])] += grad_output[i];
+    }
+  } else {
+    const int in_h = input.dim(1);
+    const int in_w = input.dim(2);
+    const int out_h = output.dim(1);
+    const int out_w = output.dim(2);
+    const int channels = input.dim(0);
+    const float scale = 1.0f / static_cast<float>(kernel_ * kernel_);
+    for (int c = 0; c < channels; ++c) {
+      float* gi_plane = grad_in.data() + static_cast<size_t>(c) * in_h * in_w;
+      const float* go_plane = grad_output.data() + static_cast<size_t>(c) * out_h * out_w;
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+          const float g = go_plane[static_cast<size_t>(oy) * out_w + ox] * scale;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              gi_plane[static_cast<size_t>(oy * stride_ + ky) * in_w + (ox * stride_ + kx)] +=
+                  g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Pool2D::SerializeConfig(BinaryWriter& writer) const {
+  writer.WriteI64(static_cast<int64_t>(mode_));
+  writer.WriteI64(kernel_);
+  writer.WriteI64(stride_);
+}
+
+}  // namespace dx

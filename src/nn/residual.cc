@@ -1,0 +1,156 @@
+#include "src/nn/residual.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace dx {
+
+ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      stride_(stride),
+      conv1_(in_channels, out_channels, 3, 3, stride, 1, Activation::kRelu),
+      conv2_(out_channels, out_channels, 3, 3, 1, 1, Activation::kNone) {
+  if (stride != 1 || in_channels != out_channels) {
+    proj_ = std::make_unique<Conv2D>(in_channels, out_channels, 1, 1, stride, 0,
+                                     Activation::kNone);
+  }
+}
+
+void ResidualBlock::InitParams(Rng& rng, WeightInit init) {
+  conv1_.InitParams(rng, init);
+  conv2_.InitParams(rng, init);
+  if (proj_ != nullptr) {
+    proj_->InitParams(rng, init);
+  }
+}
+
+std::string ResidualBlock::Describe() const {
+  std::ostringstream out;
+  out << "residual " << in_channels_ << "->" << out_channels_ << " s" << stride_
+      << (proj_ != nullptr ? " (proj)" : " (identity)");
+  return out.str();
+}
+
+Shape ResidualBlock::OutputShape(const Shape& input_shape) const {
+  const Shape main_shape = conv2_.OutputShape(conv1_.OutputShape(input_shape));
+  if (proj_ == nullptr && main_shape != input_shape) {
+    throw std::invalid_argument("ResidualBlock: identity skip requires matching shapes");
+  }
+  return main_shape;
+}
+
+Tensor ResidualBlock::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
+                              Tensor* /*aux*/) const {
+  const Tensor y1 = conv1_.Forward(input, false, nullptr, nullptr);
+  Tensor y2 = conv2_.Forward(y1, false, nullptr, nullptr);
+  const Tensor skip =
+      proj_ != nullptr ? proj_->Forward(input, false, nullptr, nullptr) : input;
+  y2.AddInPlace(skip);
+  ApplyActivation(Activation::kRelu, &y2);
+  return y2;
+}
+
+Tensor ResidualBlock::Backward(const Tensor& input, const Tensor& output,
+                               const Tensor& grad_output, const Tensor& /*aux*/,
+                               std::vector<Tensor>* param_grads) const {
+  // Recompute the intermediates (cheaper than widening the trace format).
+  const Tensor y1 = conv1_.Forward(input, false, nullptr, nullptr);
+  const Tensor y2 = conv2_.Forward(y1, false, nullptr, nullptr);
+
+  // Through the output ReLU: relu'(out) in terms of the post-activation value.
+  Tensor g_sum = grad_output;
+  ApplyActivationGrad(Activation::kRelu, output, &g_sum);
+
+  std::vector<Tensor>* g_conv1 = nullptr;
+  std::vector<Tensor>* g_conv2 = nullptr;
+  std::vector<Tensor>* g_proj = nullptr;
+  std::vector<Tensor> slice1;
+  std::vector<Tensor> slice2;
+  std::vector<Tensor> slice3;
+  if (param_grads != nullptr) {
+    const size_t expected = proj_ != nullptr ? 6 : 4;
+    if (param_grads->size() != expected) {
+      throw std::invalid_argument("ResidualBlock::Backward: bad param grad count");
+    }
+    slice1.push_back(std::move((*param_grads)[0]));
+    slice1.push_back(std::move((*param_grads)[1]));
+    slice2.push_back(std::move((*param_grads)[2]));
+    slice2.push_back(std::move((*param_grads)[3]));
+    g_conv1 = &slice1;
+    g_conv2 = &slice2;
+    if (proj_ != nullptr) {
+      slice3.push_back(std::move((*param_grads)[4]));
+      slice3.push_back(std::move((*param_grads)[5]));
+      g_proj = &slice3;
+    }
+  }
+
+  // Main path.
+  const Tensor g_y1 = conv2_.Backward(y1, y2, g_sum, Tensor(), g_conv2);
+  Tensor g_in = conv1_.Backward(input, y1, g_y1, Tensor(), g_conv1);
+
+  // Skip path.
+  if (proj_ != nullptr) {
+    const Tensor skip = proj_->Forward(input, false, nullptr, nullptr);
+    g_in.AddInPlace(proj_->Backward(input, skip, g_sum, Tensor(), g_proj));
+  } else {
+    g_in.AddInPlace(g_sum);
+  }
+
+  if (param_grads != nullptr) {
+    (*param_grads)[0] = std::move(slice1[0]);
+    (*param_grads)[1] = std::move(slice1[1]);
+    (*param_grads)[2] = std::move(slice2[0]);
+    (*param_grads)[3] = std::move(slice2[1]);
+    if (proj_ != nullptr) {
+      (*param_grads)[4] = std::move(slice3[0]);
+      (*param_grads)[5] = std::move(slice3[1]);
+    }
+  }
+  return g_in;
+}
+
+std::vector<Tensor*> ResidualBlock::MutableParams() {
+  std::vector<Tensor*> params = conv1_.MutableParams();
+  for (Tensor* p : conv2_.MutableParams()) {
+    params.push_back(p);
+  }
+  if (proj_ != nullptr) {
+    for (Tensor* p : proj_->MutableParams()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+std::vector<const Tensor*> ResidualBlock::Params() const {
+  std::vector<const Tensor*> params = conv1_.Params();
+  for (const Tensor* p : conv2_.Params()) {
+    params.push_back(p);
+  }
+  if (proj_ != nullptr) {
+    for (const Tensor* p : proj_->Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+float ResidualBlock::NeuronValue(const Tensor& output, int index) const {
+  return conv2_.NeuronValue(output, index);
+}
+
+void ResidualBlock::AddNeuronSeed(Tensor* seed, int index, float weight) const {
+  conv2_.AddNeuronSeed(seed, index, weight);
+}
+
+void ResidualBlock::SerializeConfig(BinaryWriter& writer) const {
+  writer.WriteI64(in_channels_);
+  writer.WriteI64(out_channels_);
+  writer.WriteI64(stride_);
+}
+
+}  // namespace dx

@@ -1,0 +1,35 @@
+#include "src/nn/softmax_layer.h"
+
+#include <stdexcept>
+
+#include "src/tensor/ops.h"
+
+namespace dx {
+
+Shape SoftmaxLayer::OutputShape(const Shape& input_shape) const {
+  if (input_shape.size() != 1) {
+    throw std::invalid_argument("SoftmaxLayer: expected 1-D logits");
+  }
+  return input_shape;
+}
+
+Tensor SoftmaxLayer::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
+                             Tensor* /*aux*/) const {
+  return Softmax(input);
+}
+
+Tensor SoftmaxLayer::Backward(const Tensor& /*input*/, const Tensor& output,
+                              const Tensor& grad_output, const Tensor& /*aux*/,
+                              std::vector<Tensor>* /*param_grads*/) const {
+  double dot = 0.0;
+  for (int64_t i = 0; i < output.numel(); ++i) {
+    dot += static_cast<double>(grad_output[i]) * output[i];
+  }
+  Tensor grad_in(output.shape());
+  for (int64_t i = 0; i < output.numel(); ++i) {
+    grad_in[i] = output[i] * (grad_output[i] - static_cast<float>(dot));
+  }
+  return grad_in;
+}
+
+}  // namespace dx

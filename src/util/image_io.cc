@@ -1,0 +1,109 @@
+#include "src/util/image_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dx {
+namespace {
+
+uint8_t QuantizePixel(float v) {
+  const float clamped = std::clamp(v, 0.0f, 1.0f);
+  return static_cast<uint8_t>(std::lround(clamped * 255.0f));
+}
+
+void ValidateDims(size_t actual, int height, int width, int channels) {
+  if (height <= 0 || width <= 0 || (channels != 1 && channels != 3)) {
+    throw std::invalid_argument("image dims must be positive with 1 or 3 channels");
+  }
+  const size_t expected =
+      static_cast<size_t>(height) * static_cast<size_t>(width) * static_cast<size_t>(channels);
+  if (actual != expected) {
+    throw std::invalid_argument("pixel buffer size does not match dimensions");
+  }
+}
+
+}  // namespace
+
+void WriteImage(const std::string& path, const std::vector<float>& pixels, int height,
+                int width, int channels) {
+  ValidateDims(pixels.size(), height, width, channels);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  out << (channels == 1 ? "P5" : "P6") << "\n" << width << " " << height << "\n255\n";
+  std::vector<uint8_t> bytes(pixels.size());
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    bytes[i] = QuantizePixel(pixels[i]);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("short write: " + path);
+  }
+}
+
+std::vector<float> ReadImage(const std::string& path, int* height, int* width,
+                             int* channels) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open for reading: " + path);
+  }
+  std::string magic;
+  int w = 0;
+  int h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  if ((magic != "P5" && magic != "P6") || w <= 0 || h <= 0 || maxval != 255) {
+    throw std::runtime_error("unsupported PNM header in " + path);
+  }
+  in.get();  // Single whitespace after the header.
+  const int c = magic == "P5" ? 1 : 3;
+  const size_t n = static_cast<size_t>(w) * static_cast<size_t>(h) * static_cast<size_t>(c);
+  std::vector<uint8_t> bytes(n);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in.gcount()) != n) {
+    throw std::runtime_error("truncated PNM payload in " + path);
+  }
+  std::vector<float> pixels(n);
+  for (size_t i = 0; i < n; ++i) {
+    pixels[i] = static_cast<float>(bytes[i]) / 255.0f;
+  }
+  *height = h;
+  *width = w;
+  *channels = c;
+  return pixels;
+}
+
+std::string AsciiArt(const std::vector<float>& pixels, int height, int width, int channels,
+                     int max_width) {
+  ValidateDims(pixels.size(), height, width, channels);
+  static const char kRamp[] = " .:-=+*#%@";
+  const int ramp_max = static_cast<int>(sizeof(kRamp)) - 2;
+  const int step = std::max(1, (width + max_width - 1) / max_width);
+  std::ostringstream out;
+  for (int y = 0; y < height; y += step) {
+    for (int x = 0; x < width; x += step) {
+      float sum = 0.0f;
+      int count = 0;
+      for (int dy = 0; dy < step && y + dy < height; ++dy) {
+        for (int dx = 0; dx < step && x + dx < width; ++dx) {
+          for (int ch = 0; ch < channels; ++ch) {
+            sum += pixels[(static_cast<size_t>(y + dy) * width + (x + dx)) * channels + ch];
+            ++count;
+          }
+        }
+      }
+      const float v = std::clamp(sum / static_cast<float>(count), 0.0f, 1.0f);
+      out << kRamp[static_cast<int>(std::lround(v * ramp_max))];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dx

@@ -1,0 +1,31 @@
+// Portable anymap (PGM/PPM) output and ASCII-art rendering of float images.
+//
+// Images are float buffers in [0, 1], HWC layout (height, width, channels with
+// channels == 1 or 3). Used by the Figure 8 gallery bench and the examples to
+// dump generated difference-inducing inputs.
+#ifndef DX_SRC_UTIL_IMAGE_IO_H_
+#define DX_SRC_UTIL_IMAGE_IO_H_
+
+#include <string>
+#include <vector>
+
+namespace dx {
+
+// Writes a binary PGM (channels == 1) or PPM (channels == 3). Values are
+// clamped to [0, 1] and quantized to 8 bits. Throws std::runtime_error on IO
+// failure and std::invalid_argument on bad dimensions.
+void WriteImage(const std::string& path, const std::vector<float>& pixels, int height,
+                int width, int channels);
+
+// Reads a binary PGM/PPM written by WriteImage. Returns pixels in [0, 1].
+std::vector<float> ReadImage(const std::string& path, int* height, int* width,
+                             int* channels);
+
+// Renders a grayscale (or channel-averaged) image as ASCII art, one character
+// per pixel column (downsampled to at most max_width columns).
+std::string AsciiArt(const std::vector<float>& pixels, int height, int width, int channels,
+                     int max_width = 56);
+
+}  // namespace dx
+
+#endif  // DX_SRC_UTIL_IMAGE_IO_H_

@@ -1,0 +1,81 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace dx {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_io_mutex;
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("DEEPXPLORE_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kInfo;
+  }
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+struct EnvInit {
+  EnvInit() { g_level.store(LevelFromEnv()); }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << stream_.str() << "\n";
+}
+
+void CheckFailure(const char* cond, const char* file, int line) {
+  {
+    LogMessage msg(LogLevel::kError, file, line);
+    msg.stream() << "DX_CHECK failed: " << cond;
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dx

@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: DX_LOG(Info) << "trained " << n << " models";
+// Level is controlled globally (default Info) or via DEEPXPLORE_LOG_LEVEL
+// (debug|info|warn|error|off).
+#ifndef DX_SRC_UTIL_LOGGING_H_
+#define DX_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dx {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dx
+
+#define DX_LOG(severity)                                                                     \
+  if (::dx::LogLevel::k##severity >= ::dx::GetLogLevel())                                    \
+  ::dx::internal::LogMessage(::dx::LogLevel::k##severity, __FILE__, __LINE__).stream()
+
+// Precondition check that aborts with a message; active in all build types.
+#define DX_CHECK(cond)                                                                       \
+  if (!(cond)) ::dx::internal::CheckFailure(#cond, __FILE__, __LINE__)
+
+namespace dx::internal {
+[[noreturn]] void CheckFailure(const char* cond, const char* file, int line);
+}  // namespace dx::internal
+
+#endif  // DX_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,95 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dx {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextFloat() { return static_cast<float>(NextDouble()); }
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::UniformInt: lo > hi");
+  }
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(NextU64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t r;
+  do {
+    r = NextU64();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::Normal() {
+  // Box-Muller; avoid log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) {
+    u1 = NextDouble();
+  }
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  if (k > n || k < 0) {
+    throw std::invalid_argument("Rng::SampleWithoutReplacement: need 0 <= k <= n");
+  }
+  std::vector<int> all(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    all[static_cast<size_t>(i)] = i;
+  }
+  Shuffle(all);
+  all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+}  // namespace dx

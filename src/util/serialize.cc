@@ -1,0 +1,66 @@
+#include "src/util/serialize.h"
+
+namespace dx {
+
+namespace {
+constexpr uint64_t kMaxReasonableLength = 1ULL << 32;
+}  // namespace
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteFloats(const std::vector<float>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::WriteInts(const std::vector<int>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(int)));
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (n > kMaxReasonableLength) {
+    throw std::runtime_error("BinaryReader: corrupt string length");
+  }
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in_) {
+    throw std::runtime_error("BinaryReader: truncated string");
+  }
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloats() {
+  const uint64_t n = ReadU64();
+  if (n > kMaxReasonableLength) {
+    throw std::runtime_error("BinaryReader: corrupt float array length");
+  }
+  std::vector<float> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in_) {
+    throw std::runtime_error("BinaryReader: truncated float array");
+  }
+  return v;
+}
+
+std::vector<int> BinaryReader::ReadInts() {
+  const uint64_t n = ReadU64();
+  if (n > kMaxReasonableLength) {
+    throw std::runtime_error("BinaryReader: corrupt int array length");
+  }
+  std::vector<int> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(int)));
+  if (!in_) {
+    throw std::runtime_error("BinaryReader: truncated int array");
+  }
+  return v;
+}
+
+}  // namespace dx

@@ -1,0 +1,36 @@
+// ASCII table rendering for the per-table benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure from the paper; TablePrinter
+// renders rows with aligned columns so the output can be diffed against the
+// paper's reported values.
+#ifndef DX_SRC_UTIL_TABLE_H_
+#define DX_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dx {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a data row; it may have fewer cells than headers (padded empty).
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with a header separator.
+  std::string ToString() const;
+
+  // Formats a double with the given precision, trimming trailing zeros.
+  static std::string Num(double value, int precision = 2);
+  // Formats a ratio as a percentage string, e.g. 0.327 -> "32.7%".
+  static std::string Percent(double ratio, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_UTIL_TABLE_H_

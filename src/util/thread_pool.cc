@@ -1,0 +1,125 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace dx {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) {
+      num_threads = 1;
+    }
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  const int threads = num_threads();
+  if (n == 1 || threads <= 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const int chunks = static_cast<int>(std::min<int64_t>(n, threads + 1));
+  const int64_t per_chunk = (n + chunks - 1) / chunks;
+
+  std::atomic<int> remaining{chunks - 1};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto run_chunk = [&](int64_t begin, int64_t end) {
+    try {
+      for (int64_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int c = 1; c < chunks; ++c) {
+      const int64_t begin = static_cast<int64_t>(c) * per_chunk;
+      const int64_t end = std::min<int64_t>(n, begin + per_chunk);
+      tasks_.push([&, begin, end] {
+        run_chunk(begin, end);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread takes the first chunk.
+  run_chunk(0, std::min<int64_t>(n, per_chunk));
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    int threads = 0;
+    if (const char* env = std::getenv("DEEPXPLORE_THREADS")) {
+      threads = std::atoi(env);
+    }
+    return new ThreadPool(threads);
+  }();
+  return *pool;
+}
+
+void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(n, fn);
+}
+
+}  // namespace dx

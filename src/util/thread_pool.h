@@ -1,0 +1,53 @@
+// A small fixed-size thread pool with a blocking ParallelFor.
+//
+// Used to parallelize batch forward/backward passes over CPU cores. The pool
+// is deliberately simple: tasks may not spawn nested ParallelFor calls on the
+// same pool (they would deadlock); callers needing nesting should run serial.
+#ifndef DX_SRC_UTIL_THREAD_POOL_H_
+#define DX_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dx {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(i) for i in [0, n), partitioned into contiguous chunks across the
+  // pool's workers plus the calling thread. Blocks until all work is done.
+  // Exceptions thrown by fn propagate (the first one) to the caller.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  // Process-wide shared pool (created on first use; size from
+  // DEEPXPLORE_THREADS or hardware concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over ThreadPool::Global().ParallelFor.
+void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+}  // namespace dx
+
+#endif  // DX_SRC_UTIL_THREAD_POOL_H_

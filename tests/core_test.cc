@@ -1,0 +1,286 @@
+// DeepXplore engine tests on small, quickly trained models: objective
+// gradients, Algorithm 1's inner loop, difference predicates, coverage
+// updates, and the Run driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/constraints/constraint.h"
+#include "src/core/deepxplore.h"
+#include "src/data/dataset.h"
+#include "src/models/trainer.h"
+#include "src/nn/dense.h"
+#include "src/nn/model.h"
+#include "src/nn/softmax_layer.h"
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+// 2-D, 2-class toy task: class = (x0 > x1), with a margin band removed.
+Dataset MakeToyTask(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{"toy", {2}, 2, {}, {}};
+  while (ds.size() < n) {
+    Tensor x({2});
+    x[0] = rng.NextFloat();
+    x[1] = rng.NextFloat();
+    if (std::abs(x[0] - x[1]) < 0.08f) {
+      continue;  // Margin keeps the task cleanly separable.
+    }
+    ds.Add(std::move(x), x[0] > x[1] ? 0.0f : 1.0f);
+  }
+  return ds;
+}
+
+Model MakeToyClassifier(const std::string& name, int hidden, uint64_t seed) {
+  Rng rng(seed);
+  Model m(name, {2});
+  m.Emplace<Dense>(2, hidden, Activation::kRelu).InitParams(rng);
+  m.Emplace<Dense>(hidden, hidden, Activation::kRelu).InitParams(rng);
+  m.Emplace<Dense>(hidden, 2).InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+class DeepXploreToyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    train_ = new Dataset(MakeToyTask(600, 1));
+    models_ = new std::vector<Model>();
+    // Three architecturally different classifiers, independently seeded.
+    models_->push_back(MakeToyClassifier("toy_a", 16, 11));
+    models_->push_back(MakeToyClassifier("toy_b", 24, 22));
+    models_->push_back(MakeToyClassifier("toy_c", 12, 33));
+    for (Model& m : *models_) {
+      TrainConfig cfg;
+      cfg.epochs = 8;
+      cfg.learning_rate = 5e-3f;
+      cfg.seed = 7;
+      Trainer::Fit(&m, *train_, cfg);
+      ASSERT_GT(Trainer::Accuracy(m, *train_), 0.95f);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    delete train_;
+    models_ = nullptr;
+    train_ = nullptr;
+  }
+
+  std::vector<Model*> ModelPtrs() {
+    std::vector<Model*> ptrs;
+    for (Model& m : *models_) {
+      ptrs.push_back(&m);
+    }
+    return ptrs;
+  }
+
+  static Dataset* train_;
+  static std::vector<Model>* models_;
+  UnconstrainedImage constraint_;
+};
+
+Dataset* DeepXploreToyTest::train_ = nullptr;
+std::vector<Model>* DeepXploreToyTest::models_ = nullptr;
+
+TEST_F(DeepXploreToyTest, ConstructorValidation) {
+  DeepXploreConfig cfg;
+  auto ptrs = ModelPtrs();
+  EXPECT_THROW(DeepXplore({ptrs[0]}, &constraint_, cfg), std::invalid_argument);
+  EXPECT_THROW(DeepXplore(ptrs, nullptr, cfg), std::invalid_argument);
+  Model other("odd", {3});
+  Rng rng(1);
+  other.Emplace<Dense>(3, 2).InitParams(rng);
+  other.Emplace<SoftmaxLayer>();
+  EXPECT_THROW(DeepXplore({ptrs[0], &other}, &constraint_, cfg), std::invalid_argument);
+}
+
+TEST_F(DeepXploreToyTest, ClassifiersAreNotRegression) {
+  DeepXplore engine(ModelPtrs(), &constraint_, DeepXploreConfig{});
+  EXPECT_FALSE(engine.regression());
+  EXPECT_EQ(engine.num_models(), 3);
+}
+
+TEST_F(DeepXploreToyTest, PredictionsAndDifferencePredicate) {
+  DeepXplore engine(ModelPtrs(), &constraint_, DeepXploreConfig{});
+  // A point deep inside class 0 territory: everyone agrees.
+  Tensor easy({2}, std::vector<float>{0.9f, 0.1f});
+  const auto labels = engine.PredictLabels(easy);
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_FALSE(engine.IsDifference(easy));
+}
+
+TEST_F(DeepXploreToyTest, JointGradientIncreasesObjective) {
+  DeepXploreConfig cfg;
+  cfg.lambda2 = 0.0f;  // Isolate obj1.
+  DeepXplore engine(ModelPtrs(), &constraint_, cfg);
+  Tensor x({2}, std::vector<float>{0.7f, 0.3f});
+  const int c = (*models_)[0].PredictClass(x);
+  const int j = 1;
+
+  const auto obj1 = [&](const Tensor& xx) {
+    double v = 0.0;
+    for (size_t k = 0; k < models_->size(); ++k) {
+      const float conf = (*models_)[k].Predict(xx)[c];
+      v += static_cast<int>(k) == j ? -cfg.lambda1 * conf : conf;
+    }
+    return v;
+  };
+
+  const double before = obj1(x);
+  Tensor grad = engine.JointGradient(x, j, c);
+  ASSERT_GT(grad.L2Norm(), 0.0f);
+  Tensor stepped = x;
+  stepped.Axpy(0.01f / grad.L2Norm(), grad);
+  EXPECT_GT(obj1(stepped), before);
+}
+
+TEST_F(DeepXploreToyTest, GenerateFromSeedFindsDifference) {
+  DeepXploreConfig cfg;
+  // In 2-D with three near-identical decision boundaries, the keep-consensus
+  // terms of Equation 2 dominate at lambda1 = 1 (they outnumber the push
+  // term 2:1), so the toy setting needs lambda1 > n - 1; the paper likewise
+  // tunes lambda1 per dataset (Table 10).
+  cfg.lambda1 = 2.5f;
+  cfg.step = 0.05f;
+  cfg.lambda2 = 0.1f;
+  cfg.max_iterations_per_seed = 200;
+  cfg.rng_seed = 5;
+  DeepXplore engine(ModelPtrs(), &constraint_, cfg);
+  // A seed near the decision boundary but with consensus.
+  Tensor seed({2}, std::vector<float>{0.60f, 0.40f});
+  ASSERT_FALSE(engine.IsDifference(seed));
+  const auto test = engine.GenerateFromSeed(seed, 0);
+  ASSERT_TRUE(test.has_value());
+  EXPECT_TRUE(engine.IsDifference(test->input));
+  EXPECT_GE(test->iterations, 1);
+  EXPECT_EQ(test->labels.size(), 3u);
+  // Deviating model really is in the minority.
+  int agree = 0;
+  for (const int l : test->labels) {
+    agree += l == test->labels[static_cast<size_t>(test->deviating_model)] ? 1 : 0;
+  }
+  EXPECT_EQ(agree, 1);
+  // Inputs stay in the valid domain.
+  EXPECT_GE(test->input.Min(), 0.0f);
+  EXPECT_LE(test->input.Max(), 1.0f);
+  // Coverage updated.
+  EXPECT_GT(engine.MeanCoverage(), 0.0f);
+}
+
+TEST_F(DeepXploreToyTest, RunGeneratesManyTestsAndRespectsBudget) {
+  DeepXploreConfig cfg;
+  cfg.lambda1 = 2.5f;
+  cfg.step = 0.05f;
+  cfg.max_iterations_per_seed = 150;
+  cfg.rng_seed = 9;
+  DeepXplore engine(ModelPtrs(), &constraint_, cfg);
+
+  // Seeds near (but not on) the shared decision boundary, where gradient
+  // ascent has room to separate the three models.
+  Rng rng(10);
+  std::vector<Tensor> seeds;
+  while (seeds.size() < 40) {
+    Tensor x({2});
+    x[0] = rng.NextFloat();
+    x[1] = rng.NextFloat();
+    const float margin = std::abs(x[0] - x[1]);
+    if (margin > 0.1f && margin < 0.3f) {
+      seeds.push_back(std::move(x));
+    }
+  }
+  RunOptions opts;
+  opts.max_tests = 5;
+  const RunStats stats = engine.Run(seeds, opts);
+  EXPECT_EQ(static_cast<int>(stats.tests.size()), 5);
+  EXPECT_GT(stats.total_iterations, 0);
+  EXPECT_LE(stats.seeds_tried, 40);
+  for (const GeneratedTest& t : stats.tests) {
+    EXPECT_TRUE(engine.IsDifference(t.input));
+  }
+}
+
+TEST_F(DeepXploreToyTest, LambdaTwoZeroDisablesCoverageObjective) {
+  DeepXploreConfig cfg;
+  cfg.lambda2 = 0.0f;
+  cfg.step = 0.05f;
+  cfg.rng_seed = 3;
+  DeepXplore engine(ModelPtrs(), &constraint_, cfg);
+  // Gradient must be identical on repeated calls (no stochastic neuron pick).
+  Tensor x({2}, std::vector<float>{0.55f, 0.45f});
+  const Tensor g1 = engine.JointGradient(x, 0, 0);
+  const Tensor g2 = engine.JointGradient(x, 0, 0);
+  for (int64_t i = 0; i < g1.numel(); ++i) {
+    EXPECT_FLOAT_EQ(g1[i], g2[i]);
+  }
+}
+
+// ---- Regression (driving-style) engine ---------------------------------------------------
+
+Model MakeToyRegressor(const std::string& name, int hidden, uint64_t seed) {
+  Rng rng(seed);
+  Model m(name, {2});
+  m.Emplace<Dense>(2, hidden, Activation::kTanh).InitParams(rng);
+  m.Emplace<Dense>(hidden, 1, Activation::kTanh).InitParams(rng);
+  return m;
+}
+
+TEST(DeepXploreRegressionTest, FindsSteeringDisagreements) {
+  // Target: y = x0 - x1 (in [-1,1]); two regressors trained differently.
+  Dataset train{"reg", {2}, 0, {}, {}};
+  Rng data_rng(20);
+  for (int i = 0; i < 500; ++i) {
+    Tensor x({2});
+    x[0] = data_rng.NextFloat();
+    x[1] = data_rng.NextFloat();
+    const float y = x[0] - x[1];
+    train.Add(std::move(x), y);
+  }
+  std::vector<Model> models;
+  models.push_back(MakeToyRegressor("reg_a", 8, 1));
+  models.push_back(MakeToyRegressor("reg_b", 16, 2));
+  {
+    TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.learning_rate = 5e-3f;
+    Trainer::Fit(&models[0], train, cfg);
+    ASSERT_LT(Trainer::MseOf(models[0], train), 0.02f);
+  }
+  {
+    // The second regressor is deliberately undertrained (small subset, few
+    // epochs) so the pair has real disagreement regions to discover — the
+    // paper's Table 12 shows DeepXplore times out on near-identical models.
+    Rng sample_rng(3);
+    const Dataset small = train.Sample(80, sample_rng);
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.learning_rate = 5e-3f;
+    Trainer::Fit(&models[1], small, cfg);
+  }
+
+  UnconstrainedImage constraint;
+  DeepXploreConfig cfg;
+  cfg.step = 0.03f;
+  cfg.steering_eps = 0.1f;
+  cfg.max_iterations_per_seed = 300;
+  cfg.rng_seed = 21;
+  DeepXplore engine({&models[0], &models[1]}, &constraint, cfg);
+  EXPECT_TRUE(engine.regression());
+
+  int found = 0;
+  for (int i = 0; i < 20 && found == 0; ++i) {
+    const auto test = engine.GenerateFromSeed(train.inputs[static_cast<size_t>(i)], i);
+    if (test.has_value()) {
+      ++found;
+      ASSERT_EQ(test->outputs.size(), 2u);
+      EXPECT_GT(std::abs(test->outputs[0] - test->outputs[1]), cfg.steering_eps);
+    }
+  }
+  EXPECT_GT(found, 0) << "no steering disagreement found in 20 seeds";
+}
+
+}  // namespace
+}  // namespace dx

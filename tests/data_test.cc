@@ -1,0 +1,357 @@
+// Dataset container + all five synthetic generators: shapes, determinism,
+// label balance, value ranges, and domain-specific structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/data/dataset.h"
+#include "src/data/drebin.h"
+#include "src/data/pdf.h"
+#include "src/data/road.h"
+#include "src/data/synthetic_digits.h"
+#include "src/data/tiny_images.h"
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+// ---- Dataset container -------------------------------------------------------------------
+
+TEST(DatasetTest, AddValidatesShape) {
+  Dataset ds{"d", {2}, 2, {}, {}};
+  ds.Add(Tensor({2}), 1.0f);
+  EXPECT_EQ(ds.size(), 1);
+  EXPECT_THROW(ds.Add(Tensor({3}), 0.0f), std::invalid_argument);
+}
+
+TEST(DatasetTest, LabelOnRegressionThrows) {
+  Dataset ds{"r", {2}, 0, {}, {}};
+  ds.Add(Tensor({2}), 0.5f);
+  EXPECT_THROW(ds.Label(0), std::logic_error);
+  EXPECT_FLOAT_EQ(ds.Target(0), 0.5f);
+}
+
+TEST(DatasetTest, SplitPartitionsAllSamples) {
+  Dataset ds{"s", {1}, 2, {}, {}};
+  for (int i = 0; i < 100; ++i) {
+    ds.Add(Tensor({1}, static_cast<float>(i)), static_cast<float>(i % 2));
+  }
+  Rng rng(1);
+  const auto [train, test] = ds.Split(0.7, rng);
+  EXPECT_EQ(train.size(), 70);
+  EXPECT_EQ(test.size(), 30);
+  // No sample lost or duplicated.
+  std::set<float> seen;
+  for (const auto& t : train.inputs) {
+    seen.insert(t[0]);
+  }
+  for (const auto& t : test.inputs) {
+    seen.insert(t[0]);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_THROW(ds.Split(1.5, rng), std::invalid_argument);
+}
+
+TEST(DatasetTest, SampleDrawsDistinct) {
+  Dataset ds{"s", {1}, 2, {}, {}};
+  for (int i = 0; i < 50; ++i) {
+    ds.Add(Tensor({1}, static_cast<float>(i)), 0.0f);
+  }
+  Rng rng(2);
+  const Dataset sub = ds.Sample(10, rng);
+  EXPECT_EQ(sub.size(), 10);
+  std::set<float> seen;
+  for (const auto& t : sub.inputs) {
+    seen.insert(t[0]);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_THROW(ds.Sample(51, rng), std::invalid_argument);
+}
+
+TEST(DatasetTest, PolluteLabelsFlipsRequestedFraction) {
+  Dataset ds{"p", {1}, 10, {}, {}};
+  for (int i = 0; i < 200; ++i) {
+    ds.Add(Tensor({1}), static_cast<float>(i % 10));
+  }
+  Rng rng(3);
+  const auto polluted = PolluteLabels(&ds, 9, 1, 0.3, rng);
+  EXPECT_EQ(polluted.size(), 6u);  // 30% of the 20 nines.
+  for (const int i : polluted) {
+    EXPECT_EQ(ds.Label(i), 1);
+  }
+  int nines = 0;
+  for (int i = 0; i < ds.size(); ++i) {
+    nines += ds.Label(i) == 9 ? 1 : 0;
+  }
+  EXPECT_EQ(nines, 14);
+}
+
+TEST(DatasetTest, CheckConsistencyDetectsBadLabel) {
+  Dataset ds{"c", {1}, 2, {}, {}};
+  ds.Add(Tensor({1}), 1.0f);
+  ds.CheckConsistency();
+  ds.targets[0] = 5.0f;
+  EXPECT_THROW(ds.CheckConsistency(), std::logic_error);
+}
+
+// ---- Generators: shared properties -------------------------------------------------------
+
+struct GeneratorCase {
+  const char* name;
+  Dataset (*make)(int, uint64_t);
+  Shape shape;
+  int classes;
+};
+
+Dataset MakeDrebinDefault(int n, uint64_t seed) { return MakeSyntheticDrebin(n, seed); }
+Dataset MakePdfDefault(int n, uint64_t seed) { return MakeSyntheticPdf(n, seed); }
+
+class GeneratorTest : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorTest, ShapeRangeAndDeterminism) {
+  const GeneratorCase& c = GetParam();
+  const Dataset a = c.make(60, 7);
+  const Dataset b = c.make(60, 7);
+  const Dataset other = c.make(60, 8);
+  EXPECT_EQ(a.size(), 60);
+  EXPECT_EQ(a.input_shape, c.shape);
+  EXPECT_EQ(a.num_classes, c.classes);
+  a.CheckConsistency();
+  // Deterministic for equal seeds.
+  for (int i = 0; i < a.size(); ++i) {
+    for (int64_t k = 0; k < a.inputs[static_cast<size_t>(i)].numel(); ++k) {
+      ASSERT_FLOAT_EQ(a.inputs[static_cast<size_t>(i)][k], b.inputs[static_cast<size_t>(i)][k]);
+    }
+  }
+  // Different for different seeds.
+  bool any_diff = false;
+  for (int i = 0; i < a.size() && !any_diff; ++i) {
+    for (int64_t k = 0; k < a.inputs[static_cast<size_t>(i)].numel(); ++k) {
+      if (a.inputs[static_cast<size_t>(i)][k] != other.inputs[static_cast<size_t>(i)][k]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  // Values in [0, 1] for every domain.
+  for (const Tensor& t : a.inputs) {
+    EXPECT_GE(t.Min(), 0.0f);
+    EXPECT_LE(t.Max(), 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorTest,
+    ::testing::Values(
+        GeneratorCase{"digits", &MakeSyntheticDigits, {1, 28, 28}, 10},
+        GeneratorCase{"tiny", &MakeSyntheticTinyImages, {3, 32, 32}, 10},
+        GeneratorCase{"road", &MakeSyntheticRoad, {3, 32, 64}, 0},
+        GeneratorCase{"drebin", &MakeDrebinDefault, {512}, 2},
+        GeneratorCase{"pdf", &MakePdfDefault, {135}, 2}),
+    [](const ::testing::TestParamInfo<GeneratorCase>& info) { return info.param.name; });
+
+// ---- Digits ------------------------------------------------------------------------------
+
+TEST(DigitsTest, BalancedLabels) {
+  const Dataset ds = MakeSyntheticDigits(100, 1);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < ds.size(); ++i) {
+    counts[static_cast<size_t>(ds.Label(i))]++;
+  }
+  for (const int c : counts) {
+    EXPECT_EQ(c, 10);
+  }
+}
+
+TEST(DigitsTest, DigitsHaveInk) {
+  Rng rng(4);
+  for (int d = 0; d <= 9; ++d) {
+    const Tensor img = RenderDigit(d, rng);
+    EXPECT_GT(img.Sum(), 5.0f) << "digit " << d << " nearly empty";
+    EXPECT_LT(img.Mean(), 0.5f) << "digit " << d << " mostly ink";
+  }
+  EXPECT_THROW(RenderDigit(10, rng), std::invalid_argument);
+}
+
+TEST(DigitsTest, DistinctClassesRenderDistinctImages) {
+  Rng rng(5);
+  const Tensor a = RenderDigit(1, rng);
+  Rng rng2(5);
+  const Tensor b = RenderDigit(8, rng2);
+  // Same jitter stream, different strokes: images must differ a lot.
+  float diff = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    diff += std::abs(a[i] - b[i]);
+  }
+  EXPECT_GT(diff, 20.0f);
+}
+
+// ---- Tiny images -------------------------------------------------------------------------
+
+TEST(TinyImagesTest, ClassNamesResolve) {
+  EXPECT_EQ(TinyImageClassName(0), "h-stripes");
+  EXPECT_EQ(TinyImageClassName(9), "blobs");
+  EXPECT_THROW(TinyImageClassName(10), std::out_of_range);
+}
+
+TEST(TinyImagesTest, RenderRejectsBadLabel) {
+  Rng rng(6);
+  EXPECT_THROW(RenderTinyImage(-1, rng), std::out_of_range);
+}
+
+// ---- Road --------------------------------------------------------------------------------
+
+TEST(RoadTest, SteeringWithinBounds) {
+  const Dataset ds = MakeSyntheticRoad(200, 9);
+  for (int i = 0; i < ds.size(); ++i) {
+    EXPECT_GE(ds.Target(i), -1.0f);
+    EXPECT_LE(ds.Target(i), 1.0f);
+  }
+  // Targets should use a good part of the range.
+  float lo = 1.0f;
+  float hi = -1.0f;
+  for (int i = 0; i < ds.size(); ++i) {
+    lo = std::min(lo, ds.Target(i));
+    hi = std::max(hi, ds.Target(i));
+  }
+  EXPECT_LT(lo, -0.4f);
+  EXPECT_GT(hi, 0.4f);
+}
+
+TEST(RoadTest, CurvatureCorrelatesWithSteering) {
+  // Scenes are brighter on the road; just check the renderer produces both
+  // strongly-left and strongly-right steering scenes deterministically.
+  Rng rng(10);
+  int lefts = 0;
+  int rights = 0;
+  for (int i = 0; i < 100; ++i) {
+    float angle = 0.0f;
+    RenderRoadScene(rng, &angle);
+    lefts += angle < -0.3f ? 1 : 0;
+    rights += angle > 0.3f ? 1 : 0;
+  }
+  EXPECT_GT(lefts, 10);
+  EXPECT_GT(rights, 10);
+}
+
+// ---- Drebin ------------------------------------------------------------------------------
+
+TEST(DrebinTest, FeaturesAreBinary) {
+  const Dataset ds = MakeSyntheticDrebin(100, 11);
+  for (const Tensor& x : ds.inputs) {
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      EXPECT_TRUE(x[i] == 0.0f || x[i] == 1.0f);
+    }
+  }
+}
+
+TEST(DrebinTest, ManifestBoundaryAndNames) {
+  EXPECT_TRUE(DrebinIsManifestFeature(0));
+  EXPECT_TRUE(DrebinIsManifestFeature(kDrebinManifestFeatures - 1));
+  EXPECT_FALSE(DrebinIsManifestFeature(kDrebinManifestFeatures));
+  EXPECT_THROW(DrebinIsManifestFeature(-1), std::out_of_range);
+  EXPECT_EQ(DrebinFeatureName(4), "permission::CALL_PHONE");
+  EXPECT_THROW(DrebinFeatureName(kDrebinFeatureCount), std::out_of_range);
+  // Code features carry code prefixes.
+  const std::string& code_name = DrebinFeatureName(kDrebinManifestFeatures);
+  EXPECT_TRUE(code_name.find("api_call::") == 0 || code_name.find("url::") == 0);
+}
+
+TEST(DrebinTest, MalwareFractionRoughlyRespected) {
+  const Dataset ds = MakeSyntheticDrebin(1000, 12, 0.3);
+  int malware = 0;
+  for (int i = 0; i < ds.size(); ++i) {
+    malware += ds.Label(i) == kDrebinMalwareClass ? 1 : 0;
+  }
+  EXPECT_NEAR(malware, 300, 50);
+}
+
+TEST(DrebinTest, ClassesAreStatisticallySeparable) {
+  // Malware should activate more code-indicator features on average.
+  const Dataset ds = MakeSyntheticDrebin(600, 13, 0.5);
+  double benign_code = 0.0;
+  double malware_code = 0.0;
+  int nb = 0;
+  int nm = 0;
+  for (int i = 0; i < ds.size(); ++i) {
+    double code = 0.0;
+    for (int f = kDrebinManifestFeatures; f < kDrebinManifestFeatures + 48; ++f) {
+      code += ds.inputs[static_cast<size_t>(i)][f];
+    }
+    if (ds.Label(i) == kDrebinMalwareClass) {
+      malware_code += code;
+      ++nm;
+    } else {
+      benign_code += code;
+      ++nb;
+    }
+  }
+  EXPECT_GT(malware_code / nm, benign_code / nb + 3.0);
+}
+
+// ---- PDF ---------------------------------------------------------------------------------
+
+TEST(PdfTest, SpecTableWellFormed) {
+  const auto& specs = PdfFeatureSpecs();
+  ASSERT_EQ(specs.size(), static_cast<size_t>(kPdfFeatureCount));
+  std::set<std::string> names;
+  for (const auto& s : specs) {
+    EXPECT_LT(s.min_value, s.max_value) << s.name;
+    names.insert(s.name);
+  }
+  EXPECT_EQ(names.size(), specs.size());  // Unique names.
+  EXPECT_EQ(specs[0].name, "size");
+  EXPECT_EQ(specs[4].name, "author_num");
+}
+
+TEST(PdfTest, NormalizeRoundTrip) {
+  for (const int f : {0, 1, 4, 50, 134}) {
+    const float raw = PdfRawValue(f, 0.5f);
+    const float norm = PdfNormalize(f, raw);
+    EXPECT_NEAR(PdfRawValue(f, norm), raw, 1e-4f);
+  }
+  EXPECT_THROW(PdfNormalize(-1, 0.0f), std::out_of_range);
+  EXPECT_THROW(PdfRawValue(kPdfFeatureCount, 0.0f), std::out_of_range);
+}
+
+TEST(PdfTest, RawValuesAreIntegersWithinBounds) {
+  const Dataset ds = MakeSyntheticPdf(100, 14);
+  const auto& specs = PdfFeatureSpecs();
+  for (const Tensor& x : ds.inputs) {
+    for (int f = 0; f < kPdfFeatureCount; ++f) {
+      const float raw = PdfRawValue(f, x[f]);
+      EXPECT_GE(raw, specs[static_cast<size_t>(f)].min_value);
+      EXPECT_LE(raw, specs[static_cast<size_t>(f)].max_value);
+      EXPECT_NEAR(raw, std::round(raw), 1e-4f);
+    }
+  }
+}
+
+TEST(PdfTest, MaliciousDocsDifferOnKeyFeatures) {
+  const Dataset ds = MakeSyntheticPdf(600, 15, 0.5);
+  double benign_js = 0.0;
+  double malware_js = 0.0;
+  double benign_size = 0.0;
+  double malware_size = 0.0;
+  int nb = 0;
+  int nm = 0;
+  for (int i = 0; i < ds.size(); ++i) {
+    const Tensor& x = ds.inputs[static_cast<size_t>(i)];
+    if (ds.Label(i) == kPdfMalwareClass) {
+      malware_js += x[5];
+      malware_size += x[0];
+      ++nm;
+    } else {
+      benign_js += x[5];
+      benign_size += x[0];
+      ++nb;
+    }
+  }
+  EXPECT_GT(malware_js / nm, benign_js / nb + 0.2);
+  EXPECT_GT(benign_size / nb, malware_size / nm + 0.2);
+}
+
+}  // namespace
+}  // namespace dx

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+// ---- Construction / shape ----------------------------------------------------------------
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_FLOAT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  Tensor t({4}, 2.5f);
+  EXPECT_FLOAT_EQ(t.Sum(), 10.0f);
+}
+
+TEST(TensorTest, FromValuesChecksCount) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+TEST(TensorTest, ShapeToStringFormat) {
+  EXPECT_EQ(ShapeToString({2, 3, 4}), "[2, 3, 4]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, NumElementsRejectsNegative) {
+  EXPECT_THROW(NumElements({2, -1}), std::invalid_argument);
+}
+
+TEST(TensorTest, MultiDimIndexing) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_FLOAT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 5.0f);
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at(std::vector<int>{0}), std::invalid_argument);
+}
+
+TEST(TensorTest, FlatAtBoundsChecked) {
+  Tensor t({3});
+  EXPECT_THROW(t.at(static_cast<int64_t>(3)), std::out_of_range);
+  EXPECT_THROW(t.at(static_cast<int64_t>(-1)), std::out_of_range);
+}
+
+// ---- Reshape -----------------------------------------------------------------------------
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(r.at({2, 1}), 5.0f);
+}
+
+TEST(TensorTest, ReshapeInfersDimension) {
+  Tensor t({2, 6});
+  EXPECT_EQ(t.Reshape({-1}).shape(), (Shape{12}));
+  EXPECT_EQ(t.Reshape({3, -1}).shape(), (Shape{3, 4}));
+}
+
+TEST(TensorTest, ReshapeRejectsBadShapes) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.Reshape({4}), std::invalid_argument);
+  EXPECT_THROW(t.Reshape({-1, -1}), std::invalid_argument);
+  EXPECT_THROW(t.Reshape({5, -1}), std::invalid_argument);
+}
+
+// ---- Elementwise / in-place --------------------------------------------------------------
+
+TEST(TensorTest, InPlaceArithmetic) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a[2], 9.0f);
+  a.SubInPlace(b);
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+  a.MulInPlace(b);
+  EXPECT_FLOAT_EQ(a[1], 10.0f);
+  a.Scale(0.5f);
+  EXPECT_FLOAT_EQ(a[1], 5.0f);
+  a.AddScalar(1.0f);
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a.AddInPlace(b), std::invalid_argument);
+  EXPECT_THROW(a.Axpy(1.0f, b), std::invalid_argument);
+}
+
+TEST(TensorTest, ClampInPlace) {
+  Tensor t({4}, std::vector<float>{-2, 0.5f, 2, 0});
+  t.ClampInPlace(0.0f, 1.0f);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[1], 0.5f);
+  EXPECT_FLOAT_EQ(t[2], 1.0f);
+}
+
+TEST(TensorTest, Axpy) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b({2}, std::vector<float>{10, 20});
+  a.Axpy(0.1f, b);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 4.0f);
+}
+
+// ---- Reductions --------------------------------------------------------------------------
+
+TEST(TensorTest, Reductions) {
+  Tensor t({4}, std::vector<float>{1, -3, 2, 0});
+  EXPECT_FLOAT_EQ(t.Sum(), 0.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), 0.0f);
+  EXPECT_FLOAT_EQ(t.Min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.Max(), 2.0f);
+  EXPECT_EQ(t.Argmax(), 2);
+  EXPECT_FLOAT_EQ(t.L1Norm(), 6.0f);
+  EXPECT_FLOAT_EQ(t.L2Norm(), std::sqrt(14.0f));
+}
+
+TEST(TensorTest, EmptyReductionsThrow) {
+  Tensor t;
+  EXPECT_THROW(t.Mean(), std::invalid_argument);
+  EXPECT_THROW(t.Min(), std::invalid_argument);
+  EXPECT_THROW(t.Max(), std::invalid_argument);
+  EXPECT_THROW(t.Argmax(), std::invalid_argument);
+}
+
+// ---- Random factories --------------------------------------------------------------------
+
+TEST(TensorTest, RandnMoments) {
+  Rng rng(5);
+  Tensor t = Tensor::Randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(t.Mean(), 0.0f, 0.1f);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    var += static_cast<double>(t[i]) * t[i];
+  }
+  EXPECT_NEAR(var / static_cast<double>(t.numel()), 4.0, 0.3);
+}
+
+TEST(TensorTest, RandUniformRange) {
+  Rng rng(5);
+  Tensor t = Tensor::RandUniform({1000}, rng, -1.0f, 1.0f);
+  EXPECT_GE(t.Min(), -1.0f);
+  EXPECT_LT(t.Max(), 1.0f);
+}
+
+// ---- MatMul family -----------------------------------------------------------------------
+
+TEST(OpsTest, MatMulKnownValues) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(OpsTest, MatMulShapeErrors) {
+  Tensor a({2, 3});
+  Tensor b({2, 2});
+  EXPECT_THROW(MatMul(a, b), std::invalid_argument);
+  EXPECT_THROW(MatMul(Tensor({3}), b), std::invalid_argument);
+}
+
+TEST(OpsTest, TransposeVariantsAgreeWithExplicitTranspose) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn({4, 5}, rng);
+  Tensor b = Tensor::Randn({4, 6}, rng);
+  // MatMulTransposeA(a, b) == a^T b.
+  Tensor at({5, 4});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      at.at({j, i}) = a.at({i, j});
+    }
+  }
+  Tensor expected = MatMul(at, b);
+  Tensor got = MatMulTransposeA(a, b);
+  for (int64_t i = 0; i < expected.numel(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-4f);
+  }
+
+  // MatMulTransposeB(a, c) == a c^T.
+  Tensor c = Tensor::Randn({7, 5}, rng);
+  Tensor ct({5, 7});
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      ct.at({j, i}) = c.at({i, j});
+    }
+  }
+  Tensor expected2 = MatMul(a, ct);
+  Tensor got2 = MatMulTransposeB(a, c);
+  for (int64_t i = 0; i < expected2.numel(); ++i) {
+    EXPECT_NEAR(got2[i], expected2[i], 1e-4f);
+  }
+}
+
+// ---- Softmax -----------------------------------------------------------------------------
+
+TEST(OpsTest, SoftmaxSumsToOne) {
+  Tensor logits({5}, std::vector<float>{1, 2, 3, 4, 5});
+  Tensor p = Softmax(logits);
+  EXPECT_NEAR(p.Sum(), 1.0f, 1e-5f);
+  for (int64_t i = 1; i < p.numel(); ++i) {
+    EXPECT_GT(p[i], p[i - 1]);  // Monotone in logits.
+  }
+}
+
+TEST(OpsTest, SoftmaxStableForLargeLogits) {
+  Tensor logits({3}, std::vector<float>{1000, 1001, 1002});
+  Tensor p = Softmax(logits);
+  EXPECT_NEAR(p.Sum(), 1.0f, 1e-5f);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(OpsTest, SoftmaxRowwiseFor2D) {
+  Tensor logits({2, 3}, std::vector<float>{1, 1, 1, 0, 0, 10});
+  Tensor p = Softmax(logits);
+  EXPECT_NEAR(p.at({0, 0}), 1.0f / 3.0f, 1e-5f);
+  EXPECT_GT(p.at({1, 2}), 0.99f);
+}
+
+// ---- OneHot / L1 -------------------------------------------------------------------------
+
+TEST(OpsTest, OneHot) {
+  Tensor t = OneHot(2, 5);
+  EXPECT_FLOAT_EQ(t.Sum(), 1.0f);
+  EXPECT_FLOAT_EQ(t[2], 1.0f);
+  EXPECT_THROW(OneHot(5, 5), std::out_of_range);
+  EXPECT_THROW(OneHot(-1, 5), std::out_of_range);
+}
+
+TEST(OpsTest, L1Distance) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{2, 0, 3});
+  EXPECT_FLOAT_EQ(L1Distance(a, b), 3.0f);
+  EXPECT_THROW(L1Distance(a, Tensor({4})), std::invalid_argument);
+}
+
+TEST(OpsTest, ElementwiseFreeFunctions) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b({2}, std::vector<float>{3, 4});
+  EXPECT_FLOAT_EQ(Add(a, b)[1], 6.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b)[0], -2.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b)[1], 8.0f);
+}
+
+}  // namespace
+}  // namespace dx

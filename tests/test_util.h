@@ -1,0 +1,58 @@
+// Shared test helpers: numerical differentiation for gradient checking.
+#ifndef DX_TESTS_TEST_UTIL_H_
+#define DX_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace dx::testing {
+
+// Central-difference numerical gradient of a scalar function of a tensor.
+inline Tensor NumericalGradient(const std::function<double(const Tensor&)>& f, Tensor x,
+                                float eps = 1e-3f) {
+  Tensor grad(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double plus = f(x);
+    x[i] = orig - eps;
+    const double minus = f(x);
+    x[i] = orig;
+    grad[i] = static_cast<float>((plus - minus) / (2.0 * eps));
+  }
+  return grad;
+}
+
+// Max absolute elementwise difference, normalized by max(1, |a|, |b|).
+inline float MaxRelError(const Tensor& a, const Tensor& b) {
+  float worst = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float denom = std::max({1.0f, std::abs(a[i]), std::abs(b[i])});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / denom);
+  }
+  return worst;
+}
+
+// q-quantile (0 < q <= 1) of the normalized elementwise errors. Central
+// differences step across ReLU kinks for a few elements of kink-dense
+// networks (stacked ReLUs); the quantile ignores that handful while still
+// catching systematic gradient bugs.
+inline float RelErrorQuantile(const Tensor& a, const Tensor& b, float q) {
+  std::vector<float> errors(static_cast<size_t>(a.numel()));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float denom = std::max({1.0f, std::abs(a[i]), std::abs(b[i])});
+    errors[static_cast<size_t>(i)] = std::abs(a[i] - b[i]) / denom;
+  }
+  std::sort(errors.begin(), errors.end());
+  const size_t index = std::min(errors.size() - 1,
+                                static_cast<size_t>(q * static_cast<float>(errors.size())));
+  return errors[index];
+}
+
+}  // namespace dx::testing
+
+#endif  // DX_TESTS_TEST_UTIL_H_

@@ -1,0 +1,243 @@
+// dxplore: command-line driver for the DeepXplore engine.
+//
+//   dxplore --domain mnist|imagenet|driving|pdf|drebin
+//           [--constraint light|occl|blackout|none|default]
+//           [--seeds N] [--max-tests N] [--lambda1 F] [--lambda2 F]
+//           [--step F] [--threshold F] [--iters N] [--target MODEL_IDX]
+//           [--out DIR] [--list]
+//
+// Loads (or trains+caches) the domain's three models, runs the joint
+// optimization over N test-set seeds, prints a run report, and optionally
+// dumps every difference-inducing image to DIR as PGM/PPM.
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/image_constraints.h"
+#include "src/constraints/malware_constraints.h"
+#include "src/core/deepxplore.h"
+#include "src/models/trainer.h"
+#include "src/models/zoo.h"
+#include "src/util/image_io.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace dx;
+
+[[noreturn]] void Usage(int code) {
+  std::cout <<
+      R"(dxplore - whitebox differential testing of the built-in model zoo
+
+  --domain D      mnist | imagenet | driving | pdf | drebin   (required)
+  --constraint C  light | occl | blackout | none | default    (default: default)
+  --seeds N       seed inputs drawn from the domain test set  (default: 100)
+  --max-tests N   stop after N difference-inducing inputs     (default: all)
+  --lambda1 F     Equation 2 balance                          (default: Table 2)
+  --lambda2 F     coverage objective weight                   (default: Table 2)
+  --step F        gradient-ascent step size                   (default: Table 2)
+  --threshold F   neuron activation threshold t               (default: 0)
+  --iters N       gradient steps per seed                     (default: 100)
+  --target K      force model K as the deviator               (default: random)
+  --out DIR       write difference-inducing images to DIR
+  --list          print the model zoo and exit
+)";
+  std::exit(code);
+}
+
+std::optional<Domain> ParseDomain(const std::string& name) {
+  if (name == "mnist") return Domain::kMnist;
+  if (name == "imagenet") return Domain::kImageNet;
+  if (name == "driving") return Domain::kDriving;
+  if (name == "pdf") return Domain::kPdf;
+  if (name == "drebin") return Domain::kDrebin;
+  return std::nullopt;
+}
+
+std::unique_ptr<Constraint> MakeConstraint(const std::string& name, Domain domain) {
+  const bool vision = domain == Domain::kMnist || domain == Domain::kImageNet ||
+                      domain == Domain::kDriving;
+  if (name == "default") {
+    if (domain == Domain::kPdf) return std::make_unique<PdfConstraint>();
+    if (domain == Domain::kDrebin) return std::make_unique<DrebinConstraint>();
+    return std::make_unique<LightingConstraint>();
+  }
+  if (!vision && name != "none") {
+    std::cerr << "image constraints only apply to vision domains\n";
+    std::exit(2);
+  }
+  if (name == "light") return std::make_unique<LightingConstraint>();
+  if (name == "occl") return std::make_unique<OcclusionConstraint>(10, 10);
+  if (name == "blackout") return std::make_unique<BlackRectsConstraint>(6, 3);
+  if (name == "none") return std::make_unique<UnconstrainedImage>();
+  std::cerr << "unknown constraint: " << name << "\n";
+  std::exit(2);
+}
+
+DeepXploreConfig TableTwoDefaults(Domain domain) {
+  DeepXploreConfig config;
+  config.coverage.scale_per_layer = false;
+  switch (domain) {
+    case Domain::kMnist:
+      config.lambda1 = 2.0f;
+      config.step = 10.0f / 255.0f;
+      break;
+    case Domain::kImageNet:
+    case Domain::kDriving:
+      config.lambda1 = 1.0f;
+      config.step = 10.0f / 255.0f;
+      break;
+    case Domain::kPdf:
+      config.lambda1 = 2.0f;
+      config.step = 0.1f;
+      break;
+    case Domain::kDrebin:
+      config.lambda1 = 1.0f;
+      config.lambda2 = 0.5f;
+      config.step = 1.0f;
+      break;
+  }
+  return config;
+}
+
+void DumpImage(const std::string& path, const Tensor& img) {
+  if (img.ndim() != 3) {
+    return;  // Feature-vector domains have no image form.
+  }
+  const int c = img.dim(0);
+  const int h = img.dim(1);
+  const int w = img.dim(2);
+  if (c != 1 && c != 3) {
+    return;
+  }
+  std::vector<float> hwc(static_cast<size_t>(h) * w * c);
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        hwc[(static_cast<size_t>(y) * w + x) * c + ch] =
+            img[(static_cast<int64_t>(ch) * h + y) * w + x];
+      }
+    }
+  }
+  WriteImage(path + (c == 1 ? ".pgm" : ".ppm"), hwc, h, w, c);
+}
+
+int Main(int argc, char** argv) {
+  std::string domain_name;
+  std::string constraint_name = "default";
+  std::string out_dir;
+  int seeds = 100;
+  int max_tests = 1 << 30;
+  int iters = 100;
+  int target = -1;
+  float threshold = 0.0f;
+  std::optional<float> lambda1;
+  std::optional<float> lambda2;
+  std::optional<float> step;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--domain") domain_name = next();
+    else if (arg == "--constraint") constraint_name = next();
+    else if (arg == "--seeds") seeds = std::atoi(next());
+    else if (arg == "--max-tests") max_tests = std::atoi(next());
+    else if (arg == "--lambda1") lambda1 = static_cast<float>(std::atof(next()));
+    else if (arg == "--lambda2") lambda2 = static_cast<float>(std::atof(next()));
+    else if (arg == "--step") step = static_cast<float>(std::atof(next()));
+    else if (arg == "--threshold") threshold = static_cast<float>(std::atof(next()));
+    else if (arg == "--iters") iters = std::atoi(next());
+    else if (arg == "--target") target = std::atoi(next());
+    else if (arg == "--out") out_dir = next();
+    else if (arg == "--list") list = true;
+    else if (arg == "--help" || arg == "-h") Usage(0);
+    else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      Usage(2);
+    }
+  }
+
+  if (list) {
+    TablePrinter table({"Name", "Dataset", "Architecture"});
+    for (const ModelInfo& info : ZooModels()) {
+      table.AddRow({info.name, DomainName(info.domain), info.arch});
+    }
+    std::cout << table.ToString();
+    return 0;
+  }
+  const auto domain = ParseDomain(domain_name);
+  if (!domain.has_value()) {
+    std::cerr << "missing or unknown --domain\n";
+    Usage(2);
+  }
+
+  std::cerr << "loading models (trains and caches on first use)...\n";
+  std::vector<Model> models = ModelZoo::TrainedDomain(*domain);
+  std::vector<Model*> ptrs;
+  for (Model& m : models) {
+    ptrs.push_back(&m);
+  }
+  const auto constraint = MakeConstraint(constraint_name, *domain);
+
+  DeepXploreConfig config = TableTwoDefaults(*domain);
+  if (lambda1) config.lambda1 = *lambda1;
+  if (lambda2) config.lambda2 = *lambda2;
+  if (step) config.step = *step;
+  config.coverage.threshold = threshold;
+  config.max_iterations_per_seed = iters;
+  config.forced_target_model = target;
+  DeepXplore engine(ptrs, constraint.get(), config);
+
+  const Dataset& test = ModelZoo::TestSet(*domain);
+  std::vector<Tensor> pool;
+  for (int i = 0; i < seeds; ++i) {
+    pool.push_back(test.inputs[static_cast<size_t>(i % test.size())]);
+  }
+  RunOptions opts;
+  opts.max_tests = max_tests;
+  const RunStats stats = engine.Run(pool, opts);
+
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    int idx = 0;
+    for (const GeneratedTest& t : stats.tests) {
+      DumpImage(out_dir + "/diff_" + std::to_string(idx), t.input);
+      DumpImage(out_dir + "/seed_" + std::to_string(idx),
+                pool[static_cast<size_t>(t.seed_index)]);
+      ++idx;
+    }
+  }
+
+  TablePrinter report({"Metric", "Value"});
+  report.AddRow({"domain", DomainName(*domain)});
+  report.AddRow({"constraint", constraint->name()});
+  report.AddRow({"seeds tried", std::to_string(stats.seeds_tried)});
+  report.AddRow({"difference-inducing inputs", std::to_string(stats.tests.size())});
+  report.AddRow({"total gradient iterations", std::to_string(stats.total_iterations)});
+  report.AddRow({"wall time", TablePrinter::Num(stats.seconds, 2) + " s"});
+  report.AddRow({"mean neuron coverage", TablePrinter::Percent(stats.mean_coverage)});
+  for (int k = 0; k < engine.num_models(); ++k) {
+    report.AddRow({"coverage " + models[static_cast<size_t>(k)].name(),
+                   TablePrinter::Percent(engine.tracker(k).Coverage())});
+  }
+  std::cout << report.ToString();
+  if (!out_dir.empty()) {
+    std::cout << "images written to " << out_dir << "/\n";
+  }
+  return stats.tests.empty() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }
