@@ -95,6 +95,14 @@ DeepXploreConfig DefaultConfig(Domain domain) {
   return config;
 }
 
+SessionConfig DefaultSessionConfig(Domain domain, const std::string& metric, int workers) {
+  SessionConfig config;
+  config.engine = DefaultConfig(domain);
+  config.metric = metric;
+  config.workers = workers;
+  return config;
+}
+
 std::string HyperparamString(const DeepXploreConfig& config, Domain domain) {
   const std::string s =
       domain == Domain::kDrebin

@@ -14,6 +14,7 @@
 
 #include "src/constraints/constraint.h"
 #include "src/core/deepxplore.h"
+#include "src/core/session.h"
 #include "src/models/zoo.h"
 
 namespace dx::bench {
@@ -37,6 +38,10 @@ std::unique_ptr<Constraint> DefaultConstraint(Domain domain);
 
 // Table 2's per-domain hyperparameters (λ1, λ2, s, t).
 DeepXploreConfig DefaultConfig(Domain domain);
+
+// Session wiring over the domain's Table 2 defaults: named coverage metric
+// and worker count, joint objective, round-robin scheduling.
+SessionConfig DefaultSessionConfig(Domain domain, const std::string& metric, int workers);
 
 // Human-readable hyperparameter string for table rows, e.g. "1 / 0.1 / 10 / 0".
 std::string HyperparamString(const DeepXploreConfig& config, Domain domain);

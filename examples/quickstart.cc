@@ -1,17 +1,20 @@
-// Quickstart: the smallest end-to-end DeepXplore session.
+// Quickstart: the smallest end-to-end test-generation session.
 //
-// Builds/loads three LeNet-family digit classifiers, runs the joint
-// optimization under the lighting constraint, and prints the first
-// difference-inducing input it finds, with neuron-coverage statistics.
+// Builds/loads three LeNet-family digit classifiers, wires a Session from
+// named plug-ins (coverage metric, objective, seed scheduler), runs the
+// joint optimization under the lighting constraint, and prints the first
+// difference-inducing input it finds, with coverage statistics.
 //
 //   $ ./quickstart
 //
 // (First run trains the three models and caches them under
-//  /tmp/deepxplore_model_cache; subsequent runs start instantly.)
+//  /tmp/deepxplore_model_cache; subsequent runs start instantly.
+//  The legacy DeepXplore facade in src/core/deepxplore.h still works for
+//  code written against the paper-shaped API.)
 #include <iostream>
 
 #include "src/constraints/image_constraints.h"
-#include "src/core/deepxplore.h"
+#include "src/core/session.h"
 #include "src/models/zoo.h"
 #include "src/util/image_io.h"
 
@@ -29,19 +32,24 @@ int main() {
   // 2. A domain constraint: only brighten/darken the whole image.
   LightingConstraint constraint;
 
-  // 3. The engine, with Algorithm 1's hyperparameters.
-  DeepXploreConfig config;
-  config.lambda1 = 2.0f;         // Push the deviating model's confidence down.
-  config.lambda2 = 0.1f;         // ...while also activating uncovered neurons.
-  config.step = 10.0f / 255.0f;  // Gradient-ascent step (paper's s = 10).
-  config.max_iterations_per_seed = 150;
-  DeepXplore engine(ptrs, &constraint, config);
+  // 3. The session: Algorithm 1's hyperparameters plus the pluggable
+  //    components. Swap config.metric to "kmultisection" or "topk", or
+  //    config.workers to > 1, without touching the rest of the program.
+  SessionConfig config;
+  config.engine.lambda1 = 2.0f;         // Push the deviator's confidence down.
+  config.engine.lambda2 = 0.1f;         // ...while activating uncovered neurons.
+  config.engine.step = 10.0f / 255.0f;  // Gradient-ascent step (paper's s = 10).
+  config.engine.max_iterations_per_seed = 150;
+  config.metric = "neuron";        // or "kmultisection", "topk"
+  config.objective = "joint";      // or "differential", "fgsm", "random"
+  config.scheduler = "roundrobin";
+  Session session(ptrs, &constraint, config);
 
   // 4. Seed it with unlabeled test inputs and collect difference-inducing
   //    inputs — no manual labels anywhere.
   const Dataset& test = ModelZoo::TestSet(Domain::kMnist);
   for (int i = 0; i < test.size(); ++i) {
-    const auto result = engine.GenerateFromSeed(test.inputs[static_cast<size_t>(i)], i);
+    const auto result = session.GenerateFromSeed(test.inputs[static_cast<size_t>(i)], i);
     if (!result.has_value()) {
       continue;
     }
@@ -57,8 +65,8 @@ int main() {
               << AsciiArt(test.inputs[static_cast<size_t>(i)].values(), 28, 28, 1)
               << "\ngenerated image (same digit, different lighting):\n"
               << AsciiArt(result->input.values(), 28, 28, 1)
-              << "\nmean neuron coverage after this test: " << engine.MeanCoverage()
-              << "\n";
+              << "\nmean " << session.metric(0).name()
+              << " coverage after this test: " << session.MeanCoverage() << "\n";
     return 0;
   }
   std::cerr << "no difference-inducing input found\n";

@@ -49,4 +49,23 @@ std::vector<Tensor> AdversarialInputs(const Model& model, const Dataset& data, i
   return out;
 }
 
+void FgsmObjective::Accumulate(const ObjectiveContext& ctx, int k,
+                               const ForwardTrace& trace, Tensor* grad) const {
+  if (k != ctx.target_model) {
+    return;
+  }
+  const Model& model = *(*ctx.models)[static_cast<size_t>(k)];
+  const int last = model.num_layers() - 1;
+  Tensor seed(trace.outputs[static_cast<size_t>(last)].shape());
+  if (ctx.regression) {
+    // Push the output up; the engine's difference predicate fires as soon as
+    // the target drifts steering_eps away from the (unmoved) other models.
+    seed[0] = 1.0f;
+  } else {
+    // Ascend the loss on the consensus class == descend its confidence.
+    seed[ctx.consensus] = -1.0f;
+  }
+  grad->AddInPlace(model.BackwardInput(trace, last, std::move(seed)));
+}
+
 }  // namespace dx

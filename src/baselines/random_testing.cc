@@ -19,4 +19,16 @@ std::vector<Tensor> RandomInputs(const Dataset& data, int k, Rng& rng) {
   return out;
 }
 
+void RandomPerturbationObjective::Accumulate(const ObjectiveContext& ctx, int k,
+                                             const ForwardTrace& trace,
+                                             Tensor* grad) const {
+  if (k != 0) {
+    return;  // One direction per iteration, whatever the model count.
+  }
+  (void)trace;
+  for (int64_t i = 0; i < grad->numel(); ++i) {
+    (*grad)[i] += static_cast<float>(ctx.rng->Uniform(-1.0, 1.0));
+  }
+}
+
 }  // namespace dx

@@ -1,242 +1,28 @@
 #include "src/core/deepxplore.h"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
-#include "src/util/timer.h"
-
 namespace dx {
+
+namespace {
+
+SessionConfig FacadeConfig(DeepXploreConfig config) {
+  SessionConfig session_config;
+  session_config.engine = config;
+  // The paper's fixed wiring: threshold neuron coverage, the joint
+  // objective, round-robin seed recycling, serial execution.
+  session_config.metric = "neuron";
+  session_config.objective = "joint";
+  session_config.scheduler = "roundrobin";
+  session_config.workers = 1;
+  // Legacy serial semantics: one RNG threaded through the seed stream, so
+  // pre-Session runs reproduce bit-for-bit.
+  session_config.sync_interval = 0;
+  return session_config;
+}
+
+}  // namespace
 
 DeepXplore::DeepXplore(std::vector<Model*> models, const Constraint* constraint,
                        DeepXploreConfig config)
-    : models_(std::move(models)),
-      constraint_(constraint),
-      config_(config),
-      regression_(false),
-      rng_(config.rng_seed) {
-  if (models_.size() < 2) {
-    throw std::invalid_argument("DeepXplore: differential testing needs >= 2 models");
-  }
-  if (constraint_ == nullptr) {
-    throw std::invalid_argument("DeepXplore: constraint must not be null");
-  }
-  const Shape& input_shape = models_[0]->input_shape();
-  const Shape& output_shape = models_[0]->output_shape();
-  for (Model* m : models_) {
-    if (m->input_shape() != input_shape) {
-      throw std::invalid_argument("DeepXplore: models disagree on input shape");
-    }
-    if (m->output_shape() != output_shape) {
-      throw std::invalid_argument("DeepXplore: models disagree on output shape");
-    }
-  }
-  regression_ = NumElements(output_shape) == 1 &&
-                models_[0]->layer(models_[0]->num_layers() - 1).Kind() != "softmax";
-  trackers_.reserve(models_.size());
-  for (Model* m : models_) {
-    trackers_.emplace_back(*m, config_.coverage);
-  }
-}
-
-std::vector<int> DeepXplore::PredictLabels(const Tensor& x) const {
-  std::vector<int> labels;
-  labels.reserve(models_.size());
-  for (const Model* m : models_) {
-    labels.push_back(m->PredictClass(x));
-  }
-  return labels;
-}
-
-std::vector<float> DeepXplore::PredictScalars(const Tensor& x) const {
-  std::vector<float> outputs;
-  outputs.reserve(models_.size());
-  for (const Model* m : models_) {
-    outputs.push_back(m->PredictScalar(x));
-  }
-  return outputs;
-}
-
-bool DeepXplore::IsDifference(const Tensor& x) const {
-  if (regression_) {
-    const std::vector<float> outs = PredictScalars(x);
-    const auto [lo, hi] = std::minmax_element(outs.begin(), outs.end());
-    return *hi - *lo > config_.steering_eps;
-  }
-  const std::vector<int> labels = PredictLabels(x);
-  return std::any_of(labels.begin(), labels.end(),
-                     [&](int l) { return l != labels[0]; });
-}
-
-void DeepXplore::AccumulateOutputGradient(const Model& model, const ForwardTrace& trace,
-                                          int consensus, float weight, Tensor* grad) const {
-  const int last = model.num_layers() - 1;
-  Tensor seed(trace.outputs[static_cast<size_t>(last)].shape());
-  if (regression_) {
-    seed[0] = weight;
-  } else {
-    seed[consensus] = weight;
-  }
-  grad->AddInPlace(model.BackwardInput(trace, last, std::move(seed)));
-}
-
-void DeepXplore::AccumulateNeuronGradient(const Model& model,
-                                          const NeuronCoverageTracker& tracker,
-                                          const ForwardTrace& trace, Tensor* grad) {
-  NeuronId id;
-  if (!tracker.PickUncovered(rng_, &id)) {
-    return;  // Everything covered: nothing to add (Algorithm 1 line 33).
-  }
-  Tensor seed(trace.outputs[static_cast<size_t>(id.layer)].shape());
-  model.layer(id.layer).AddNeuronSeed(&seed, id.index, config_.lambda2);
-  grad->AddInPlace(model.BackwardInput(trace, id.layer, std::move(seed)));
-}
-
-Tensor DeepXplore::JointGradient(const Tensor& x, int target_model, int consensus) {
-  Tensor grad(x.shape());
-  for (int k = 0; k < num_models(); ++k) {
-    const ForwardTrace trace = models_[static_cast<size_t>(k)]->Forward(x);
-    const float weight = k == target_model ? -config_.lambda1 : 1.0f;
-    AccumulateOutputGradient(*models_[static_cast<size_t>(k)], trace, consensus, weight,
-                             &grad);
-    if (config_.lambda2 != 0.0f) {
-      AccumulateNeuronGradient(*models_[static_cast<size_t>(k)],
-                               trackers_[static_cast<size_t>(k)], trace, &grad);
-    }
-  }
-  return grad;
-}
-
-std::optional<GeneratedTest> DeepXplore::GenerateFromSeed(const Tensor& seed,
-                                                          int seed_index) {
-  Timer timer;
-  int consensus = 0;
-  if (regression_) {
-    // Seed must not already be a difference.
-    if (IsDifference(seed)) {
-      return std::nullopt;
-    }
-  } else {
-    const std::vector<int> labels = PredictLabels(seed);
-    if (std::any_of(labels.begin(), labels.end(),
-                    [&](int l) { return l != labels[0]; })) {
-      return std::nullopt;  // No seed-time consensus (Algorithm 1 line 4).
-    }
-    consensus = labels[0];
-  }
-  const int target_model =
-      config_.forced_target_model >= 0 && config_.forced_target_model < num_models()
-          ? config_.forced_target_model
-          : static_cast<int>(rng_.UniformInt(0, num_models() - 1));
-
-  Tensor x = seed;
-  for (int iter = 1; iter <= config_.max_iterations_per_seed; ++iter) {
-    Tensor grad = JointGradient(x, target_model, consensus);
-    if (config_.normalize_gradient) {
-      // RMS-normalize (as in the reference implementation) so the step size s
-      // is meaningful regardless of how saturated the softmax outputs are.
-      const float rms = grad.L2Norm() /
-                        std::sqrt(static_cast<float>(std::max<int64_t>(1, grad.numel())));
-      grad.Scale(1.0f / (rms + 1e-5f));
-    }
-    const Tensor direction = constraint_->Apply(grad, x, rng_);
-    x.Axpy(config_.step, direction);
-    constraint_->ProjectInput(&x);
-
-    if (!IsDifference(x)) {
-      continue;
-    }
-    GeneratedTest test;
-    test.input = x;
-    test.seed_index = seed_index;
-    test.iterations = iter;
-    test.seconds = timer.ElapsedSeconds();
-    if (regression_) {
-      test.outputs = PredictScalars(x);
-      // The model farthest from the ensemble mean is the deviator.
-      double mean = 0.0;
-      for (const float v : test.outputs) {
-        mean += v;
-      }
-      mean /= static_cast<double>(test.outputs.size());
-      float worst = -1.0f;
-      for (int k = 0; k < num_models(); ++k) {
-        const float dev = std::abs(test.outputs[static_cast<size_t>(k)] -
-                                   static_cast<float>(mean));
-        if (dev > worst) {
-          worst = dev;
-          test.deviating_model = k;
-        }
-      }
-    } else {
-      test.labels = PredictLabels(x);
-      // The minority label's model is the deviator.
-      for (int k = 0; k < num_models(); ++k) {
-        int agreement = 0;
-        for (int other = 0; other < num_models(); ++other) {
-          if (test.labels[static_cast<size_t>(other)] ==
-              test.labels[static_cast<size_t>(k)]) {
-            ++agreement;
-          }
-        }
-        if (agreement == 1) {
-          test.deviating_model = k;
-          break;
-        }
-      }
-    }
-    // Update coverage with the generated input (Algorithm 1 line 18).
-    for (int k = 0; k < num_models(); ++k) {
-      trackers_[static_cast<size_t>(k)].Update(*models_[static_cast<size_t>(k)],
-                                               models_[static_cast<size_t>(k)]->Forward(x));
-    }
-    return test;
-  }
-  return std::nullopt;
-}
-
-RunStats DeepXplore::Run(const std::vector<Tensor>& seeds, const RunOptions& options) {
-  RunStats stats;
-  Timer timer;
-  bool done = false;
-  for (int pass = 0; pass < options.max_seed_passes && !done; ++pass) {
-    for (size_t i = 0; i < seeds.size(); ++i) {
-      if (static_cast<int>(stats.tests.size()) >= options.max_tests ||
-          timer.ElapsedSeconds() > options.max_seconds) {
-        done = true;
-        break;
-      }
-      ++stats.seeds_tried;
-      auto test = GenerateFromSeed(seeds[i], static_cast<int>(i));
-      if (!test.has_value()) {
-        ++stats.seeds_skipped;
-        continue;
-      }
-      stats.total_iterations += test->iterations;
-      stats.tests.push_back(std::move(*test));
-      if (options.coverage_goal <= 1.0f) {
-        bool all_reached = true;
-        for (const auto& tracker : trackers_) {
-          all_reached = all_reached && tracker.Coverage() >= options.coverage_goal;
-        }
-        if (all_reached) {
-          done = true;
-          break;
-        }
-      }
-    }
-  }
-  stats.seconds = timer.ElapsedSeconds();
-  stats.mean_coverage = MeanCoverage();
-  return stats;
-}
-
-float DeepXplore::MeanCoverage() const {
-  double sum = 0.0;
-  for (const auto& tracker : trackers_) {
-    sum += tracker.Coverage();
-  }
-  return static_cast<float>(sum / static_cast<double>(trackers_.size()));
-}
+    : session_(std::move(models), constraint, FacadeConfig(config)) {}
 
 }  // namespace dx

@@ -1,7 +1,21 @@
-// DeepXplore: joint-optimization test generation (paper §4.2, Algorithm 1).
+// DeepXplore: the paper-shaped facade over the pluggable Session engine.
 //
-// Given n >= 2 models with the same input domain, a domain constraint, and a
-// stream of seed inputs, the engine runs gradient ascent on
+// Historically this class WAS the engine: one monolithic joint-optimization
+// loop (paper §4.2, Algorithm 1) hard-wired to threshold neuron coverage and
+// serial seed processing. The engine now lives in src/core/session.h behind
+// three interfaces — CoverageMetric (src/coverage/coverage_metric.h),
+// Objective (src/core/objective.h), and SeedScheduler
+// (src/core/seed_scheduler.h) — plus a parallel multi-worker runner.
+//
+// DeepXplore remains as the backward-compatible entry point with the paper's
+// fixed wiring: threshold neuron coverage ("neuron"), the joint objective
+// (Equation 4: differential + coverage terms), round-robin seed scheduling,
+// and a single worker. Every method below delegates to the underlying
+// Session, which is exposed via session() for code that wants to mix the old
+// construction API with new capabilities. New code should construct a
+// Session directly and pick metric/objective/scheduler/workers explicitly.
+//
+// The semantics of the joint optimization are unchanged: gradient ascent on
 //
 //   obj(x) = (Σ_{k≠j} F_k(x)[c] − λ1 · F_j(x)[c]) + λ2 · f_n(x)
 //
@@ -9,81 +23,25 @@
 // models), j is a randomly chosen model to push away from the consensus, and
 // f_n is the output of a currently-uncovered neuron (one per model per
 // iteration). The constraint rewrites the gradient before each step and
-// projects the input back onto the valid domain after it.
-//
-// A difference-inducing input is found when the models' predictions disagree:
+// projects the input back onto the valid domain after it. A
+// difference-inducing input is found when the models' predictions disagree:
 // different argmax classes for classifiers, steering angles more than
 // `steering_eps` apart for regressors.
 #ifndef DX_SRC_CORE_DEEPXPLORE_H_
 #define DX_SRC_CORE_DEEPXPLORE_H_
 
-#include <cstdint>
-#include <memory>
 #include <optional>
-#include <string>
 #include <vector>
 
 #include "src/constraints/constraint.h"
+#include "src/core/session.h"
 #include "src/coverage/neuron_coverage.h"
 #include "src/nn/model.h"
-#include "src/util/rng.h"
 
 namespace dx {
 
-struct DeepXploreConfig {
-  // λ1: how hard model j's consensus confidence is pushed down relative to
-  // keeping the other models up (Equation 2).
-  float lambda1 = 1.0f;
-  // λ2: weight of the neuron-coverage objective (Equation 3). 0 disables it.
-  float lambda2 = 0.1f;
-  // s: gradient-ascent step size.
-  float step = 10.0f;
-  // t and scaling used for the coverage trackers.
-  CoverageOptions coverage;
-  // Gradient-ascent iteration budget per seed.
-  int max_iterations_per_seed = 50;
-  // Regression difference predicate: |angle_i − angle_j| > steering_eps.
-  float steering_eps = 0.2f;
-  // RMS-normalize the joint gradient before stepping (the reference
-  // implementation's behavior). Disable only for the ablation study — raw
-  // gradients vanish once softmax outputs saturate, making s meaningless.
-  bool normalize_gradient = true;
-  // Fix j (the model pushed away from the consensus) instead of picking one
-  // uniformly per seed; -1 keeps Algorithm 1's random choice. Table 2 reports
-  // per-DNN difference counts, which targets each model in turn.
-  int forced_target_model = -1;
-  uint64_t rng_seed = 1234;
-};
-
-struct GeneratedTest {
-  Tensor input;                // The difference-inducing input.
-  int seed_index = 0;          // Which seed it grew from.
-  int iterations = 0;          // Gradient steps taken.
-  int deviating_model = 0;     // Index of the model that left the consensus.
-  std::vector<int> labels;     // Per-model predicted class (classification).
-  std::vector<float> outputs;  // Per-model scalar output (regression).
-  double seconds = 0.0;        // Wall time to find this test.
-};
-
-struct RunOptions {
-  int max_tests = 1 << 30;
-  // How many times to cycle through the seed list (Algorithm 1 cycles
-  // indefinitely; benches bound it).
-  int max_seed_passes = 1;
-  double max_seconds = 1e18;
-  // Stop when every model's tracker reaches this coverage (> 1 disables).
-  float coverage_goal = 1.1f;
-};
-
-struct RunStats {
-  std::vector<GeneratedTest> tests;
-  int seeds_tried = 0;
-  int seeds_skipped = 0;  // No seed-time consensus, or iteration budget exhausted.
-  int64_t total_iterations = 0;
-  double seconds = 0.0;
-  // Mean coverage across models at the end of the run.
-  float mean_coverage = 0.0f;
-};
+// DeepXploreConfig is an alias of EngineConfig (src/core/session.h), and
+// GeneratedTest / RunOptions / RunStats are shared with Session.
 
 class DeepXplore {
  public:
@@ -93,49 +51,53 @@ class DeepXplore {
   DeepXplore(std::vector<Model*> models, const Constraint* constraint,
              DeepXploreConfig config);
 
-  bool regression() const { return regression_; }
-  int num_models() const { return static_cast<int>(models_.size()); }
+  bool regression() const { return session_.regression(); }
+  int num_models() const { return session_.num_models(); }
   NeuronCoverageTracker& tracker(int model_index) {
-    return trackers_[static_cast<size_t>(model_index)];
+    // The facade always wires the "neuron" metric, so the downcast is safe.
+    return static_cast<NeuronCoverageTracker&>(session_.metric(model_index));
   }
-  const DeepXploreConfig& config() const { return config_; }
+  const DeepXploreConfig& config() const { return session_.config().engine; }
+
+  // The pluggable engine underneath (metric/objective/scheduler injection,
+  // parallel runs).
+  Session& session() { return session_; }
+  const Session& session() const { return session_; }
 
   // Per-model predictions for an input (argmax labels or scalar outputs).
-  std::vector<int> PredictLabels(const Tensor& x) const;
-  std::vector<float> PredictScalars(const Tensor& x) const;
+  std::vector<int> PredictLabels(const Tensor& x) const {
+    return session_.PredictLabels(x);
+  }
+  std::vector<float> PredictScalars(const Tensor& x) const {
+    return session_.PredictScalars(x);
+  }
 
   // True when the models disagree on x.
-  bool IsDifference(const Tensor& x) const;
+  bool IsDifference(const Tensor& x) const { return session_.IsDifference(x); }
 
   // One gradient of the joint objective at x (exposed for tests/ablations).
   // `target_model` is j; `consensus` is c (ignored for regression).
-  Tensor JointGradient(const Tensor& x, int target_model, int consensus);
+  Tensor JointGradient(const Tensor& x, int target_model, int consensus) {
+    return session_.ObjectiveGradient(x, target_model, consensus);
+  }
 
   // Algorithm 1's inner loop for one seed. Returns nullopt when the seed has
   // no consensus or the iteration budget runs out. On success the coverage
   // trackers are updated with the generated input's activations.
-  std::optional<GeneratedTest> GenerateFromSeed(const Tensor& seed, int seed_index);
+  std::optional<GeneratedTest> GenerateFromSeed(const Tensor& seed, int seed_index) {
+    return session_.GenerateFromSeed(seed, seed_index);
+  }
 
   // Cycles through `seeds` generating tests until an option bound is hit.
-  RunStats Run(const std::vector<Tensor>& seeds, const RunOptions& options);
+  RunStats Run(const std::vector<Tensor>& seeds, const RunOptions& options) {
+    return session_.Run(seeds, options);
+  }
 
   // Mean coverage across the per-model trackers.
-  float MeanCoverage() const;
+  float MeanCoverage() const { return session_.MeanCoverage(); }
 
  private:
-  // Adds w * d(output[c])/dx (or w * d(output[0])/dx for regression).
-  void AccumulateOutputGradient(const Model& model, const ForwardTrace& trace, int consensus,
-                                float weight, Tensor* grad) const;
-  // Adds λ2 * d(neuron)/dx for one uncovered neuron of `model`.
-  void AccumulateNeuronGradient(const Model& model, const NeuronCoverageTracker& tracker,
-                                const ForwardTrace& trace, Tensor* grad);
-
-  std::vector<Model*> models_;
-  const Constraint* constraint_;
-  DeepXploreConfig config_;
-  bool regression_;
-  std::vector<NeuronCoverageTracker> trackers_;
-  Rng rng_;
+  Session session_;
 };
 
 }  // namespace dx

@@ -1,0 +1,89 @@
+#include "src/core/objective.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/baselines/adversarial.h"
+#include "src/baselines/random_testing.h"
+#include "src/util/rng.h"
+
+namespace dx {
+
+void DifferentialObjective::Accumulate(const ObjectiveContext& ctx, int k,
+                                       const ForwardTrace& trace, Tensor* grad) const {
+  const Model& model = *(*ctx.models)[static_cast<size_t>(k)];
+  const float weight = k == ctx.target_model ? -ctx.lambda1 : 1.0f;
+  const int last = model.num_layers() - 1;
+  Tensor seed(trace.outputs[static_cast<size_t>(last)].shape());
+  if (ctx.regression) {
+    seed[0] = weight;
+  } else {
+    seed[ctx.consensus] = weight;
+  }
+  grad->AddInPlace(model.BackwardInput(trace, last, std::move(seed)));
+}
+
+void CoverageObjective::Accumulate(const ObjectiveContext& ctx, int k,
+                                   const ForwardTrace& trace, Tensor* grad) const {
+  if (ctx.lambda2 == 0.0f) {
+    return;  // Disabled: no gradient and, crucially, no rng draw.
+  }
+  const Model& model = *(*ctx.models)[static_cast<size_t>(k)];
+  const CoverageMetric& metric = *(*ctx.metrics)[static_cast<size_t>(k)];
+  NeuronId id;
+  if (!metric.PickUncovered(*ctx.rng, &id)) {
+    return;  // Everything covered: nothing to add (Algorithm 1 line 33).
+  }
+  Tensor seed(trace.outputs[static_cast<size_t>(id.layer)].shape());
+  model.layer(id.layer).AddNeuronSeed(&seed, id.index, ctx.lambda2);
+  grad->AddInPlace(model.BackwardInput(trace, id.layer, std::move(seed)));
+}
+
+CompositeObjective::CompositeObjective(std::string name,
+                                       std::vector<std::unique_ptr<Objective>> parts)
+    : name_(std::move(name)), parts_(std::move(parts)) {}
+
+void CompositeObjective::Accumulate(const ObjectiveContext& ctx, int k,
+                                    const ForwardTrace& trace, Tensor* grad) const {
+  for (const auto& part : parts_) {
+    part->Accumulate(ctx, k, trace, grad);
+  }
+}
+
+bool CompositeObjective::NeedsTrace(const ObjectiveContext& ctx, int k) const {
+  for (const auto& part : parts_) {
+    if (part->NeedsTrace(ctx, k)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Objective> MakeJointObjective() {
+  std::vector<std::unique_ptr<Objective>> parts;
+  parts.push_back(std::make_unique<DifferentialObjective>());
+  parts.push_back(std::make_unique<CoverageObjective>());
+  return std::make_unique<CompositeObjective>("joint", std::move(parts));
+}
+
+std::unique_ptr<Objective> MakeObjective(const std::string& name) {
+  if (name == "joint") {
+    return MakeJointObjective();
+  }
+  if (name == "differential") {
+    return std::make_unique<DifferentialObjective>();
+  }
+  if (name == "fgsm") {
+    return std::make_unique<FgsmObjective>();
+  }
+  if (name == "random") {
+    return std::make_unique<RandomPerturbationObjective>();
+  }
+  throw std::invalid_argument("unknown objective: " + name);
+}
+
+std::vector<std::string> ObjectiveNames() {
+  return {"differential", "fgsm", "joint", "random"};
+}
+
+}  // namespace dx

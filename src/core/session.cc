@@ -1,0 +1,405 @@
+#include "src/core/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "src/util/timer.h"
+
+namespace dx {
+
+namespace {
+
+// SplitMix64 finalizer over (base seed, task index): decorrelated per-task
+// RNG streams that depend only on the global task counter, never on which
+// worker runs the task.
+uint64_t TaskSeed(uint64_t base, uint64_t task) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (task + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Session::Session(std::vector<Model*> models, const Constraint* constraint,
+                 SessionConfig config)
+    : models_(std::move(models)),
+      constraint_(constraint),
+      config_(std::move(config)),
+      regression_(false),
+      rng_(config_.engine.rng_seed) {
+  if (models_.size() < 2) {
+    throw std::invalid_argument("Session: differential testing needs >= 2 models");
+  }
+  if (constraint_ == nullptr) {
+    throw std::invalid_argument("Session: constraint must not be null");
+  }
+  const Shape& input_shape = models_[0]->input_shape();
+  const Shape& output_shape = models_[0]->output_shape();
+  for (Model* m : models_) {
+    if (m->input_shape() != input_shape) {
+      throw std::invalid_argument("Session: models disagree on input shape");
+    }
+    if (m->output_shape() != output_shape) {
+      throw std::invalid_argument("Session: models disagree on output shape");
+    }
+  }
+  regression_ = NumElements(output_shape) == 1 &&
+                models_[0]->layer(models_[0]->num_layers() - 1).Kind() != "softmax";
+  metrics_.reserve(models_.size());
+  for (Model* m : models_) {
+    metrics_.push_back(MakeCoverageMetric(config_.metric, *m, config_.engine.coverage));
+  }
+  if (config_.sync_interval <= 0 && config_.workers != 1) {
+    throw std::invalid_argument(
+        "Session: legacy serial mode (sync_interval = 0) requires workers == 1");
+  }
+  objective_ = MakeObjective(config_.objective);
+  scheduler_ = MakeSeedScheduler(config_.scheduler);
+}
+
+void Session::SetObjective(std::unique_ptr<Objective> objective) {
+  if (objective == nullptr) {
+    throw std::invalid_argument("Session: objective must not be null");
+  }
+  objective_ = std::move(objective);
+}
+
+void Session::SetScheduler(std::unique_ptr<SeedScheduler> scheduler) {
+  if (scheduler == nullptr) {
+    throw std::invalid_argument("Session: scheduler must not be null");
+  }
+  scheduler_ = std::move(scheduler);
+}
+
+std::vector<int> Session::PredictLabels(const Tensor& x) const {
+  std::vector<int> labels;
+  labels.reserve(models_.size());
+  for (const Model* m : models_) {
+    labels.push_back(m->PredictClass(x));
+  }
+  return labels;
+}
+
+std::vector<float> Session::PredictScalars(const Tensor& x) const {
+  std::vector<float> outputs;
+  outputs.reserve(models_.size());
+  for (const Model* m : models_) {
+    outputs.push_back(m->PredictScalar(x));
+  }
+  return outputs;
+}
+
+bool Session::IsDifference(const Tensor& x) const {
+  if (regression_) {
+    const std::vector<float> outs = PredictScalars(x);
+    const auto [lo, hi] = std::minmax_element(outs.begin(), outs.end());
+    return *hi - *lo > config_.engine.steering_eps;
+  }
+  const std::vector<int> labels = PredictLabels(x);
+  return std::any_of(labels.begin(), labels.end(),
+                     [&](int l) { return l != labels[0]; });
+}
+
+Tensor Session::ObjectiveGradient(
+    const Tensor& x, int target_model, int consensus, Rng& rng,
+    const std::vector<std::unique_ptr<CoverageMetric>>& metrics) const {
+  Tensor grad(x.shape());
+  ObjectiveContext ctx;
+  ctx.models = &models_;
+  ctx.metrics = &metrics;
+  ctx.target_model = target_model;
+  ctx.consensus = consensus;
+  ctx.regression = regression_;
+  ctx.lambda1 = config_.engine.lambda1;
+  ctx.lambda2 = config_.engine.lambda2;
+  ctx.rng = &rng;
+  const ForwardTrace no_trace;
+  for (int k = 0; k < num_models(); ++k) {
+    if (objective_->NeedsTrace(ctx, k)) {
+      const ForwardTrace trace = models_[static_cast<size_t>(k)]->Forward(x);
+      objective_->Accumulate(ctx, k, trace, &grad);
+    } else {
+      objective_->Accumulate(ctx, k, no_trace, &grad);
+    }
+  }
+  return grad;
+}
+
+Tensor Session::ObjectiveGradient(const Tensor& x, int target_model, int consensus) {
+  return ObjectiveGradient(x, target_model, consensus, rng_, metrics_);
+}
+
+std::optional<GeneratedTest> Session::GenerateFromSeed(
+    const Tensor& seed, int seed_index, Rng& rng,
+    std::vector<std::unique_ptr<CoverageMetric>>& metrics) {
+  Timer timer;
+  int consensus = 0;
+  if (regression_) {
+    // Seed must not already be a difference.
+    if (IsDifference(seed)) {
+      return std::nullopt;
+    }
+  } else {
+    const std::vector<int> labels = PredictLabels(seed);
+    if (std::any_of(labels.begin(), labels.end(),
+                    [&](int l) { return l != labels[0]; })) {
+      return std::nullopt;  // No seed-time consensus (Algorithm 1 line 4).
+    }
+    consensus = labels[0];
+  }
+  const int target_model = config_.engine.forced_target_model >= 0 &&
+                                   config_.engine.forced_target_model < num_models()
+                               ? config_.engine.forced_target_model
+                               : static_cast<int>(rng.UniformInt(0, num_models() - 1));
+
+  Tensor x = seed;
+  for (int iter = 1; iter <= config_.engine.max_iterations_per_seed; ++iter) {
+    Tensor grad = ObjectiveGradient(x, target_model, consensus, rng, metrics);
+    if (config_.engine.normalize_gradient) {
+      // RMS-normalize (as in the reference implementation) so the step size s
+      // is meaningful regardless of how saturated the softmax outputs are.
+      const float rms = grad.L2Norm() /
+                        std::sqrt(static_cast<float>(std::max<int64_t>(1, grad.numel())));
+      grad.Scale(1.0f / (rms + 1e-5f));
+    }
+    const Tensor direction = constraint_->Apply(grad, x, rng);
+    x.Axpy(config_.engine.step, direction);
+    constraint_->ProjectInput(&x);
+
+    if (!IsDifference(x)) {
+      continue;
+    }
+    GeneratedTest test;
+    test.input = x;
+    test.seed_index = seed_index;
+    test.iterations = iter;
+    test.seconds = timer.ElapsedSeconds();
+    if (regression_) {
+      test.outputs = PredictScalars(x);
+      // The model farthest from the ensemble mean is the deviator.
+      double mean = 0.0;
+      for (const float v : test.outputs) {
+        mean += v;
+      }
+      mean /= static_cast<double>(test.outputs.size());
+      float worst = -1.0f;
+      for (int k = 0; k < num_models(); ++k) {
+        const float dev = std::abs(test.outputs[static_cast<size_t>(k)] -
+                                   static_cast<float>(mean));
+        if (dev > worst) {
+          worst = dev;
+          test.deviating_model = k;
+        }
+      }
+    } else {
+      test.labels = PredictLabels(x);
+      // The minority label's model is the deviator.
+      for (int k = 0; k < num_models(); ++k) {
+        int agreement = 0;
+        for (int other = 0; other < num_models(); ++other) {
+          if (test.labels[static_cast<size_t>(other)] ==
+              test.labels[static_cast<size_t>(k)]) {
+            ++agreement;
+          }
+        }
+        if (agreement == 1) {
+          test.deviating_model = k;
+          break;
+        }
+      }
+    }
+    // Update coverage with the generated input (Algorithm 1 line 18).
+    for (int k = 0; k < num_models(); ++k) {
+      metrics[static_cast<size_t>(k)]->Update(
+          *models_[static_cast<size_t>(k)], models_[static_cast<size_t>(k)]->Forward(x));
+    }
+    return test;
+  }
+  return std::nullopt;
+}
+
+std::optional<GeneratedTest> Session::GenerateFromSeed(const Tensor& seed,
+                                                       int seed_index) {
+  return GenerateFromSeed(seed, seed_index, rng_, metrics_);
+}
+
+std::vector<std::unique_ptr<CoverageMetric>> Session::CloneMetrics() const {
+  std::vector<std::unique_ptr<CoverageMetric>> clones;
+  clones.reserve(metrics_.size());
+  for (const auto& metric : metrics_) {
+    clones.push_back(metric->Clone());
+  }
+  return clones;
+}
+
+int Session::EffectiveWorkers() const {
+  if (config_.workers > 0) {
+    return config_.workers;
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, hw);
+}
+
+void Session::ProfileSeeds(const std::vector<Tensor>& seeds) {
+  for (int k = 0; k < num_models(); ++k) {
+    CoverageMetric& metric = *metrics_[static_cast<size_t>(k)];
+    if (!metric.WantsSeedProfile()) {
+      continue;
+    }
+    const Model& model = *models_[static_cast<size_t>(k)];
+    for (const Tensor& seed : seeds) {
+      metric.ProfileSeed(model, model.Forward(seed));
+    }
+  }
+  profiled_ = true;
+}
+
+RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& options) {
+  RunStats stats;
+  Timer timer;
+  if (config_.profile_from_seeds && !profiled_) {
+    ProfileSeeds(seeds);
+  }
+  scheduler_->Reset(static_cast<int>(seeds.size()), options.max_seed_passes);
+
+  if (config_.sync_interval <= 0) {
+    // Legacy serial mode: the session RNG is threaded through the whole seed
+    // stream and the global trackers are updated in place — the exact
+    // pre-Session DeepXplore behavior, preserved for the facade.
+    for (;;) {
+      if (static_cast<int>(stats.tests.size()) >= options.max_tests ||
+          timer.ElapsedSeconds() > options.max_seconds) {
+        break;
+      }
+      const int index = scheduler_->Next();
+      if (index < 0) {
+        break;
+      }
+      ++stats.seeds_tried;
+      const float before = MeanCoverage();
+      auto test = GenerateFromSeed(seeds[static_cast<size_t>(index)], index);
+      if (!test.has_value()) {
+        ++stats.seeds_skipped;
+        scheduler_->Report(index, false, 0.0f);
+        continue;
+      }
+      scheduler_->Report(index, true, MeanCoverage() - before);
+      stats.total_iterations += test->iterations;
+      stats.tests.push_back(std::move(*test));
+      if (options.coverage_goal <= 1.0f) {
+        bool all_reached = true;
+        for (const auto& metric : metrics_) {
+          all_reached = all_reached && metric->Coverage() >= options.coverage_goal;
+        }
+        if (all_reached) {
+          break;
+        }
+      }
+    }
+    stats.seconds = timer.ElapsedSeconds();
+    stats.mean_coverage = MeanCoverage();
+    return stats;
+  }
+
+  const int workers = EffectiveWorkers();
+  if (workers > 1 && (pool_ == nullptr || pool_->num_threads() != workers - 1)) {
+    // ParallelFor runs on the pool's threads plus the calling thread, so a
+    // session with W workers owns W-1 pool threads.
+    pool_ = std::make_unique<ThreadPool>(workers - 1);
+  }
+  const int batch_size = std::max(1, config_.sync_interval);
+
+  struct TaskResult {
+    std::optional<GeneratedTest> test;
+    std::vector<std::unique_ptr<CoverageMetric>> metrics;
+  };
+
+  uint64_t task_counter = 0;
+  bool done = false;
+  while (!done && timer.ElapsedSeconds() <= options.max_seconds) {
+    std::vector<int> batch;
+    batch.reserve(static_cast<size_t>(batch_size));
+    while (static_cast<int>(batch.size()) < batch_size) {
+      const int index = scheduler_->Next();
+      if (index < 0) {
+        break;
+      }
+      batch.push_back(index);
+      // Sync at pass boundaries so the scheduler has every outcome of the
+      // finished pass reported before it orders the next one. The cut
+      // depends only on counts, so worker-count invariance is preserved.
+      if ((task_counter + batch.size()) % seeds.size() == 0) {
+        break;
+      }
+    }
+    if (batch.empty()) {
+      break;
+    }
+
+    std::vector<TaskResult> results(batch.size());
+    const auto run_task = [&](int64_t t) {
+      Rng task_rng(TaskSeed(config_.engine.rng_seed,
+                            task_counter + static_cast<uint64_t>(t)));
+      auto local_metrics = CloneMetrics();
+      results[static_cast<size_t>(t)].test =
+          GenerateFromSeed(seeds[static_cast<size_t>(batch[static_cast<size_t>(t)])],
+                           batch[static_cast<size_t>(t)], task_rng, local_metrics);
+      results[static_cast<size_t>(t)].metrics = std::move(local_metrics);
+    };
+    if (workers > 1 && batch.size() > 1) {
+      pool_->ParallelFor(static_cast<int64_t>(batch.size()), run_task);
+    } else {
+      for (int64_t t = 0; t < static_cast<int64_t>(batch.size()); ++t) {
+        run_task(t);
+      }
+    }
+    task_counter += batch.size();
+
+    // Merge + report in schedule order: deterministic for any worker count.
+    for (size_t t = 0; t < batch.size() && !done; ++t) {
+      TaskResult& result = results[t];
+      ++stats.seeds_tried;
+      if (!result.test.has_value()) {
+        ++stats.seeds_skipped;
+        scheduler_->Report(batch[t], false, 0.0f);
+        continue;
+      }
+      const float before = MeanCoverage();
+      for (int k = 0; k < num_models(); ++k) {
+        metrics_[static_cast<size_t>(k)]->Merge(*result.metrics[static_cast<size_t>(k)]);
+      }
+      scheduler_->Report(batch[t], true, MeanCoverage() - before);
+      stats.total_iterations += result.test->iterations;
+      stats.tests.push_back(std::move(*result.test));
+      if (static_cast<int>(stats.tests.size()) >= options.max_tests) {
+        done = true;
+        break;
+      }
+      if (options.coverage_goal <= 1.0f) {
+        bool all_reached = true;
+        for (const auto& metric : metrics_) {
+          all_reached = all_reached && metric->Coverage() >= options.coverage_goal;
+        }
+        if (all_reached) {
+          done = true;
+        }
+      }
+    }
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  stats.mean_coverage = MeanCoverage();
+  return stats;
+}
+
+float Session::MeanCoverage() const {
+  double sum = 0.0;
+  for (const auto& metric : metrics_) {
+    sum += metric->Coverage();
+  }
+  return static_cast<float>(sum / static_cast<double>(metrics_.size()));
+}
+
+}  // namespace dx

@@ -1,0 +1,204 @@
+// Session: the engine's entry point, wiring models + constraint +
+// CoverageMetric + Objective + SeedScheduler into one run loop, with
+// optional seed-level parallelism.
+//
+// A session runs Algorithm 1's outer loop over the seed stream the scheduler
+// emits. With `workers` > 1, seeds are processed in fixed-size batches
+// (`sync_interval`) on a thread pool: every task in a batch runs against
+// Clone()d coverage trackers frozen at the batch start and its own RNG
+// derived from (rng_seed, global task index); after the batch barrier the
+// task-local trackers are Merge()d into the session trackers and outcomes
+// are reported to the scheduler — all in schedule order. Because neither the
+// batch composition, the per-task RNG streams, nor the merge order depend on
+// the worker count, a run's results (tests found, coverage, scheduler
+// feedback) are identical for any `workers` value given a fixed rng_seed.
+//
+// The legacy DeepXplore class (deepxplore.h) is a thin facade over Session
+// with the paper's fixed wiring (neuron coverage + joint objective +
+// round-robin scheduling, serial).
+#ifndef DX_SRC_CORE_SESSION_H_
+#define DX_SRC_CORE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+#include "src/core/objective.h"
+#include "src/core/seed_scheduler.h"
+#include "src/coverage/coverage_metric.h"
+#include "src/nn/model.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace dx {
+
+// The paper's per-run hyperparameters (Algorithm 1 / Table 2). Kept under
+// its historical name via the DeepXploreConfig alias below.
+struct EngineConfig {
+  // λ1: how hard model j's consensus confidence is pushed down relative to
+  // keeping the other models up (Equation 2).
+  float lambda1 = 1.0f;
+  // λ2: weight of the neuron-coverage objective (Equation 3). 0 disables it.
+  float lambda2 = 0.1f;
+  // s: gradient-ascent step size.
+  float step = 10.0f;
+  // t and scaling used by the coverage trackers (plus the per-metric knobs).
+  CoverageOptions coverage;
+  // Gradient-ascent iteration budget per seed.
+  int max_iterations_per_seed = 50;
+  // Regression difference predicate: |angle_i − angle_j| > steering_eps.
+  float steering_eps = 0.2f;
+  // RMS-normalize the joint gradient before stepping (the reference
+  // implementation's behavior). Disable only for the ablation study — raw
+  // gradients vanish once softmax outputs saturate, making s meaningless.
+  bool normalize_gradient = true;
+  // Fix j (the model pushed away from the consensus) instead of picking one
+  // uniformly per seed; -1 keeps Algorithm 1's random choice. Table 2 reports
+  // per-DNN difference counts, which targets each model in turn.
+  int forced_target_model = -1;
+  uint64_t rng_seed = 1234;
+};
+
+using DeepXploreConfig = EngineConfig;
+
+// Full session wiring: engine hyperparameters plus the pluggable components
+// (by factory name) and the parallelism knobs.
+struct SessionConfig {
+  EngineConfig engine;
+  // CoverageMetric factory key: "neuron", "kmultisection", "topk", ...
+  std::string metric = "neuron";
+  // Objective factory key: "joint", "differential", "fgsm", "random".
+  std::string objective = "joint";
+  // SeedScheduler factory key: "roundrobin", "coverage-gain".
+  std::string scheduler = "roundrobin";
+  // Parallel seed workers; 1 = serial, 0 = hardware concurrency.
+  int workers = 1;
+  // Seeds per batch between coverage sync points. Fixed (never derived from
+  // `workers`) so results are invariant to the worker count. 0 selects the
+  // legacy serial mode: one session RNG threaded through the seed stream and
+  // trackers updated in place (the pre-Session DeepXplore semantics, bit-for
+  // -bit); requires workers == 1.
+  int sync_interval = 16;
+  // Run the metric's ProfileSeed pass over the seed pool at the start of
+  // Run (k-multisection range profiling); no-op for metrics that don't ask.
+  bool profile_from_seeds = true;
+};
+
+struct GeneratedTest {
+  Tensor input;                // The difference-inducing input.
+  int seed_index = 0;          // Which seed it grew from.
+  int iterations = 0;          // Gradient steps taken.
+  int deviating_model = 0;     // Index of the model that left the consensus.
+  std::vector<int> labels;     // Per-model predicted class (classification).
+  std::vector<float> outputs;  // Per-model scalar output (regression).
+  double seconds = 0.0;        // Wall time to find this test.
+};
+
+struct RunOptions {
+  int max_tests = 1 << 30;
+  // How many times to cycle through the seed list (Algorithm 1 cycles
+  // indefinitely; benches bound it).
+  int max_seed_passes = 1;
+  double max_seconds = 1e18;
+  // Stop when every model's tracker reaches this coverage (> 1 disables).
+  float coverage_goal = 1.1f;
+};
+
+struct RunStats {
+  std::vector<GeneratedTest> tests;
+  int seeds_tried = 0;
+  int seeds_skipped = 0;  // No seed-time consensus, or iteration budget exhausted.
+  int64_t total_iterations = 0;
+  double seconds = 0.0;
+  // Mean coverage across models at the end of the run.
+  float mean_coverage = 0.0f;
+};
+
+class Session {
+ public:
+  // `models` must outlive the session; all must share input/output shapes.
+  // Classification models must end in softmax; a 1-element output without
+  // softmax is treated as regression. Metric/objective/scheduler are built
+  // from the factory names in `config`; throws std::invalid_argument on
+  // unknown names or invalid model sets.
+  Session(std::vector<Model*> models, const Constraint* constraint, SessionConfig config);
+
+  // Replaces the factory-built plug-ins (extension point for custom
+  // strategies; call before Run).
+  void SetObjective(std::unique_ptr<Objective> objective);
+  void SetScheduler(std::unique_ptr<SeedScheduler> scheduler);
+
+  bool regression() const { return regression_; }
+  int num_models() const { return static_cast<int>(models_.size()); }
+  const SessionConfig& config() const { return config_; }
+  const Objective& objective() const { return *objective_; }
+  const SeedScheduler& scheduler() const { return *scheduler_; }
+
+  // The session-global coverage tracker of one model.
+  CoverageMetric& metric(int model_index) {
+    return *metrics_[static_cast<size_t>(model_index)];
+  }
+  const CoverageMetric& metric(int model_index) const {
+    return *metrics_[static_cast<size_t>(model_index)];
+  }
+  const std::vector<std::unique_ptr<CoverageMetric>>& metrics() const { return metrics_; }
+
+  // Per-model predictions for an input (argmax labels or scalar outputs).
+  std::vector<int> PredictLabels(const Tensor& x) const;
+  std::vector<float> PredictScalars(const Tensor& x) const;
+
+  // True when the models disagree on x.
+  bool IsDifference(const Tensor& x) const;
+
+  // One gradient of the configured objective at x, drawing stochastic
+  // choices from `rng` and reading coverage state from `metrics` (pass
+  // session metrics() for the serial path, worker-local clones otherwise).
+  Tensor ObjectiveGradient(const Tensor& x, int target_model, int consensus, Rng& rng,
+                           const std::vector<std::unique_ptr<CoverageMetric>>& metrics) const;
+  // Serial convenience: session RNG + session-global trackers.
+  Tensor ObjectiveGradient(const Tensor& x, int target_model, int consensus);
+
+  // Algorithm 1's inner loop for one seed against explicit trackers + RNG.
+  // Returns nullopt when the seed has no consensus or the iteration budget
+  // runs out. On success `metrics` is updated with the generated input's
+  // activations.
+  std::optional<GeneratedTest> GenerateFromSeed(
+      const Tensor& seed, int seed_index, Rng& rng,
+      std::vector<std::unique_ptr<CoverageMetric>>& metrics);
+  // Serial convenience: session RNG + session-global trackers.
+  std::optional<GeneratedTest> GenerateFromSeed(const Tensor& seed, int seed_index);
+
+  // Runs the scheduler's seed stream (in parallel for workers > 1) until an
+  // option bound is hit. Results are identical for any worker count.
+  RunStats Run(const std::vector<Tensor>& seeds, const RunOptions& options);
+
+  // Feeds every seed's trace to the metrics' ProfileSeed (k-multisection
+  // range calibration). Run() calls this automatically once when the metric
+  // asks for it and config().profile_from_seeds is set.
+  void ProfileSeeds(const std::vector<Tensor>& seeds);
+
+  // Mean coverage across the per-model trackers.
+  float MeanCoverage() const;
+
+ private:
+  std::vector<std::unique_ptr<CoverageMetric>> CloneMetrics() const;
+  int EffectiveWorkers() const;
+
+  std::vector<Model*> models_;
+  const Constraint* constraint_;
+  SessionConfig config_;
+  bool regression_;
+  std::vector<std::unique_ptr<CoverageMetric>> metrics_;
+  std::unique_ptr<Objective> objective_;
+  std::unique_ptr<SeedScheduler> scheduler_;
+  Rng rng_;  // Serial-path RNG (facade compatibility).
+  std::unique_ptr<ThreadPool> pool_;
+  bool profiled_ = false;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_CORE_SESSION_H_

@@ -8,67 +8,8 @@
 namespace dx {
 
 NeuronCoverageTracker::NeuronCoverageTracker(const Model& model, CoverageOptions options)
-    : options_(options) {
-  layer_offset_.assign(static_cast<size_t>(model.num_layers()), -1);
-  int last_neuron_layer = -1;
-  for (int l = 0; l < model.num_layers(); ++l) {
-    if (model.layer(l).NumNeurons() > 0) {
-      last_neuron_layer = l;
-    }
-  }
-  for (int l = 0; l < model.num_layers(); ++l) {
-    const Layer& layer = model.layer(l);
-    const int n = layer.NumNeurons();
-    if (n == 0) {
-      continue;
-    }
-    if (options_.exclude_dense && layer.Kind() == "dense") {
-      continue;
-    }
-    if (options_.exclude_output_layer && l == last_neuron_layer) {
-      continue;
-    }
-    layer_offset_[static_cast<size_t>(l)] = total_;
-    for (int i = 0; i < n; ++i) {
-      neurons_.push_back({l, i});
-    }
-    total_ += n;
-  }
+    : NeuronValueMetric(model, options) {
   covered_.assign(static_cast<size_t>(total_), false);
-}
-
-std::vector<float> NeuronCoverageTracker::NeuronValues(const Model& model,
-                                                       const ForwardTrace& trace) const {
-  std::vector<float> values(static_cast<size_t>(total_), 0.0f);
-  for (int l = 0; l < model.num_layers(); ++l) {
-    const int offset = layer_offset_[static_cast<size_t>(l)];
-    if (offset < 0) {
-      continue;
-    }
-    const Layer& layer = model.layer(l);
-    const int n = layer.NumNeurons();
-    const Tensor& out = trace.outputs[static_cast<size_t>(l)];
-    float lo = 0.0f;
-    float hi = 0.0f;
-    for (int i = 0; i < n; ++i) {
-      const float v = layer.NeuronValue(out, i);
-      values[static_cast<size_t>(offset + i)] = v;
-      if (i == 0 || v < lo) {
-        lo = v;
-      }
-      if (i == 0 || v > hi) {
-        hi = v;
-      }
-    }
-    if (options_.scale_per_layer) {
-      const float span = hi - lo;
-      for (int i = 0; i < n; ++i) {
-        float& v = values[static_cast<size_t>(offset + i)];
-        v = span > 0.0f ? (v - lo) / span : 0.0f;
-      }
-    }
-  }
-  return values;
 }
 
 void NeuronCoverageTracker::Update(const Model& model, const ForwardTrace& trace) {
@@ -87,20 +28,6 @@ int NeuronCoverageTracker::covered_neurons() const {
 float NeuronCoverageTracker::Coverage() const {
   return total_ > 0 ? static_cast<float>(covered_neurons()) / static_cast<float>(total_)
                     : 0.0f;
-}
-
-int NeuronCoverageTracker::FlatIndex(const NeuronId& id) const {
-  if (id.layer < 0 || id.layer >= static_cast<int>(layer_offset_.size()) ||
-      layer_offset_[static_cast<size_t>(id.layer)] < 0) {
-    throw std::out_of_range("NeuronCoverageTracker: layer not tracked");
-  }
-  const int flat = layer_offset_[static_cast<size_t>(id.layer)] + id.index;
-  if (id.index < 0 || flat >= total_ ||
-      (id.layer + 1 < static_cast<int>(layer_offset_.size()) &&
-       neurons_[static_cast<size_t>(flat)].layer != id.layer)) {
-    throw std::out_of_range("NeuronCoverageTracker: neuron index out of range");
-  }
-  return flat;
 }
 
 bool NeuronCoverageTracker::IsCovered(const NeuronId& id) const {
@@ -122,6 +49,23 @@ bool NeuronCoverageTracker::PickUncovered(Rng& rng, NeuronId* id) const {
       rng.UniformInt(0, static_cast<int64_t>(uncovered.size()) - 1))];
   *id = neurons_[static_cast<size_t>(pick)];
   return true;
+}
+
+void NeuronCoverageTracker::Merge(const CoverageMetric& other) {
+  const auto* o = dynamic_cast<const NeuronCoverageTracker*>(&other);
+  if (o == nullptr) {
+    throw std::invalid_argument("NeuronCoverageTracker::Merge: metric type mismatch");
+  }
+  CheckMergeCompatible(*o);
+  for (int i = 0; i < total_; ++i) {
+    if (o->covered_[static_cast<size_t>(i)]) {
+      covered_[static_cast<size_t>(i)] = true;
+    }
+  }
+}
+
+std::unique_ptr<CoverageMetric> NeuronCoverageTracker::Clone() const {
+  return std::make_unique<NeuronCoverageTracker>(*this);
 }
 
 std::vector<NeuronId> NeuronCoverageTracker::Activated(const Model& model,

@@ -6,73 +6,50 @@
 // neuron outputs are min-max scaled to [0, 1] *within each layer* before
 // thresholding (scaling can be disabled for raw-activation experiments such
 // as Table 2's t = 0 runs).
+//
+// This is the "neuron" implementation of the CoverageMetric interface (see
+// coverage_metric.h for the contract and the factory).
 #ifndef DX_SRC_COVERAGE_NEURON_COVERAGE_H_
 #define DX_SRC_COVERAGE_NEURON_COVERAGE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/coverage/coverage_metric.h"
 #include "src/nn/model.h"
 
 namespace dx {
 
 class Rng;
 
-struct NeuronId {
-  int layer = 0;
-  int index = 0;
-
-  bool operator==(const NeuronId&) const = default;
-};
-
-struct CoverageOptions {
-  float threshold = 0.0f;
-  // Min-max scale neuron values within each layer before thresholding.
-  bool scale_per_layer = true;
-  // Drop Dense-layer neurons (paper's Table 8 excludes fully-connected
-  // layers on the vision domains since their neurons are very hard to
-  // activate).
-  bool exclude_dense = false;
-  // Drop the final classification layer's neurons (its "neurons" are the
-  // model's output logits).
-  bool exclude_output_layer = true;
-};
-
-class NeuronCoverageTracker {
+class NeuronCoverageTracker : public NeuronValueMetric {
  public:
   NeuronCoverageTracker(const Model& model, CoverageOptions options);
 
-  // Marks every neuron activated by this trace.
-  void Update(const Model& model, const ForwardTrace& trace);
+  std::string name() const override { return "neuron"; }
 
-  int total_neurons() const { return total_; }
+  // Marks every neuron activated by this trace.
+  void Update(const Model& model, const ForwardTrace& trace) override;
+
   int covered_neurons() const;
-  float Coverage() const;
+  int total_items() const override { return total_neurons(); }
+  int covered_items() const override { return covered_neurons(); }
+  float Coverage() const override;
   bool IsCovered(const NeuronId& id) const;
 
   // Uniformly random uncovered neuron; false when fully covered.
-  bool PickUncovered(Rng& rng, NeuronId* id) const;
+  bool PickUncovered(Rng& rng, NeuronId* id) const override;
 
-  // Neuron values of one trace, scaled per options (exposed for analysis).
-  // Each entry parallels TrackedNeurons().
-  std::vector<float> NeuronValues(const Model& model, const ForwardTrace& trace) const;
+  void Merge(const CoverageMetric& other) override;
+  std::unique_ptr<CoverageMetric> Clone() const override;
+
   // Activated neuron ids for a single trace (used by the Table 7 overlap
   // experiment).
   std::vector<NeuronId> Activated(const Model& model, const ForwardTrace& trace) const;
-  // All tracked neuron ids in canonical order.
-  const std::vector<NeuronId>& TrackedNeurons() const { return neurons_; }
-
-  const CoverageOptions& options() const { return options_; }
 
  private:
-  int FlatIndex(const NeuronId& id) const;
-
-  CoverageOptions options_;
-  std::vector<NeuronId> neurons_;
-  // Maps layer -> offset into neurons_/covered_ (-1 when not tracked).
-  std::vector<int> layer_offset_;
   std::vector<bool> covered_;
-  int total_ = 0;
 };
 
 }  // namespace dx

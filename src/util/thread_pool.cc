@@ -52,7 +52,9 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
     return;
   }
   const int threads = num_threads();
-  if (n == 1 || threads <= 1) {
+  // Even a 1-thread pool gives 2-way parallelism (worker + calling thread);
+  // only a threadless pool degenerates to the serial loop.
+  if (n == 1 || threads < 1) {
     for (int64_t i = 0; i < n; ++i) {
       fn(i);
     }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verify sequence: configure, build, ctest, smoke benches.
+#
+# Usage: tools/ci.sh [build-dir]   (default: build)
+#
+# DEEPXPLORE_FAST=1 is exported so the model zoo trains at CI scale; the
+# trained-model disk cache makes repeat runs fast.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+export DEEPXPLORE_FAST=1
+
+echo "==> configure"
+cmake -B "$BUILD_DIR" -S .
+
+echo "==> build"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "==> ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "==> smoke: micro_nn"
+if [ -x "$BUILD_DIR/micro_nn" ]; then
+  "$BUILD_DIR/micro_nn" --benchmark_min_time=0.01s
+else
+  echo "micro_nn not built (Google Benchmark not found); skipping"
+fi
+
+echo "==> smoke: session scaling bench"
+DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
+  "$BUILD_DIR/bench_session_scaling" --seeds 10
+
+echo "==> OK"

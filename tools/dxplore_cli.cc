@@ -1,14 +1,18 @@
-// dxplore: command-line driver for the DeepXplore engine.
+// dxplore: command-line driver for the test-generation Session engine.
 //
 //   dxplore --domain mnist|imagenet|driving|pdf|drebin
+//           [--metric neuron|kmultisection|topk] [--objective joint|...]
+//           [--scheduler roundrobin|coverage-gain] [--workers N]
 //           [--constraint light|occl|blackout|none|default]
 //           [--seeds N] [--max-tests N] [--lambda1 F] [--lambda2 F]
 //           [--step F] [--threshold F] [--iters N] [--target MODEL_IDX]
-//           [--out DIR] [--list]
+//           [--rng-seed N] [--out DIR] [--list]
 //
-// Loads (or trains+caches) the domain's three models, runs the joint
-// optimization over N test-set seeds, prints a run report, and optionally
-// dumps every difference-inducing image to DIR as PGM/PPM.
+// Loads (or trains+caches) the domain's three models, wires a Session from
+// the selected coverage metric / objective / seed scheduler, runs it over N
+// test-set seeds on the requested number of parallel workers, prints a run
+// report, and optionally dumps every difference-inducing image to DIR as
+// PGM/PPM.
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -20,7 +24,10 @@
 #include "src/constraints/constraint.h"
 #include "src/constraints/image_constraints.h"
 #include "src/constraints/malware_constraints.h"
-#include "src/core/deepxplore.h"
+#include "src/core/objective.h"
+#include "src/core/seed_scheduler.h"
+#include "src/core/session.h"
+#include "src/coverage/coverage_metric.h"
 #include "src/models/trainer.h"
 #include "src/models/zoo.h"
 #include "src/util/image_io.h"
@@ -30,11 +37,23 @@ namespace {
 
 using namespace dx;
 
+std::string Join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    out += (out.empty() ? "" : " | ") + name;
+  }
+  return out;
+}
+
 [[noreturn]] void Usage(int code) {
   std::cout <<
       R"(dxplore - whitebox differential testing of the built-in model zoo
 
   --domain D      mnist | imagenet | driving | pdf | drebin   (required)
+  --metric M      )" << Join(CoverageMetricNames()) << R"(  (default: neuron)
+  --objective O   )" << Join(ObjectiveNames()) << R"(  (default: joint)
+  --scheduler S   )" << Join(SeedSchedulerNames()) << R"(  (default: roundrobin)
+  --workers N     parallel seed workers; 0 = all cores        (default: 1)
   --constraint C  light | occl | blackout | none | default    (default: default)
   --seeds N       seed inputs drawn from the domain test set  (default: 100)
   --max-tests N   stop after N difference-inducing inputs     (default: all)
@@ -44,8 +63,11 @@ using namespace dx;
   --threshold F   neuron activation threshold t               (default: 0)
   --iters N       gradient steps per seed                     (default: 100)
   --target K      force model K as the deviator               (default: random)
+  --rng-seed N    engine RNG seed                             (default: 1234)
   --out DIR       write difference-inducing images to DIR
   --list          print the model zoo and exit
+
+Results are deterministic for a fixed --rng-seed, whatever --workers is.
 )";
   std::exit(code);
 }
@@ -130,11 +152,16 @@ void DumpImage(const std::string& path, const Tensor& img) {
 int Main(int argc, char** argv) {
   std::string domain_name;
   std::string constraint_name = "default";
+  std::string metric_name = "neuron";
+  std::string objective_name = "joint";
+  std::string scheduler_name = "roundrobin";
   std::string out_dir;
   int seeds = 100;
   int max_tests = 1 << 30;
   int iters = 100;
   int target = -1;
+  int workers = 1;
+  uint64_t rng_seed = 1234;
   float threshold = 0.0f;
   std::optional<float> lambda1;
   std::optional<float> lambda2;
@@ -151,6 +178,11 @@ int Main(int argc, char** argv) {
     };
     if (arg == "--domain") domain_name = next();
     else if (arg == "--constraint") constraint_name = next();
+    else if (arg == "--metric") metric_name = next();
+    else if (arg == "--objective") objective_name = next();
+    else if (arg == "--scheduler") scheduler_name = next();
+    else if (arg == "--workers") workers = std::atoi(next());
+    else if (arg == "--rng-seed") rng_seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--seeds") seeds = std::atoi(next());
     else if (arg == "--max-tests") max_tests = std::atoi(next());
     else if (arg == "--lambda1") lambda1 = static_cast<float>(std::atof(next()));
@@ -190,14 +222,27 @@ int Main(int argc, char** argv) {
   }
   const auto constraint = MakeConstraint(constraint_name, *domain);
 
-  DeepXploreConfig config = TableTwoDefaults(*domain);
-  if (lambda1) config.lambda1 = *lambda1;
-  if (lambda2) config.lambda2 = *lambda2;
-  if (step) config.step = *step;
-  config.coverage.threshold = threshold;
-  config.max_iterations_per_seed = iters;
-  config.forced_target_model = target;
-  DeepXplore engine(ptrs, constraint.get(), config);
+  SessionConfig config;
+  config.engine = TableTwoDefaults(*domain);
+  if (lambda1) config.engine.lambda1 = *lambda1;
+  if (lambda2) config.engine.lambda2 = *lambda2;
+  if (step) config.engine.step = *step;
+  config.engine.coverage.threshold = threshold;
+  config.engine.max_iterations_per_seed = iters;
+  config.engine.forced_target_model = target;
+  config.engine.rng_seed = rng_seed;
+  config.metric = metric_name;
+  config.objective = objective_name;
+  config.scheduler = scheduler_name;
+  config.workers = workers;
+  std::unique_ptr<Session> engine_ptr;
+  try {
+    engine_ptr = std::make_unique<Session>(ptrs, constraint.get(), config);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  Session& engine = *engine_ptr;
 
   const Dataset& test = ModelZoo::TestSet(*domain);
   std::vector<Tensor> pool;
@@ -222,14 +267,24 @@ int Main(int argc, char** argv) {
   TablePrinter report({"Metric", "Value"});
   report.AddRow({"domain", DomainName(*domain)});
   report.AddRow({"constraint", constraint->name()});
+  report.AddRow({"coverage metric", metric_name});
+  report.AddRow({"objective", objective_name});
+  report.AddRow({"scheduler", scheduler_name});
+  report.AddRow({"workers", std::to_string(workers)});
   report.AddRow({"seeds tried", std::to_string(stats.seeds_tried)});
   report.AddRow({"difference-inducing inputs", std::to_string(stats.tests.size())});
   report.AddRow({"total gradient iterations", std::to_string(stats.total_iterations)});
   report.AddRow({"wall time", TablePrinter::Num(stats.seconds, 2) + " s"});
-  report.AddRow({"mean neuron coverage", TablePrinter::Percent(stats.mean_coverage)});
+  report.AddRow({"tests / second",
+                 TablePrinter::Num(stats.seconds > 0.0
+                                       ? static_cast<double>(stats.tests.size()) /
+                                             stats.seconds
+                                       : 0.0,
+                                   2)});
+  report.AddRow({"mean coverage", TablePrinter::Percent(stats.mean_coverage)});
   for (int k = 0; k < engine.num_models(); ++k) {
     report.AddRow({"coverage " + models[static_cast<size_t>(k)].name(),
-                   TablePrinter::Percent(engine.tracker(k).Coverage())});
+                   TablePrinter::Percent(engine.metric(k).Coverage())});
   }
   std::cout << report.ToString();
   if (!out_dir.empty()) {
