@@ -1,0 +1,152 @@
+// Batched vs per-sample forward throughput: Model::ForwardBatch against an
+// equivalent loop of Model::Forward calls, across batch sizes, on one
+// conv-heavy model (MNI_C1 / LeNet-1) and one dense-heavy model (PDF_C1).
+//
+// The dense batch kernel streams each weight row once for the whole batch
+// and breaks the per-sample serial accumulation chain into batch lanes, so
+// MLP-style models gain the most; conv models mainly shed per-sample
+// allocation and dispatch overhead. Bit-identity of the two paths is
+// asserted inline on every row.
+//
+// Emits a JSON record (stdout and <artifact dir>/batch_forward.json); the
+// checked-in baseline lives at bench/baselines/batch_forward.json.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace dx;
+using namespace dx::bench;
+
+struct Row {
+  std::string model;
+  int batch = 1;
+  double scalar_sps = 0.0;   // samples/sec, per-sample loop
+  double batched_sps = 0.0;  // samples/sec, ForwardBatch
+  double speedup = 0.0;
+};
+
+Row BenchOne(const Model& model, int batch, int reps) {
+  Rng rng(7);
+  std::vector<Tensor> inputs;
+  std::vector<const Tensor*> ptrs;
+  for (int b = 0; b < batch; ++b) {
+    inputs.push_back(Tensor::RandUniform(model.input_shape(), rng));
+  }
+  for (const Tensor& t : inputs) {
+    ptrs.push_back(&t);
+  }
+  const Tensor stacked = StackSamples(ptrs);
+
+  // Golden equivalence before timing: batched == per-sample, bit for bit.
+  const BatchTrace bt = model.ForwardBatch(stacked);
+  for (int b = 0; b < batch; ++b) {
+    const ForwardTrace ft = model.Forward(inputs[static_cast<size_t>(b)]);
+    if (L1Distance(bt.SampleOutput(model.num_layers() - 1, b), ft.Output()) != 0.0f) {
+      std::cerr << "ERROR: batched forward diverges from per-sample ("
+                << model.name() << ", batch " << batch << ")\n";
+      std::exit(1);
+    }
+  }
+
+  Row row;
+  row.model = model.name();
+  row.batch = batch;
+  {
+    Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      for (int b = 0; b < batch; ++b) {
+        const ForwardTrace trace = model.Forward(inputs[static_cast<size_t>(b)]);
+        (void)trace;
+      }
+    }
+    row.scalar_sps = static_cast<double>(reps) * batch / timer.ElapsedSeconds();
+  }
+  {
+    Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      const BatchTrace trace = model.ForwardBatch(stacked);
+      (void)trace;
+    }
+    row.batched_sps = static_cast<double>(reps) * batch / timer.ElapsedSeconds();
+  }
+  row.speedup = row.scalar_sps > 0.0 ? row.batched_sps / row.scalar_sps : 0.0;
+  return row;
+}
+
+std::string ToJson(const std::vector<Row>& rows) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"batch_forward\",\n"
+      << "  \"models\": [\"MNI_C1\", \"PDF_C1\"],\n"
+      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"model\": \"" << r.model << "\", \"batch\": " << r.batch
+        << ", \"scalar_samples_per_sec\": " << r.scalar_sps
+        << ", \"batched_samples_per_sec\": " << r.batched_sps
+        << ", \"speedup\": " << r.speedup << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader("Batched forward",
+              "Model::ForwardBatch vs per-sample Forward throughput", args);
+
+  std::vector<Row> rows;
+  bool meets_target = true;
+  for (const char* name : {"MNI_C1", "PDF_C1"}) {
+    const Model model = ModelZoo::Build(name, 7);
+    for (const int batch : {1, 2, 4, 8, 16, 32}) {
+      // Size the rep count so each point runs a few hundred milliseconds.
+      const Tensor probe = Tensor::Zeros(model.input_shape());
+      Timer probe_timer;
+      model.Forward(probe);
+      const double per_sample = std::max(1e-7, probe_timer.ElapsedSeconds());
+      const int reps = std::max(3, static_cast<int>(0.3 / (per_sample * batch)));
+      rows.push_back(BenchOne(model, batch, reps));
+      const Row& r = rows.back();
+      std::cerr << r.model << " batch=" << r.batch << ": " << r.scalar_sps
+                << " -> " << r.batched_sps << " samples/s (" << r.speedup << "x)\n";
+      if (r.batch >= 8 && r.model == "PDF_C1" && r.speedup < 1.5) {
+        meets_target = false;
+      }
+    }
+  }
+
+  TablePrinter table({"Model", "Batch", "Per-sample s/s", "Batched s/s", "Speedup"});
+  for (const Row& r : rows) {
+    table.AddRow({r.model, std::to_string(r.batch), TablePrinter::Num(r.scalar_sps, 0),
+                  TablePrinter::Num(r.batched_sps, 0),
+                  TablePrinter::Num(r.speedup, 2) + "x"});
+  }
+  std::cout << table.ToString();
+
+  const std::string json = ToJson(rows);
+  std::cout << json;
+  const std::string path = ArtifactDir() + "/batch_forward.json";
+  std::ofstream file(path);
+  file << json;
+  std::cout << "json written to " << path << "\n";
+  if (!meets_target) {
+    std::cerr << "WARNING: dense-model batched speedup below 1.5x at batch >= 8\n";
+  }
+  return 0;
+}

@@ -100,6 +100,11 @@ SessionConfig DefaultSessionConfig(Domain domain, const std::string& metric, int
   config.engine = DefaultConfig(domain);
   config.metric = metric;
   config.workers = workers;
+  // Fixed (worker-independent, so results stay identical across scaling
+  // rows) but sized for the scaling bench: 32 seeds per sync batch in
+  // executor chunks of 4 gives 8 parallel units per batch.
+  config.sync_interval = 32;
+  config.batch_size = 4;
   return config;
 }
 

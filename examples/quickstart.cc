@@ -2,8 +2,9 @@
 //
 // Builds/loads three LeNet-family digit classifiers, wires a Session from
 // named plug-ins (coverage metric, objective, seed scheduler), runs the
-// joint optimization under the lighting constraint, and prints the first
-// difference-inducing input it finds, with coverage statistics.
+// joint optimization under the lighting constraint on the batched executor,
+// and prints the first difference-inducing input it finds, with coverage
+// statistics.
 //
 //   $ ./quickstart
 //
@@ -40,35 +41,46 @@ int main() {
   config.engine.lambda2 = 0.1f;         // ...while activating uncovered neurons.
   config.engine.step = 10.0f / 255.0f;  // Gradient-ascent step (paper's s = 10).
   config.engine.max_iterations_per_seed = 150;
-  config.metric = "neuron";        // or "kmultisection", "topk"
+  config.metric = "neuron";        // or "kmultisection", "topk" (--list-metrics)
   config.objective = "joint";      // or "differential", "fgsm", "random"
   config.scheduler = "roundrobin";
+  // The executor ascends 8 seeds in lockstep: every iteration is one batched
+  // forward pass per model, shared by the objective gradient, the difference
+  // check, and the coverage update. Results are bit-identical for any value.
+  config.batch_size = 8;
+  // Seeds scheduled per sync point. The whole sync batch runs before Run
+  // checks max_tests, so keep it small when stopping at the first hit.
+  config.sync_interval = 8;
   Session session(ptrs, &constraint, config);
 
   // 4. Seed it with unlabeled test inputs and collect difference-inducing
-  //    inputs — no manual labels anywhere.
+  //    inputs — no manual labels anywhere. Run() drives the scheduler's seed
+  //    stream through the batched executor until a bound is hit.
   const Dataset& test = ModelZoo::TestSet(Domain::kMnist);
-  for (int i = 0; i < test.size(); ++i) {
-    const auto result = session.GenerateFromSeed(test.inputs[static_cast<size_t>(i)], i);
-    if (!result.has_value()) {
-      continue;
-    }
-    std::cout << "\nDifference found from seed #" << i << " after " << result->iterations
-              << " gradient steps (" << result->seconds << " s):\n";
-    for (size_t k = 0; k < models.size(); ++k) {
-      std::cout << "  " << models[k].name() << " predicts "
-                << result->labels[static_cast<size_t>(k)]
-                << (static_cast<int>(k) == result->deviating_model ? "   <-- deviates\n"
-                                                                   : "\n");
-    }
-    std::cout << "\nseed image:\n"
-              << AsciiArt(test.inputs[static_cast<size_t>(i)].values(), 28, 28, 1)
-              << "\ngenerated image (same digit, different lighting):\n"
-              << AsciiArt(result->input.values(), 28, 28, 1)
-              << "\nmean " << session.metric(0).name()
-              << " coverage after this test: " << session.MeanCoverage() << "\n";
-    return 0;
+  RunOptions options;
+  options.max_tests = 1;  // Stop at the first difference-inducing input.
+  const RunStats stats = session.Run(test.inputs, options);
+  if (stats.tests.empty()) {
+    std::cerr << "no difference-inducing input found\n";
+    return 1;
   }
-  std::cerr << "no difference-inducing input found\n";
-  return 1;
+
+  const GeneratedTest& found = stats.tests.front();
+  std::cout << "\nDifference found from seed #" << found.seed_index << " after "
+            << found.iterations << " gradient steps (" << stats.seeds_tried
+            << " seeds tried, " << stats.forward_passes << " model forward passes):\n";
+  for (size_t k = 0; k < models.size(); ++k) {
+    std::cout << "  " << models[k].name() << " predicts "
+              << found.labels[static_cast<size_t>(k)]
+              << (static_cast<int>(k) == found.deviating_model ? "   <-- deviates\n"
+                                                               : "\n");
+  }
+  std::cout << "\nseed image:\n"
+            << AsciiArt(test.inputs[static_cast<size_t>(found.seed_index)].values(), 28, 28,
+                        1)
+            << "\ngenerated image (same digit, different lighting):\n"
+            << AsciiArt(found.input.values(), 28, 28, 1) << "\nmean "
+            << session.metric(0).name()
+            << " coverage after this test: " << session.MeanCoverage() << "\n";
+  return 0;
 }

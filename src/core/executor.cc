@@ -1,0 +1,252 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace dx {
+namespace {
+
+// Per-model final scalar outputs of sample `pos` (regression models).
+std::vector<float> SampleScalars(const std::vector<BatchTrace>& traces, int pos) {
+  std::vector<float> outs(traces.size());
+  for (size_t k = 0; k < traces.size(); ++k) {
+    outs[k] =
+        traces[k].SampleOutput(static_cast<int>(traces[k].outputs.size()) - 1, pos)[0];
+  }
+  return outs;
+}
+
+// Per-model argmax labels of sample `pos` (classification models).
+std::vector<int> SampleLabels(const std::vector<BatchTrace>& traces, int pos) {
+  std::vector<int> labels(traces.size());
+  for (size_t k = 0; k < traces.size(); ++k) {
+    labels[k] = static_cast<int>(
+        traces[k]
+            .SampleOutput(static_cast<int>(traces[k].outputs.size()) - 1, pos)
+            .Argmax());
+  }
+  return labels;
+}
+
+bool ScalarsDiffer(const std::vector<float>& outs, float eps) {
+  const auto [lo, hi] = std::minmax_element(outs.begin(), outs.end());
+  return *hi - *lo > eps;
+}
+
+bool LabelsDiffer(const std::vector<int>& labels) {
+  return std::any_of(labels.begin(), labels.end(),
+                     [&](int l) { return l != labels[0]; });
+}
+
+// The model farthest from the ensemble mean is the deviator (regression).
+int DeviatorFromScalars(const std::vector<float>& outs) {
+  double mean = 0.0;
+  for (const float v : outs) {
+    mean += v;
+  }
+  mean /= static_cast<double>(outs.size());
+  int deviator = 0;
+  float worst = -1.0f;
+  for (size_t k = 0; k < outs.size(); ++k) {
+    const float dev = std::abs(outs[k] - static_cast<float>(mean));
+    if (dev > worst) {
+      worst = dev;
+      deviator = static_cast<int>(k);
+    }
+  }
+  return deviator;
+}
+
+// The minority label's model is the deviator (classification).
+int DeviatorFromLabels(const std::vector<int>& labels) {
+  for (size_t k = 0; k < labels.size(); ++k) {
+    int agreement = 0;
+    for (size_t other = 0; other < labels.size(); ++other) {
+      if (labels[other] == labels[k]) {
+        ++agreement;
+      }
+    }
+    if (agreement == 1) {
+      return static_cast<int>(k);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Executor::Executor(std::vector<Model*> models, const Constraint* constraint,
+                   bool regression, const EngineConfig* engine)
+    : models_(std::move(models)),
+      constraint_(constraint),
+      regression_(regression),
+      engine_(engine) {
+  if (models_.empty() || constraint_ == nullptr || engine_ == nullptr) {
+    throw std::invalid_argument("Executor: models/constraint/engine must be set");
+  }
+}
+
+std::vector<BatchTrace> Executor::ForwardAll(const Tensor& batch_input) const {
+  std::vector<BatchTrace> traces;
+  traces.reserve(models_.size());
+  for (const Model* m : models_) {
+    traces.push_back(m->ForwardBatch(batch_input));
+  }
+  return traces;
+}
+
+std::vector<std::optional<GeneratedTest>> Executor::Run(
+    const std::vector<SeedTask>& tasks, const Objective& objective) const {
+  const int n = static_cast<int>(tasks.size());
+  std::vector<std::optional<GeneratedTest>> results(static_cast<size_t>(n));
+  if (n == 0) {
+    return results;
+  }
+  Timer timer;
+  const int num_k = num_models();
+
+  // Forward pass #0 over the stacked seeds: consensus check now, iteration
+  // 1's objective gradient next — one pass, two consumers.
+  std::vector<const Tensor*> stacked;
+  stacked.reserve(static_cast<size_t>(n));
+  for (const SeedTask& task : tasks) {
+    stacked.push_back(task.seed);
+  }
+  std::vector<BatchTrace> traces = ForwardAll(StackSamples(stacked));
+
+  struct TaskState {
+    Tensor x;           // Current input of the ascent.
+    int consensus = 0;  // Seed-time consensus class (classification).
+    int target = 0;     // j: the model pushed away from the consensus.
+    int pos = 0;        // This task's sample index within `traces`.
+  };
+  std::vector<TaskState> states(static_cast<size_t>(n));
+  std::vector<int> active;  // Task ids still ascending, in task order.
+  active.reserve(static_cast<size_t>(n));
+
+  for (int t = 0; t < n; ++t) {
+    TaskState& state = states[static_cast<size_t>(t)];
+    if (regression_) {
+      // Seed must not already be a difference (Algorithm 1 line 4).
+      if (ScalarsDiffer(SampleScalars(traces, t), engine_->steering_eps)) {
+        continue;  // results[t] stays nullopt.
+      }
+    } else {
+      // All models must agree on the seed's class.
+      const std::vector<int> labels = SampleLabels(traces, t);
+      if (LabelsDiffer(labels)) {
+        continue;
+      }
+      state.consensus = labels[0];
+    }
+    state.x = *tasks[static_cast<size_t>(t)].seed;
+    state.target = engine_->forced_target_model >= 0 &&
+                           engine_->forced_target_model < num_k
+                       ? engine_->forced_target_model
+                       : static_cast<int>(
+                             tasks[static_cast<size_t>(t)].rng->UniformInt(0, num_k - 1));
+    state.pos = t;
+    active.push_back(t);
+  }
+
+  const ForwardTrace no_trace;
+  for (int iter = 1; iter <= engine_->max_iterations_per_seed && !active.empty(); ++iter) {
+    // 1. Objective gradients against the shared traces — backward only, no
+    //    re-forward — then the constrained ascent step (Algorithm 1 l. 8-16).
+    for (const int t : active) {
+      const SeedTask& task = tasks[static_cast<size_t>(t)];
+      TaskState& state = states[static_cast<size_t>(t)];
+      Tensor grad(state.x.shape());
+      ObjectiveContext ctx;
+      ctx.models = &models_;
+      ctx.metrics = task.metrics;
+      ctx.target_model = state.target;
+      ctx.consensus = state.consensus;
+      ctx.regression = regression_;
+      ctx.lambda1 = engine_->lambda1;
+      ctx.lambda2 = engine_->lambda2;
+      ctx.rng = task.rng;
+      for (int k = 0; k < num_k; ++k) {
+        if (objective.NeedsTrace(ctx, k)) {
+          const ForwardTrace sample = traces[static_cast<size_t>(k)].Sample(state.pos);
+          objective.Accumulate(ctx, k, sample, &grad);
+        } else {
+          objective.Accumulate(ctx, k, no_trace, &grad);
+        }
+      }
+      if (engine_->normalize_gradient) {
+        // RMS-normalize (as in the reference implementation) so the step
+        // size s is meaningful regardless of softmax saturation.
+        const float rms = grad.L2Norm() /
+                          std::sqrt(static_cast<float>(std::max<int64_t>(1, grad.numel())));
+        grad.Scale(1.0f / (rms + 1e-5f));
+      }
+      const Tensor direction = constraint_->Apply(grad, state.x, *task.rng);
+      state.x.Axpy(engine_->step, direction);
+      constraint_->ProjectInput(&state.x);
+    }
+
+    // 2. The iteration's single shared forward pass at the stepped inputs.
+    std::vector<const Tensor*> xs;
+    xs.reserve(active.size());
+    for (const int t : active) {
+      xs.push_back(&states[static_cast<size_t>(t)].x);
+    }
+    traces = ForwardAll(StackSamples(xs));
+    for (size_t i = 0; i < active.size(); ++i) {
+      states[static_cast<size_t>(active[i])].pos = static_cast<int>(i);
+    }
+
+    // 3. Difference check from the same traces; finishers also reuse them
+    //    for their labels and coverage update (Algorithm 1 line 18).
+    std::vector<int> still_active;
+    still_active.reserve(active.size());
+    for (const int t : active) {
+      const SeedTask& task = tasks[static_cast<size_t>(t)];
+      TaskState& state = states[static_cast<size_t>(t)];
+      GeneratedTest test;
+      bool found = false;
+      if (regression_) {
+        std::vector<float> outs = SampleScalars(traces, state.pos);
+        if (ScalarsDiffer(outs, engine_->steering_eps)) {
+          found = true;
+          test.deviating_model = DeviatorFromScalars(outs);
+          test.outputs = std::move(outs);
+        }
+      } else {
+        std::vector<int> labels = SampleLabels(traces, state.pos);
+        if (LabelsDiffer(labels)) {
+          found = true;
+          test.deviating_model = DeviatorFromLabels(labels);
+          test.labels = std::move(labels);
+        }
+      }
+      if (!found) {
+        still_active.push_back(t);  // Budget exhaustion leaves nullopt.
+        continue;
+      }
+      test.input = state.x;
+      test.seed_index = task.seed_index;
+      test.iterations = iter;
+      test.seconds = timer.ElapsedSeconds();
+      // Route through the metric's batch entry point (a 1-sample Select
+      // copy, paid once per found test) so metrics that override
+      // UpdateBatch see the batched trace format.
+      for (int k = 0; k < num_k; ++k) {
+        (*task.metrics)[static_cast<size_t>(k)]->UpdateBatch(
+            *models_[static_cast<size_t>(k)],
+            traces[static_cast<size_t>(k)].Select({state.pos}));
+      }
+      results[static_cast<size_t>(t)] = std::move(test);
+    }
+    active = std::move(still_active);
+  }
+  return results;
+}
+
+}  // namespace dx

@@ -1,0 +1,78 @@
+// Executor: the batched execution engine underneath Session.
+//
+// Runs Algorithm 1's gradient-ascent inner loop for a *chunk* of seeds in
+// lockstep. Each iteration stacks the chunk's current inputs into one
+// [B, ...] tensor, pushes it through all K models with Model::ForwardBatch
+// (one pass per model), and shares the resulting BatchTraces between the
+// three consumers that historically each re-forwarded the same input:
+//
+//   1. the objective gradient (Accumulate reads a sample view of the trace),
+//   2. the difference check (per-model argmax / scalar outputs), and
+//   3. the coverage update of a finished seed (CoverageMetric::UpdateBatch).
+//
+// Consequently every (seed, model, iteration) is forwarded exactly once —
+// the trace computed after stepping input x serves both iteration i's
+// difference check and iteration i+1's objective gradient. Model counts
+// this via Model::forward_passes(), and tests assert it.
+//
+// Batch invariance: per-task state (RNG stream, coverage trackers) stays
+// isolated exactly as in the per-seed path, and every batched layer kernel
+// is bit-identical to its scalar counterpart, so results are independent of
+// the chunk composition — any batch size reproduces the per-sample path's
+// output bit for bit.
+#ifndef DX_SRC_CORE_EXECUTOR_H_
+#define DX_SRC_CORE_EXECUTOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+#include "src/core/objective.h"
+#include "src/core/session.h"
+#include "src/coverage/coverage_metric.h"
+#include "src/nn/model.h"
+
+namespace dx {
+
+class Executor {
+ public:
+  // One seed's unit of work. All pointers are non-owning and must outlive
+  // the Run call; `rng` and `metrics` are task-private (clones under a
+  // parallel run, the session's own state on the serial path).
+  struct SeedTask {
+    const Tensor* seed = nullptr;
+    int seed_index = 0;
+    Rng* rng = nullptr;
+    std::vector<std::unique_ptr<CoverageMetric>>* metrics = nullptr;
+  };
+
+  // `engine` is borrowed (it lives in the session's config) and read on
+  // every Run call, so config edits between runs take effect.
+  Executor(std::vector<Model*> models, const Constraint* constraint, bool regression,
+           const EngineConfig* engine);
+
+  // Lockstep gradient ascent over the chunk. result[i] corresponds to
+  // tasks[i] and matches the per-seed GenerateFromSeed semantics: nullopt
+  // when the seed has no consensus or the iteration budget runs out; on
+  // success tasks[i].metrics has been updated with the generated input's
+  // activations.
+  std::vector<std::optional<GeneratedTest>> Run(const std::vector<SeedTask>& tasks,
+                                                const Objective& objective) const;
+
+  // Forwards every model over one stacked [B, ...] input batch (the
+  // building block of Run, exposed for profiling and benches).
+  std::vector<BatchTrace> ForwardAll(const Tensor& batch_input) const;
+
+ private:
+  int num_models() const { return static_cast<int>(models_.size()); }
+
+  std::vector<Model*> models_;
+  const Constraint* constraint_;
+  bool regression_;
+  const EngineConfig* engine_;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_CORE_EXECUTOR_H_

@@ -5,6 +5,7 @@
 
 #include "src/baselines/adversarial.h"
 #include "src/baselines/random_testing.h"
+#include "src/util/registry.h"
 #include "src/util/rng.h"
 
 namespace dx {
@@ -66,24 +67,32 @@ std::unique_ptr<Objective> MakeJointObjective() {
   return std::make_unique<CompositeObjective>("joint", std::move(parts));
 }
 
-std::unique_ptr<Objective> MakeObjective(const std::string& name) {
-  if (name == "joint") {
-    return MakeJointObjective();
-  }
-  if (name == "differential") {
-    return std::make_unique<DifferentialObjective>();
-  }
-  if (name == "fgsm") {
-    return std::make_unique<FgsmObjective>();
-  }
-  if (name == "random") {
-    return std::make_unique<RandomPerturbationObjective>();
-  }
-  throw std::invalid_argument("unknown objective: " + name);
+namespace {
+
+NamedRegistry<ObjectiveFactory>& ObjectiveRegistry() {
+  static auto* registry = new NamedRegistry<ObjectiveFactory>({
+      {"joint", [] { return MakeJointObjective(); }},
+      {"differential",
+       []() -> std::unique_ptr<Objective> { return std::make_unique<DifferentialObjective>(); }},
+      {"fgsm", []() -> std::unique_ptr<Objective> { return std::make_unique<FgsmObjective>(); }},
+      {"random",
+       []() -> std::unique_ptr<Objective> {
+         return std::make_unique<RandomPerturbationObjective>();
+       }},
+  });
+  return *registry;
 }
 
-std::vector<std::string> ObjectiveNames() {
-  return {"differential", "fgsm", "joint", "random"};
+}  // namespace
+
+void RegisterObjective(const std::string& name, ObjectiveFactory factory) {
+  ObjectiveRegistry().Register(name, std::move(factory));
 }
+
+std::unique_ptr<Objective> MakeObjective(const std::string& name) {
+  return ObjectiveRegistry().Get(name, "objective")();
+}
+
+std::vector<std::string> ObjectiveNames() { return ObjectiveRegistry().Names(); }
 
 }  // namespace dx

@@ -19,6 +19,7 @@
 #ifndef DX_SRC_CORE_OBJECTIVE_H_
 #define DX_SRC_CORE_OBJECTIVE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -105,12 +106,21 @@ class CompositeObjective : public Objective {
 // The paper's joint objective: DifferentialObjective + CoverageObjective.
 std::unique_ptr<Objective> MakeJointObjective();
 
-// Builds an objective by name: "joint", "differential", "fgsm" (adversarial
-// baseline), "random" (random-perturbation baseline). Throws
-// std::invalid_argument for unknown names.
+// ---- Factory -----------------------------------------------------------------------------
+
+using ObjectiveFactory = std::function<std::unique_ptr<Objective>()>;
+
+// Registers (or replaces) an objective under `name` for MakeObjective, so
+// plug-ins are selectable by string key from the CLI and SessionConfig.
+void RegisterObjective(const std::string& name, ObjectiveFactory factory);
+
+// Builds the objective registered under `name`. Built-ins: "joint",
+// "differential", "fgsm" (adversarial baseline), "random"
+// (random-perturbation baseline). Throws std::invalid_argument for unknown
+// names.
 std::unique_ptr<Objective> MakeObjective(const std::string& name);
 
-// Registered objective names, sorted (for --help text and validation).
+// Registered objective names, sorted (for --list-objectives and validation).
 std::vector<std::string> ObjectiveNames();
 
 }  // namespace dx

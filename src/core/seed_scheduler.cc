@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/util/registry.h"
+
 namespace dx {
 
 void SeedScheduler::Report(int seed_index, bool found_test, float coverage_gain) {
@@ -76,16 +78,38 @@ void CoverageGainScheduler::Report(int seed_index, bool found_test, float covera
       static_cast<double>(coverage_gain) + (found_test ? found_bonus_ : 0.0);
 }
 
-std::unique_ptr<SeedScheduler> MakeSeedScheduler(const std::string& name) {
-  if (name == "roundrobin" || name == "round-robin") {
-    return std::make_unique<RoundRobinScheduler>();
-  }
-  if (name == "coverage-gain" || name == "gain") {
-    return std::make_unique<CoverageGainScheduler>();
-  }
-  throw std::invalid_argument("unknown seed scheduler: " + name);
+namespace {
+
+NamedRegistry<SeedSchedulerFactory>& SchedulerRegistry() {
+  static auto* registry = new NamedRegistry<SeedSchedulerFactory>({
+      {"roundrobin",
+       []() -> std::unique_ptr<SeedScheduler> {
+         return std::make_unique<RoundRobinScheduler>();
+       }},
+      {"coverage-gain",
+       []() -> std::unique_ptr<SeedScheduler> {
+         return std::make_unique<CoverageGainScheduler>();
+       }},
+  });
+  return *registry;
 }
 
-std::vector<std::string> SeedSchedulerNames() { return {"coverage-gain", "roundrobin"}; }
+}  // namespace
+
+void RegisterSeedScheduler(const std::string& name, SeedSchedulerFactory factory) {
+  SchedulerRegistry().Register(name, std::move(factory));
+}
+
+std::unique_ptr<SeedScheduler> MakeSeedScheduler(const std::string& name) {
+  // Historical aliases, kept out of the registry so listings stay canonical.
+  // A plug-in registered under the literal alias name takes precedence.
+  std::string key = name;
+  if (!SchedulerRegistry().Contains(key)) {
+    key = name == "round-robin" ? "roundrobin" : (name == "gain" ? "coverage-gain" : name);
+  }
+  return SchedulerRegistry().Get(key, "seed scheduler")();
+}
+
+std::vector<std::string> SeedSchedulerNames() { return SchedulerRegistry().Names(); }
 
 }  // namespace dx

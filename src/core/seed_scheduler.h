@@ -15,6 +15,7 @@
 #ifndef DX_SRC_CORE_SEED_SCHEDULER_H_
 #define DX_SRC_CORE_SEED_SCHEDULER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,11 +77,20 @@ class CoverageGainScheduler : public SeedScheduler {
   std::vector<int> order_;
 };
 
-// Builds a scheduler by name ("roundrobin", "coverage-gain"); throws
-// std::invalid_argument for unknown names.
+// ---- Factory -----------------------------------------------------------------------------
+
+using SeedSchedulerFactory = std::function<std::unique_ptr<SeedScheduler>()>;
+
+// Registers (or replaces) a scheduler under `name` for MakeSeedScheduler,
+// so plug-ins are selectable by string key from the CLI and SessionConfig.
+void RegisterSeedScheduler(const std::string& name, SeedSchedulerFactory factory);
+
+// Builds the scheduler registered under `name` ("roundrobin",
+// "coverage-gain"; the aliases "round-robin" and "gain" are accepted);
+// throws std::invalid_argument for unknown names.
 std::unique_ptr<SeedScheduler> MakeSeedScheduler(const std::string& name);
 
-// Registered scheduler names, sorted (for --help text and validation).
+// Registered scheduler names, sorted (for --list-schedulers and validation).
 std::vector<std::string> SeedSchedulerNames();
 
 }  // namespace dx

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/core/executor.h"
+#include "src/tensor/ops.h"
 #include "src/util/timer.h"
 
 namespace dx {
@@ -56,9 +58,16 @@ Session::Session(std::vector<Model*> models, const Constraint* constraint,
     throw std::invalid_argument(
         "Session: legacy serial mode (sync_interval = 0) requires workers == 1");
   }
+  if (config_.batch_size < 1) {
+    throw std::invalid_argument("Session: batch_size must be >= 1");
+  }
   objective_ = MakeObjective(config_.objective);
   scheduler_ = MakeSeedScheduler(config_.scheduler);
+  executor_ = std::make_unique<Executor>(models_, constraint_, regression_,
+                                         &config_.engine);
 }
+
+Session::~Session() = default;
 
 void Session::SetObjective(std::unique_ptr<Objective> objective) {
   if (objective == nullptr) {
@@ -135,90 +144,14 @@ Tensor Session::ObjectiveGradient(const Tensor& x, int target_model, int consens
 std::optional<GeneratedTest> Session::GenerateFromSeed(
     const Tensor& seed, int seed_index, Rng& rng,
     std::vector<std::unique_ptr<CoverageMetric>>& metrics) {
-  Timer timer;
-  int consensus = 0;
-  if (regression_) {
-    // Seed must not already be a difference.
-    if (IsDifference(seed)) {
-      return std::nullopt;
-    }
-  } else {
-    const std::vector<int> labels = PredictLabels(seed);
-    if (std::any_of(labels.begin(), labels.end(),
-                    [&](int l) { return l != labels[0]; })) {
-      return std::nullopt;  // No seed-time consensus (Algorithm 1 line 4).
-    }
-    consensus = labels[0];
-  }
-  const int target_model = config_.engine.forced_target_model >= 0 &&
-                                   config_.engine.forced_target_model < num_models()
-                               ? config_.engine.forced_target_model
-                               : static_cast<int>(rng.UniformInt(0, num_models() - 1));
-
-  Tensor x = seed;
-  for (int iter = 1; iter <= config_.engine.max_iterations_per_seed; ++iter) {
-    Tensor grad = ObjectiveGradient(x, target_model, consensus, rng, metrics);
-    if (config_.engine.normalize_gradient) {
-      // RMS-normalize (as in the reference implementation) so the step size s
-      // is meaningful regardless of how saturated the softmax outputs are.
-      const float rms = grad.L2Norm() /
-                        std::sqrt(static_cast<float>(std::max<int64_t>(1, grad.numel())));
-      grad.Scale(1.0f / (rms + 1e-5f));
-    }
-    const Tensor direction = constraint_->Apply(grad, x, rng);
-    x.Axpy(config_.engine.step, direction);
-    constraint_->ProjectInput(&x);
-
-    if (!IsDifference(x)) {
-      continue;
-    }
-    GeneratedTest test;
-    test.input = x;
-    test.seed_index = seed_index;
-    test.iterations = iter;
-    test.seconds = timer.ElapsedSeconds();
-    if (regression_) {
-      test.outputs = PredictScalars(x);
-      // The model farthest from the ensemble mean is the deviator.
-      double mean = 0.0;
-      for (const float v : test.outputs) {
-        mean += v;
-      }
-      mean /= static_cast<double>(test.outputs.size());
-      float worst = -1.0f;
-      for (int k = 0; k < num_models(); ++k) {
-        const float dev = std::abs(test.outputs[static_cast<size_t>(k)] -
-                                   static_cast<float>(mean));
-        if (dev > worst) {
-          worst = dev;
-          test.deviating_model = k;
-        }
-      }
-    } else {
-      test.labels = PredictLabels(x);
-      // The minority label's model is the deviator.
-      for (int k = 0; k < num_models(); ++k) {
-        int agreement = 0;
-        for (int other = 0; other < num_models(); ++other) {
-          if (test.labels[static_cast<size_t>(other)] ==
-              test.labels[static_cast<size_t>(k)]) {
-            ++agreement;
-          }
-        }
-        if (agreement == 1) {
-          test.deviating_model = k;
-          break;
-        }
-      }
-    }
-    // Update coverage with the generated input (Algorithm 1 line 18).
-    for (int k = 0; k < num_models(); ++k) {
-      metrics[static_cast<size_t>(k)]->Update(
-          *models_[static_cast<size_t>(k)], models_[static_cast<size_t>(k)]->Forward(x));
-    }
-    return test;
-  }
-  return std::nullopt;
+  // A single-seed chunk of the batched executor: same values, same RNG
+  // stream, but one forward per (model, iteration) instead of two or three.
+  Executor::SeedTask task;
+  task.seed = &seed;
+  task.seed_index = seed_index;
+  task.rng = &rng;
+  task.metrics = &metrics;
+  return executor_->Run({task}, *objective_)[0];
 }
 
 std::optional<GeneratedTest> Session::GenerateFromSeed(const Tensor& seed,
@@ -244,14 +177,24 @@ int Session::EffectiveWorkers() const {
 }
 
 void Session::ProfileSeeds(const std::vector<Tensor>& seeds) {
+  const size_t width = static_cast<size_t>(std::max(1, config_.batch_size));
   for (int k = 0; k < num_models(); ++k) {
     CoverageMetric& metric = *metrics_[static_cast<size_t>(k)];
     if (!metric.WantsSeedProfile()) {
       continue;
     }
     const Model& model = *models_[static_cast<size_t>(k)];
-    for (const Tensor& seed : seeds) {
-      metric.ProfileSeed(model, model.Forward(seed));
+    for (size_t begin = 0; begin < seeds.size(); begin += width) {
+      const size_t end = std::min(seeds.size(), begin + width);
+      std::vector<const Tensor*> chunk;
+      chunk.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        chunk.push_back(&seeds[i]);
+      }
+      const BatchTrace trace = model.ForwardBatch(StackSamples(chunk));
+      for (int b = 0; b < trace.batch; ++b) {
+        metric.ProfileSeed(model, trace.Sample(b));
+      }
     }
   }
   profiled_ = true;
@@ -260,6 +203,10 @@ void Session::ProfileSeeds(const std::vector<Tensor>& seeds) {
 RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& options) {
   RunStats stats;
   Timer timer;
+  int64_t forward_base = 0;
+  for (const Model* m : models_) {
+    forward_base += m->forward_passes();
+  }
   if (config_.profile_from_seeds && !profiled_) {
     ProfileSeeds(seeds);
   }
@@ -301,6 +248,10 @@ RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& option
     }
     stats.seconds = timer.ElapsedSeconds();
     stats.mean_coverage = MeanCoverage();
+    for (const Model* m : models_) {
+      stats.forward_passes += m->forward_passes();
+    }
+    stats.forward_passes -= forward_base;
     return stats;
   }
 
@@ -339,21 +290,45 @@ RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& option
       break;
     }
 
+    // Every task keeps its own RNG stream and tracker clones (exactly as in
+    // the per-seed path), then contiguous runs of `batch_size` tasks ascend
+    // in lockstep on the executor. Chunk boundaries depend only on
+    // batch_size — never on the worker count — and chunk composition cannot
+    // change any task's values, so results stay invariant to both knobs.
     std::vector<TaskResult> results(batch.size());
-    const auto run_task = [&](int64_t t) {
-      Rng task_rng(TaskSeed(config_.engine.rng_seed,
-                            task_counter + static_cast<uint64_t>(t)));
-      auto local_metrics = CloneMetrics();
-      results[static_cast<size_t>(t)].test =
-          GenerateFromSeed(seeds[static_cast<size_t>(batch[static_cast<size_t>(t)])],
-                           batch[static_cast<size_t>(t)], task_rng, local_metrics);
-      results[static_cast<size_t>(t)].metrics = std::move(local_metrics);
+    std::vector<Rng> task_rngs;
+    task_rngs.reserve(batch.size());
+    for (size_t t = 0; t < batch.size(); ++t) {
+      task_rngs.emplace_back(TaskSeed(config_.engine.rng_seed,
+                                      task_counter + static_cast<uint64_t>(t)));
+      results[t].metrics = CloneMetrics();
+    }
+    const size_t chunk_width = static_cast<size_t>(std::max(1, config_.batch_size));
+    const int64_t num_chunks =
+        static_cast<int64_t>((batch.size() + chunk_width - 1) / chunk_width);
+    const auto run_chunk = [&](int64_t c) {
+      const size_t begin = static_cast<size_t>(c) * chunk_width;
+      const size_t end = std::min(batch.size(), begin + chunk_width);
+      std::vector<Executor::SeedTask> tasks;
+      tasks.reserve(end - begin);
+      for (size_t t = begin; t < end; ++t) {
+        Executor::SeedTask task;
+        task.seed = &seeds[static_cast<size_t>(batch[t])];
+        task.seed_index = batch[t];
+        task.rng = &task_rngs[t];
+        task.metrics = &results[t].metrics;
+        tasks.push_back(task);
+      }
+      auto outcomes = executor_->Run(tasks, *objective_);
+      for (size_t t = begin; t < end; ++t) {
+        results[t].test = std::move(outcomes[t - begin]);
+      }
     };
-    if (workers > 1 && batch.size() > 1) {
-      pool_->ParallelFor(static_cast<int64_t>(batch.size()), run_task);
+    if (workers > 1 && num_chunks > 1) {
+      pool_->ParallelFor(num_chunks, run_chunk);
     } else {
-      for (int64_t t = 0; t < static_cast<int64_t>(batch.size()); ++t) {
-        run_task(t);
+      for (int64_t c = 0; c < num_chunks; ++c) {
+        run_chunk(c);
       }
     }
     task_counter += batch.size();
@@ -391,6 +366,10 @@ RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& option
   }
   stats.seconds = timer.ElapsedSeconds();
   stats.mean_coverage = MeanCoverage();
+  for (const Model* m : models_) {
+    stats.forward_passes += m->forward_passes();
+  }
+  stats.forward_passes -= forward_base;
   return stats;
 }
 

@@ -3,7 +3,14 @@
 // optional seed-level parallelism.
 //
 // A session runs Algorithm 1's outer loop over the seed stream the scheduler
-// emits. With `workers` > 1, seeds are processed in fixed-size batches
+// emits. Seeds execute on the batched Executor (src/core/executor.h):
+// chunks of `batch_size` seeds ascend in lockstep, so each iteration is one
+// batched forward pass per model whose activations are shared by the
+// objective gradient, the difference check, and the coverage update —
+// exactly one forward per (seed, model, iteration). Results are
+// bit-identical for any batch size.
+//
+// With `workers` > 1, seeds are processed in fixed-size batches
 // (`sync_interval`) on a thread pool: every task in a batch runs against
 // Clone()d coverage trackers frozen at the batch start and its own RNG
 // derived from (rng_seed, global task index); after the batch barrier the
@@ -34,6 +41,8 @@
 #include "src/util/thread_pool.h"
 
 namespace dx {
+
+class Executor;
 
 // The paper's per-run hyperparameters (Algorithm 1 / Table 2). Kept under
 // its historical name via the DeepXploreConfig alias below.
@@ -76,12 +85,22 @@ struct SessionConfig {
   std::string scheduler = "roundrobin";
   // Parallel seed workers; 1 = serial, 0 = hardware concurrency.
   int workers = 1;
+  // Seeds per lockstep executor chunk: the width of the batched forward
+  // passes (src/core/executor.h). Results are bit-identical for ANY value
+  // (batched kernels never reorder a per-sample reduction; asserted by
+  // tests), so this is purely a throughput knob. Parallel runs split each
+  // sync batch into ceil(sync_interval / batch_size) chunks — keep
+  // sync_interval >= workers * batch_size to saturate the workers.
+  int batch_size = 8;
   // Seeds per batch between coverage sync points. Fixed (never derived from
-  // `workers`) so results are invariant to the worker count. 0 selects the
-  // legacy serial mode: one session RNG threaded through the seed stream and
-  // trackers updated in place (the pre-Session DeepXplore semantics, bit-for
-  // -bit); requires workers == 1.
-  int sync_interval = 16;
+  // `workers`) so results are invariant to the worker count; sized to hold
+  // sync_interval / batch_size executor chunks, which is the parallel
+  // granularity — the default supports 8 workers at the default batch_size.
+  // Smaller values tighten scheduler/coverage feedback, larger values expose
+  // more parallelism. 0 selects the legacy serial mode: one session RNG
+  // threaded through the seed stream and trackers updated in place (the
+  // pre-Session DeepXplore semantics, bit-for-bit); requires workers == 1.
+  int sync_interval = 64;
   // Run the metric's ProfileSeed pass over the seed pool at the start of
   // Run (k-multisection range profiling); no-op for metrics that don't ask.
   bool profile_from_seeds = true;
@@ -94,7 +113,11 @@ struct GeneratedTest {
   int deviating_model = 0;     // Index of the model that left the consensus.
   std::vector<int> labels;     // Per-model predicted class (classification).
   std::vector<float> outputs;  // Per-model scalar output (regression).
-  double seconds = 0.0;        // Wall time to find this test.
+  // Wall time from the start of this seed's executor chunk until the test
+  // was found. Under batching (batch_size > 1) the chunk ascends several
+  // seeds in lockstep, so this includes the co-scheduled seeds' compute —
+  // comparable across runs at a fixed batch_size, not across batch sizes.
+  double seconds = 0.0;
 };
 
 struct RunOptions {
@@ -115,6 +138,11 @@ struct RunStats {
   double seconds = 0.0;
   // Mean coverage across models at the end of the run.
   float mean_coverage = 0.0f;
+  // Per-sample model forward passes spent during the run, summed over all
+  // models (includes seed profiling). With the batched executor this is
+  // exactly one pass per (seed, model, iteration) plus one consensus pass
+  // per (seed, model); deterministic for any worker count or batch size.
+  int64_t forward_passes = 0;
 };
 
 class Session {
@@ -125,6 +153,7 @@ class Session {
   // from the factory names in `config`; throws std::invalid_argument on
   // unknown names or invalid model sets.
   Session(std::vector<Model*> models, const Constraint* constraint, SessionConfig config);
+  ~Session();  // Out of line: Executor is an incomplete type here.
 
   // Replaces the factory-built plug-ins (extension point for custom
   // strategies; call before Run).
@@ -161,10 +190,12 @@ class Session {
   // Serial convenience: session RNG + session-global trackers.
   Tensor ObjectiveGradient(const Tensor& x, int target_model, int consensus);
 
-  // Algorithm 1's inner loop for one seed against explicit trackers + RNG.
-  // Returns nullopt when the seed has no consensus or the iteration budget
-  // runs out. On success `metrics` is updated with the generated input's
-  // activations.
+  // Algorithm 1's inner loop for one seed against explicit trackers + RNG,
+  // executed as a single-seed chunk of the batched Executor (one forward
+  // per model per iteration, shared by objective, difference check, and
+  // coverage update). Returns nullopt when the seed has no consensus or the
+  // iteration budget runs out. On success `metrics` is updated with the
+  // generated input's activations.
   std::optional<GeneratedTest> GenerateFromSeed(
       const Tensor& seed, int seed_index, Rng& rng,
       std::vector<std::unique_ptr<CoverageMetric>>& metrics);
@@ -194,6 +225,7 @@ class Session {
   std::vector<std::unique_ptr<CoverageMetric>> metrics_;
   std::unique_ptr<Objective> objective_;
   std::unique_ptr<SeedScheduler> scheduler_;
+  std::unique_ptr<Executor> executor_;  // Batched execution engine (default path).
   Rng rng_;  // Serial-path RNG (facade compatibility).
   std::unique_ptr<ThreadPool> pool_;
   bool profiled_ = false;

@@ -1,19 +1,24 @@
 #include "src/coverage/coverage_metric.h"
 
 #include <algorithm>
-#include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "src/coverage/kmultisection_coverage.h"
 #include "src/coverage/neuron_coverage.h"
 #include "src/coverage/topk_coverage.h"
+#include "src/util/registry.h"
 
 namespace dx {
 
 void CoverageMetric::ProfileSeed(const Model& model, const ForwardTrace& trace) {
   (void)model;
   (void)trace;
+}
+
+void CoverageMetric::UpdateBatch(const Model& model, const BatchTrace& trace) {
+  for (int b = 0; b < trace.batch; ++b) {
+    Update(model, trace.Sample(b));
+  }
 }
 
 NeuronValueMetric::NeuronValueMetric(const Model& model, CoverageOptions options)
@@ -102,8 +107,8 @@ void NeuronValueMetric::CheckMergeCompatible(const NeuronValueMetric& other) con
 
 namespace {
 
-std::map<std::string, CoverageMetricFactory>& Registry() {
-  static auto* registry = new std::map<std::string, CoverageMetricFactory>{
+NamedRegistry<CoverageMetricFactory>& Registry() {
+  static auto* registry = new NamedRegistry<CoverageMetricFactory>({
       {"neuron",
        [](const Model& m, const CoverageOptions& o) -> std::unique_ptr<CoverageMetric> {
          return std::make_unique<NeuronCoverageTracker>(m, o);
@@ -116,45 +121,22 @@ std::map<std::string, CoverageMetricFactory>& Registry() {
        [](const Model& m, const CoverageOptions& o) -> std::unique_ptr<CoverageMetric> {
          return std::make_unique<TopKNeuronCoverage>(m, o);
        }},
-  };
+  });
   return *registry;
-}
-
-std::mutex& RegistryMutex() {
-  static auto* mutex = new std::mutex;
-  return *mutex;
 }
 
 }  // namespace
 
 void RegisterCoverageMetric(const std::string& name, CoverageMetricFactory factory) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  Registry()[name] = std::move(factory);
+  Registry().Register(name, std::move(factory));
 }
 
 std::unique_ptr<CoverageMetric> MakeCoverageMetric(const std::string& name,
                                                    const Model& model,
                                                    const CoverageOptions& options) {
-  CoverageMetricFactory factory;
-  {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
-    const auto it = Registry().find(name);
-    if (it == Registry().end()) {
-      throw std::invalid_argument("unknown coverage metric: " + name);
-    }
-    factory = it->second;
-  }
-  return factory(model, options);
+  return Registry().Get(name, "coverage metric")(model, options);
 }
 
-std::vector<std::string> CoverageMetricNames() {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  std::vector<std::string> names;
-  names.reserve(Registry().size());
-  for (const auto& [name, factory] : Registry()) {
-    names.push_back(name);
-  }
-  return names;
-}
+std::vector<std::string> CoverageMetricNames() { return Registry().Names(); }
 
 }  // namespace dx

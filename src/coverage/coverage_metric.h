@@ -62,6 +62,12 @@ class CoverageMetric {
   // Observes one forward trace; coverage grows monotonically.
   virtual void Update(const Model& model, const ForwardTrace& trace) = 0;
 
+  // Batch-profiling entry point: observes every sample of one batched
+  // forward pass. Default-implemented via the scalar path (one Update per
+  // sample, in batch order); metrics may override it to scan the batched
+  // activations directly.
+  virtual void UpdateBatch(const Model& model, const BatchTrace& trace);
+
   // Covered fraction in [0, 1] of this metric's coverage items.
   virtual float Coverage() const = 0;
   // Denominator/numerator of Coverage(); "items" are metric-specific

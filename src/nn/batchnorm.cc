@@ -5,6 +5,35 @@
 #include <stdexcept>
 
 namespace dx {
+namespace {
+
+// One sample's gradient pass; shared by the scalar and batched backward so
+// parameter-gradient accumulation order matches a sequential sample loop.
+void BatchNormBackwardKernel(const float* px, const float* pg, float* pgi,
+                             const float* gamma, const float* mu, const float* var,
+                             float eps, int channels, int64_t plane, float* g_gamma,
+                             float* g_beta) {
+  for (int c = 0; c < channels; ++c) {
+    const float inv_std = 1.0f / std::sqrt(var[c] + eps);
+    const float scale = gamma[c] * inv_std;
+    const float* g_row = pg + static_cast<size_t>(c) * plane;
+    const float* x_row = px + static_cast<size_t>(c) * plane;
+    float* gi_row = pgi + static_cast<size_t>(c) * plane;
+    double acc_gamma = 0.0;
+    double acc_beta = 0.0;
+    for (int64_t i = 0; i < plane; ++i) {
+      gi_row[i] = g_row[i] * scale;
+      acc_gamma += static_cast<double>(g_row[i]) * (x_row[i] - mu[c]) * inv_std;
+      acc_beta += g_row[i];
+    }
+    if (g_gamma != nullptr) {
+      g_gamma[c] += static_cast<float>(acc_gamma);
+      g_beta[c] += static_cast<float>(acc_beta);
+    }
+  }
+}
+
+}  // namespace
 
 BatchNorm::BatchNorm(int num_features, float eps)
     : num_features_(num_features),
@@ -70,6 +99,27 @@ Tensor BatchNorm::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
   return out;
 }
 
+Tensor BatchNorm::ForwardBatch(const Tensor& input, int batch, bool /*training*/,
+                               Rng* /*rng*/, Tensor* /*aux*/) const {
+  const Shape sample_shape = Shape(input.shape().begin() + 1, input.shape().end());
+  OutputShape(sample_shape);
+  const int64_t sample = input.numel() / batch;
+  const int64_t plane = sample / num_features_;
+  Tensor out = input;
+  float* p = out.data();
+  for (int c = 0; c < num_features_; ++c) {
+    const float scale = gamma_[c] / std::sqrt(var_[c] + eps_);
+    const float shift = beta_[c] - mu_[c] * scale;
+    for (int b = 0; b < batch; ++b) {
+      float* row = p + static_cast<size_t>(b) * sample + static_cast<size_t>(c) * plane;
+      for (int64_t i = 0; i < plane; ++i) {
+        row[i] = row[i] * scale + shift;
+      }
+    }
+  }
+  return out;
+}
+
 Tensor BatchNorm::Backward(const Tensor& input, const Tensor& /*output*/,
                            const Tensor& grad_output, const Tensor& /*aux*/,
                            std::vector<Tensor>* param_grads) const {
@@ -92,23 +142,33 @@ Tensor BatchNorm::Backward(const Tensor& input, const Tensor& /*output*/,
     // mu/var grads ((*param_grads)[2], [3]) stay zero: statistics are frozen.
   }
 
-  for (int c = 0; c < channels; ++c) {
-    const float inv_std = 1.0f / std::sqrt(var_[c] + eps_);
-    const float scale = gamma_[c] * inv_std;
-    const float* g_row = pg + static_cast<size_t>(c) * plane;
-    const float* x_row = px + static_cast<size_t>(c) * plane;
-    float* gi_row = pgi + static_cast<size_t>(c) * plane;
-    double acc_gamma = 0.0;
-    double acc_beta = 0.0;
-    for (int64_t i = 0; i < plane; ++i) {
-      gi_row[i] = g_row[i] * scale;
-      acc_gamma += static_cast<double>(g_row[i]) * (x_row[i] - mu_[c]) * inv_std;
-      acc_beta += g_row[i];
+  BatchNormBackwardKernel(px, pg, pgi, gamma_.data(), mu_.data(), var_.data(), eps_,
+                          channels, plane,
+                          g_gamma != nullptr ? g_gamma->data() : nullptr,
+                          g_beta != nullptr ? g_beta->data() : nullptr);
+  return grad_in;
+}
+
+Tensor BatchNorm::BackwardBatch(const Tensor& input, const Tensor& /*output*/,
+                                const Tensor& grad_output, const Tensor& /*aux*/, int batch,
+                                std::vector<Tensor>* param_grads) const {
+  const int64_t sample = input.numel() / batch;
+  const int64_t plane = sample / num_features_;
+  Tensor grad_in(input.shape());
+  float* g_gamma = nullptr;
+  float* g_beta = nullptr;
+  if (param_grads != nullptr) {
+    if (param_grads->size() != 4) {
+      throw std::invalid_argument("BatchNorm::BackwardBatch: expected 4 param grad tensors");
     }
-    if (g_gamma != nullptr) {
-      (*g_gamma)[c] += static_cast<float>(acc_gamma);
-      (*g_beta)[c] += static_cast<float>(acc_beta);
-    }
+    g_gamma = (*param_grads)[0].data();
+    g_beta = (*param_grads)[1].data();
+  }
+  for (int b = 0; b < batch; ++b) {
+    const size_t offset = static_cast<size_t>(b) * sample;
+    BatchNormBackwardKernel(input.data() + offset, grad_output.data() + offset,
+                            grad_in.data() + offset, gamma_.data(), mu_.data(),
+                            var_.data(), eps_, num_features_, plane, g_gamma, g_beta);
   }
   return grad_in;
 }

@@ -33,6 +33,13 @@ class BatchNorm : public Layer {
   Tensor Forward(const Tensor& input, bool training, Rng* rng, Tensor* aux) const override;
   Tensor Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                   const Tensor& aux, std::vector<Tensor>* param_grads) const override;
+  // Batch kernels: the frozen-statistics affine is applied per sample slice
+  // with per-channel scale/shift hoisted across the batch.
+  Tensor ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
+                      Tensor* aux) const override;
+  Tensor BackwardBatch(const Tensor& input, const Tensor& output, const Tensor& grad_output,
+                       const Tensor& aux, int batch,
+                       std::vector<Tensor>* param_grads) const override;
   // gamma, beta, mu, var are all persisted; only gamma/beta are trainable but
   // mu/var ride along in MutableParams for serialization simplicity — the
   // optimizer must skip them, so they are exposed separately.

@@ -17,6 +17,119 @@ int ConvOutExtent(int in, int kernel, int stride, int padding) {
   return padded / stride + 1;
 }
 
+// Per-sample geometry shared by the scalar and batched kernels.
+struct ConvGeom {
+  int in_channels, out_channels, kernel_h, kernel_w, stride, padding;
+  int in_h, in_w, out_h, out_w;
+  int64_t in_size() const { return static_cast<int64_t>(in_channels) * in_h * in_w; }
+  int64_t out_size() const { return static_cast<int64_t>(out_channels) * out_h * out_w; }
+};
+
+// The convolution proper for one sample (pre-activation). Both Forward and
+// ForwardBatch run exactly this code, so batching cannot change a result.
+void ConvForwardKernel(const ConvGeom& g, const float* px, const float* pw,
+                       const float* pb, float* py) {
+  for (int oc = 0; oc < g.out_channels; ++oc) {
+    float* out_plane = py + static_cast<size_t>(oc) * g.out_h * g.out_w;
+    const float* w_filter =
+        pw + static_cast<size_t>(oc) * g.in_channels * g.kernel_h * g.kernel_w;
+    const float b = pb[oc];
+    for (int oy = 0; oy < g.out_h; ++oy) {
+      for (int ox = 0; ox < g.out_w; ++ox) {
+        out_plane[oy * g.out_w + ox] = b;
+      }
+    }
+    for (int ic = 0; ic < g.in_channels; ++ic) {
+      const float* in_plane = px + static_cast<size_t>(ic) * g.in_h * g.in_w;
+      const float* w_plane = w_filter + static_cast<size_t>(ic) * g.kernel_h * g.kernel_w;
+      for (int oy = 0; oy < g.out_h; ++oy) {
+        const int iy0 = oy * g.stride - g.padding;
+        for (int ky = 0; ky < g.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= g.in_h) {
+            continue;
+          }
+          const float* in_row = in_plane + static_cast<size_t>(iy) * g.in_w;
+          const float* w_row = w_plane + static_cast<size_t>(ky) * g.kernel_w;
+          float* out_row = out_plane + static_cast<size_t>(oy) * g.out_w;
+          for (int ox = 0; ox < g.out_w; ++ox) {
+            const int ix0 = ox * g.stride - g.padding;
+            float acc = 0.0f;
+            for (int kx = 0; kx < g.kernel_w; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix >= 0 && ix < g.in_w) {
+                acc += w_row[kx] * in_row[ix];
+              }
+            }
+            out_row[ox] += acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Per-sample gradient kernel (post-activation grad already folded into pg).
+void ConvBackwardKernel(const ConvGeom& g, const float* px, const float* pw,
+                        const float* pg, float* pgi, float* gw_base, float* gb) {
+  for (int oc = 0; oc < g.out_channels; ++oc) {
+    const float* g_plane = pg + static_cast<size_t>(oc) * g.out_h * g.out_w;
+    const float* w_filter =
+        pw + static_cast<size_t>(oc) * g.in_channels * g.kernel_h * g.kernel_w;
+    float* gw_filter =
+        gw_base != nullptr
+            ? gw_base + static_cast<size_t>(oc) * g.in_channels * g.kernel_h * g.kernel_w
+            : nullptr;
+    if (gb != nullptr) {
+      double acc = 0.0;
+      for (int i = 0; i < g.out_h * g.out_w; ++i) {
+        acc += g_plane[i];
+      }
+      gb[oc] += static_cast<float>(acc);
+    }
+    for (int ic = 0; ic < g.in_channels; ++ic) {
+      const float* in_plane = px + static_cast<size_t>(ic) * g.in_h * g.in_w;
+      const float* w_plane = w_filter + static_cast<size_t>(ic) * g.kernel_h * g.kernel_w;
+      float* gi_plane = pgi + static_cast<size_t>(ic) * g.in_h * g.in_w;
+      float* gw_plane =
+          gw_filter != nullptr ? gw_filter + static_cast<size_t>(ic) * g.kernel_h * g.kernel_w
+                               : nullptr;
+      for (int oy = 0; oy < g.out_h; ++oy) {
+        const int iy0 = oy * g.stride - g.padding;
+        const float* g_row = g_plane + static_cast<size_t>(oy) * g.out_w;
+        for (int ky = 0; ky < g.kernel_h; ++ky) {
+          const int iy = iy0 + ky;
+          if (iy < 0 || iy >= g.in_h) {
+            continue;
+          }
+          const float* in_row = in_plane + static_cast<size_t>(iy) * g.in_w;
+          float* gi_row = gi_plane + static_cast<size_t>(iy) * g.in_w;
+          const float* w_row = w_plane + static_cast<size_t>(ky) * g.kernel_w;
+          float* gw_row =
+              gw_plane != nullptr ? gw_plane + static_cast<size_t>(ky) * g.kernel_w : nullptr;
+          for (int ox = 0; ox < g.out_w; ++ox) {
+            const float gv = g_row[ox];
+            if (gv == 0.0f) {
+              continue;
+            }
+            const int ix0 = ox * g.stride - g.padding;
+            for (int kx = 0; kx < g.kernel_w; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix < 0 || ix >= g.in_w) {
+                continue;
+              }
+              gi_row[ix] += gv * w_row[kx];
+              if (gw_row != nullptr) {
+                gw_row[kx] += gv * in_row[ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel_h, int kernel_w, int stride,
@@ -88,53 +201,30 @@ Shape Conv2D::OutputShape(const Shape& input_shape) const {
 Tensor Conv2D::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
                        Tensor* /*aux*/) const {
   const Shape out_shape = OutputShape(input.shape());
-  const int in_h = input.dim(1);
-  const int in_w = input.dim(2);
-  const int out_h = out_shape[1];
-  const int out_w = out_shape[2];
+  const ConvGeom g{in_channels_, out_channels_, kernel_h_,    kernel_w_,
+                   stride_,      padding_,      input.dim(1), input.dim(2),
+                   out_shape[1], out_shape[2]};
   Tensor out(out_shape);
+  ConvForwardKernel(g, input.data(), weight_.data(), bias_.data(), out.data());
+  ApplyActivation(act_, &out);
+  return out;
+}
 
-  const float* px = input.data();
-  const float* pw = weight_.data();
-  float* py = out.data();
-
-  for (int oc = 0; oc < out_channels_; ++oc) {
-    float* out_plane = py + static_cast<size_t>(oc) * out_h * out_w;
-    const float* w_filter =
-        pw + static_cast<size_t>(oc) * in_channels_ * kernel_h_ * kernel_w_;
-    const float b = bias_[oc];
-    for (int oy = 0; oy < out_h; ++oy) {
-      for (int ox = 0; ox < out_w; ++ox) {
-        out_plane[oy * out_w + ox] = b;
-      }
-    }
-    for (int ic = 0; ic < in_channels_; ++ic) {
-      const float* in_plane = px + static_cast<size_t>(ic) * in_h * in_w;
-      const float* w_plane = w_filter + static_cast<size_t>(ic) * kernel_h_ * kernel_w_;
-      for (int oy = 0; oy < out_h; ++oy) {
-        const int iy0 = oy * stride_ - padding_;
-        for (int ky = 0; ky < kernel_h_; ++ky) {
-          const int iy = iy0 + ky;
-          if (iy < 0 || iy >= in_h) {
-            continue;
-          }
-          const float* in_row = in_plane + static_cast<size_t>(iy) * in_w;
-          const float* w_row = w_plane + static_cast<size_t>(ky) * kernel_w_;
-          float* out_row = out_plane + static_cast<size_t>(oy) * out_w;
-          for (int ox = 0; ox < out_w; ++ox) {
-            const int ix0 = ox * stride_ - padding_;
-            float acc = 0.0f;
-            for (int kx = 0; kx < kernel_w_; ++kx) {
-              const int ix = ix0 + kx;
-              if (ix >= 0 && ix < in_w) {
-                acc += w_row[kx] * in_row[ix];
-              }
-            }
-            out_row[ox] += acc;
-          }
-        }
-      }
-    }
+Tensor Conv2D::ForwardBatch(const Tensor& input, int batch, bool /*training*/,
+                            Rng* /*rng*/, Tensor* /*aux*/) const {
+  if (input.ndim() != 4 || input.dim(0) != batch) {
+    throw std::invalid_argument("Conv2D::ForwardBatch: expected [B, C, H, W] input");
+  }
+  const Shape sample_shape = {input.dim(1), input.dim(2), input.dim(3)};
+  const Shape out_shape = OutputShape(sample_shape);
+  const ConvGeom g{in_channels_, out_channels_, kernel_h_,    kernel_w_,
+                   stride_,      padding_,      input.dim(2), input.dim(3),
+                   out_shape[1], out_shape[2]};
+  Tensor out({batch, out_shape[0], out_shape[1], out_shape[2]});
+  for (int b = 0; b < batch; ++b) {
+    ConvForwardKernel(g, input.data() + static_cast<size_t>(b) * g.in_size(),
+                      weight_.data(), bias_.data(),
+                      out.data() + static_cast<size_t>(b) * g.out_size());
   }
   ApplyActivation(act_, &out);
   return out;
@@ -144,83 +234,38 @@ Tensor Conv2D::Backward(const Tensor& input, const Tensor& output, const Tensor&
                         const Tensor& /*aux*/, std::vector<Tensor>* param_grads) const {
   Tensor grad_pre = grad_output;
   ApplyActivationGrad(act_, output, &grad_pre);
-
-  const int in_h = input.dim(1);
-  const int in_w = input.dim(2);
-  const int out_h = output.dim(1);
-  const int out_w = output.dim(2);
-
+  const ConvGeom g{in_channels_, out_channels_, kernel_h_,     kernel_w_,
+                   stride_,      padding_,      input.dim(1),  input.dim(2),
+                   output.dim(1), output.dim(2)};
   Tensor grad_in(input.shape());
-  const float* px = input.data();
-  const float* pw = weight_.data();
-  const float* pg = grad_pre.data();
-  float* pgi = grad_in.data();
-
-  Tensor* gw = nullptr;
-  Tensor* gb = nullptr;
-  if (param_grads != nullptr) {
-    if (param_grads->size() != 2) {
-      throw std::invalid_argument("Conv2D::Backward: expected 2 param grad tensors");
-    }
-    gw = &(*param_grads)[0];
-    gb = &(*param_grads)[1];
+  if (param_grads != nullptr && param_grads->size() != 2) {
+    throw std::invalid_argument("Conv2D::Backward: expected 2 param grad tensors");
   }
+  ConvBackwardKernel(g, input.data(), weight_.data(), grad_pre.data(), grad_in.data(),
+                     param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
+                     param_grads != nullptr ? (*param_grads)[1].data() : nullptr);
+  return grad_in;
+}
 
-  for (int oc = 0; oc < out_channels_; ++oc) {
-    const float* g_plane = pg + static_cast<size_t>(oc) * out_h * out_w;
-    const float* w_filter =
-        pw + static_cast<size_t>(oc) * in_channels_ * kernel_h_ * kernel_w_;
-    float* gw_filter = gw != nullptr
-                           ? gw->data() + static_cast<size_t>(oc) * in_channels_ * kernel_h_ *
-                                              kernel_w_
-                           : nullptr;
-    if (gb != nullptr) {
-      double acc = 0.0;
-      for (int i = 0; i < out_h * out_w; ++i) {
-        acc += g_plane[i];
-      }
-      (*gb)[oc] += static_cast<float>(acc);
-    }
-    for (int ic = 0; ic < in_channels_; ++ic) {
-      const float* in_plane = px + static_cast<size_t>(ic) * in_h * in_w;
-      const float* w_plane = w_filter + static_cast<size_t>(ic) * kernel_h_ * kernel_w_;
-      float* gi_plane = pgi + static_cast<size_t>(ic) * in_h * in_w;
-      float* gw_plane =
-          gw_filter != nullptr ? gw_filter + static_cast<size_t>(ic) * kernel_h_ * kernel_w_
-                               : nullptr;
-      for (int oy = 0; oy < out_h; ++oy) {
-        const int iy0 = oy * stride_ - padding_;
-        const float* g_row = g_plane + static_cast<size_t>(oy) * out_w;
-        for (int ky = 0; ky < kernel_h_; ++ky) {
-          const int iy = iy0 + ky;
-          if (iy < 0 || iy >= in_h) {
-            continue;
-          }
-          const float* in_row = in_plane + static_cast<size_t>(iy) * in_w;
-          float* gi_row = gi_plane + static_cast<size_t>(iy) * in_w;
-          const float* w_row = w_plane + static_cast<size_t>(ky) * kernel_w_;
-          float* gw_row =
-              gw_plane != nullptr ? gw_plane + static_cast<size_t>(ky) * kernel_w_ : nullptr;
-          for (int ox = 0; ox < out_w; ++ox) {
-            const float g = g_row[ox];
-            if (g == 0.0f) {
-              continue;
-            }
-            const int ix0 = ox * stride_ - padding_;
-            for (int kx = 0; kx < kernel_w_; ++kx) {
-              const int ix = ix0 + kx;
-              if (ix < 0 || ix >= in_w) {
-                continue;
-              }
-              gi_row[ix] += g * w_row[kx];
-              if (gw_row != nullptr) {
-                gw_row[kx] += g * in_row[ix];
-              }
-            }
-          }
-        }
-      }
-    }
+Tensor Conv2D::BackwardBatch(const Tensor& input, const Tensor& output,
+                             const Tensor& grad_output, const Tensor& /*aux*/, int batch,
+                             std::vector<Tensor>* param_grads) const {
+  Tensor grad_pre = grad_output;  // [B, C, H, W]
+  ApplyActivationGrad(act_, output, &grad_pre);
+  const ConvGeom g{in_channels_, out_channels_, kernel_h_,     kernel_w_,
+                   stride_,      padding_,      input.dim(2),  input.dim(3),
+                   output.dim(2), output.dim(3)};
+  Tensor grad_in(input.shape());
+  if (param_grads != nullptr && param_grads->size() != 2) {
+    throw std::invalid_argument("Conv2D::BackwardBatch: expected 2 param grad tensors");
+  }
+  for (int b = 0; b < batch; ++b) {
+    ConvBackwardKernel(g, input.data() + static_cast<size_t>(b) * g.in_size(),
+                       weight_.data(),
+                       grad_pre.data() + static_cast<size_t>(b) * g.out_size(),
+                       grad_in.data() + static_cast<size_t>(b) * g.in_size(),
+                       param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
+                       param_grads != nullptr ? (*param_grads)[1].data() : nullptr);
   }
   return grad_in;
 }

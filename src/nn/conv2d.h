@@ -28,6 +28,13 @@ class Conv2D : public Layer {
   Tensor Forward(const Tensor& input, bool training, Rng* rng, Tensor* aux) const override;
   Tensor Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                   const Tensor& aux, std::vector<Tensor>* param_grads) const override;
+  // Batch kernels: run the per-sample convolution over contiguous slices of
+  // one [B, C, H, W] allocation (no per-sample tensors or shape checks).
+  Tensor ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
+                      Tensor* aux) const override;
+  Tensor BackwardBatch(const Tensor& input, const Tensor& output, const Tensor& grad_output,
+                       const Tensor& aux, int batch,
+                       std::vector<Tensor>* param_grads) const override;
   std::vector<Tensor*> MutableParams() override { return {&weight_, &bias_}; }
   std::vector<const Tensor*> Params() const override { return {&weight_, &bias_}; }
   int NumNeurons() const override { return out_channels_; }

@@ -7,6 +7,53 @@
 #include "src/util/rng.h"
 
 namespace dx {
+namespace {
+
+// One sample's pre-activation matvec: py = W px + b, each output a double
+// accumulation in ascending i. Shared by Forward and ForwardBatch tails.
+void DenseForwardSample(const float* px, float* py, const float* pw, const float* pb,
+                        int in_features, int out_features) {
+  for (int o = 0; o < out_features; ++o) {
+    const float* row = pw + static_cast<size_t>(o) * in_features;
+    double acc = pb[o];
+    for (int i = 0; i < in_features; ++i) {
+      acc += static_cast<double>(row[i]) * px[i];
+    }
+    py[o] = static_cast<float>(acc);
+  }
+}
+
+// Shared gradient kernel: dL/dinput (and parameter grads) for one sample.
+// Used by both the per-sample and the batched backward so the two paths run
+// the exact same float operations.
+void DenseBackwardKernel(const float* pg, const float* pw, const float* px, float* pgi,
+                         float* gw, float* gb, int in_features, int out_features) {
+  for (int o = 0; o < out_features; ++o) {
+    const float g = pg[o];
+    if (g == 0.0f) {
+      continue;
+    }
+    const float* row = pw + static_cast<size_t>(o) * in_features;
+    for (int i = 0; i < in_features; ++i) {
+      pgi[i] += g * row[i];
+    }
+  }
+  if (gw != nullptr) {
+    for (int o = 0; o < out_features; ++o) {
+      const float g = pg[o];
+      gb[o] += g;
+      if (g == 0.0f) {
+        continue;
+      }
+      float* grow = gw + static_cast<size_t>(o) * in_features;
+      for (int i = 0; i < in_features; ++i) {
+        grow[i] += g * px[i];
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Dense::Dense(int in_features, int out_features, Activation act)
     : in_features_(in_features),
@@ -73,17 +120,8 @@ Tensor Dense::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
     throw std::invalid_argument("Dense::Forward: bad input size");
   }
   Tensor out({out_features_});
-  const float* px = input.data();
-  const float* pw = weight_.data();
-  float* py = out.data();
-  for (int o = 0; o < out_features_; ++o) {
-    const float* row = pw + static_cast<size_t>(o) * in_features_;
-    double acc = bias_[o];
-    for (int i = 0; i < in_features_; ++i) {
-      acc += static_cast<double>(row[i]) * px[i];
-    }
-    py[o] = static_cast<float>(acc);
-  }
+  DenseForwardSample(input.data(), out.data(), weight_.data(), bias_.data(), in_features_,
+                     out_features_);
   ApplyActivation(act_, &out);
   return out;
 }
@@ -94,38 +132,90 @@ Tensor Dense::Backward(const Tensor& input, const Tensor& output, const Tensor& 
   ApplyActivationGrad(act_, output, &grad_pre);
 
   Tensor grad_in({in_features_});
-  const float* pg = grad_pre.data();
+  if (param_grads != nullptr && param_grads->size() != 2) {
+    throw std::invalid_argument("Dense::Backward: expected 2 param grad tensors");
+  }
+  DenseBackwardKernel(grad_pre.data(), weight_.data(), input.data(), grad_in.data(),
+                      param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
+                      param_grads != nullptr ? (*param_grads)[1].data() : nullptr,
+                      in_features_, out_features_);
+  return grad_in;
+}
+
+Tensor Dense::ForwardBatch(const Tensor& input, int batch, bool /*training*/, Rng* /*rng*/,
+                           Tensor* /*aux*/) const {
+  if (input.numel() != static_cast<int64_t>(batch) * in_features_) {
+    throw std::invalid_argument("Dense::ForwardBatch: bad input size");
+  }
+  Tensor out({batch, out_features_});
+  const float* px = input.data();
   const float* pw = weight_.data();
-  float* pgi = grad_in.data();
-  for (int o = 0; o < out_features_; ++o) {
-    const float g = pg[o];
-    if (g == 0.0f) {
-      continue;
+  float* py = out.data();
+  // Full blocks of kLanes samples run a transposed kernel with fixed-size
+  // accumulator arrays: the compiler keeps the lanes in registers, each
+  // weight row is read once for the whole block, and the matvec's serial
+  // double-add chain becomes kLanes independent chains. Each lane still
+  // computes bias + Σ_i w[i]·x[i] in ascending i — the scalar kernel's exact
+  // operation sequence — so results are bit-identical; leftover samples just
+  // run the scalar kernel.
+  constexpr int kLanes = 8;
+  int b0 = 0;
+  if (batch >= kLanes) {
+    // Transpose to [in, batch] for contiguous batch-inner loads.
+    std::vector<float> xt(static_cast<size_t>(batch) * in_features_);
+    for (int b = 0; b < batch; ++b) {
+      const float* x_row = px + static_cast<size_t>(b) * in_features_;
+      for (int i = 0; i < in_features_; ++i) {
+        xt[static_cast<size_t>(i) * batch + b] = x_row[i];
+      }
     }
-    const float* row = pw + static_cast<size_t>(o) * in_features_;
-    for (int i = 0; i < in_features_; ++i) {
-      pgi[i] += g * row[i];
+    for (; b0 + kLanes <= batch; b0 += kLanes) {
+      double acc[kLanes];
+      for (int o = 0; o < out_features_; ++o) {
+        const float* row = pw + static_cast<size_t>(o) * in_features_;
+        const double bias = bias_[o];
+        for (int j = 0; j < kLanes; ++j) {
+          acc[j] = bias;
+        }
+        for (int i = 0; i < in_features_; ++i) {
+          const double w = row[i];
+          const float* x_col = xt.data() + static_cast<size_t>(i) * batch + b0;
+          for (int j = 0; j < kLanes; ++j) {
+            acc[j] += w * static_cast<double>(x_col[j]);
+          }
+        }
+        for (int j = 0; j < kLanes; ++j) {
+          py[static_cast<size_t>(b0 + j) * out_features_ + o] = static_cast<float>(acc[j]);
+        }
+      }
     }
   }
+  for (; b0 < batch; ++b0) {
+    DenseForwardSample(px + static_cast<size_t>(b0) * in_features_,
+                       py + static_cast<size_t>(b0) * out_features_, pw, bias_.data(),
+                       in_features_, out_features_);
+  }
+  ApplyActivation(act_, &out);
+  return out;
+}
 
-  if (param_grads != nullptr) {
-    if (param_grads->size() != 2) {
-      throw std::invalid_argument("Dense::Backward: expected 2 param grad tensors");
-    }
-    Tensor& gw = (*param_grads)[0];
-    Tensor& gb = (*param_grads)[1];
-    const float* px = input.data();
-    for (int o = 0; o < out_features_; ++o) {
-      const float g = pg[o];
-      gb[o] += g;
-      if (g == 0.0f) {
-        continue;
-      }
-      float* grow = gw.data() + static_cast<size_t>(o) * in_features_;
-      for (int i = 0; i < in_features_; ++i) {
-        grow[i] += g * px[i];
-      }
-    }
+Tensor Dense::BackwardBatch(const Tensor& input, const Tensor& output,
+                            const Tensor& grad_output, const Tensor& /*aux*/, int batch,
+                            std::vector<Tensor>* param_grads) const {
+  Tensor grad_pre = grad_output;  // [batch, out]
+  ApplyActivationGrad(act_, output, &grad_pre);
+  Tensor grad_in({batch, in_features_});
+  if (param_grads != nullptr && param_grads->size() != 2) {
+    throw std::invalid_argument("Dense::BackwardBatch: expected 2 param grad tensors");
+  }
+  for (int b = 0; b < batch; ++b) {
+    DenseBackwardKernel(grad_pre.data() + static_cast<size_t>(b) * out_features_,
+                        weight_.data(),
+                        input.data() + static_cast<size_t>(b) * in_features_,
+                        grad_in.data() + static_cast<size_t>(b) * in_features_,
+                        param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
+                        param_grads != nullptr ? (*param_grads)[1].data() : nullptr,
+                        in_features_, out_features_);
   }
   return grad_in;
 }

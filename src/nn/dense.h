@@ -26,6 +26,15 @@ class Dense : public Layer {
   Tensor Forward(const Tensor& input, bool training, Rng* rng, Tensor* aux) const override;
   Tensor Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                   const Tensor& aux, std::vector<Tensor>* param_grads) const override;
+  // Batch kernel: streams each weight row once for all samples and
+  // accumulates batch-inner (vectorizable, no serial dependency chain),
+  // keeping every sample's i-ascending double reduction — bit-identical to
+  // the per-sample matvec.
+  Tensor ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
+                      Tensor* aux) const override;
+  Tensor BackwardBatch(const Tensor& input, const Tensor& output, const Tensor& grad_output,
+                       const Tensor& aux, int batch,
+                       std::vector<Tensor>* param_grads) const override;
   std::vector<Tensor*> MutableParams() override { return {&weight_, &bias_}; }
   std::vector<const Tensor*> Params() const override { return {&weight_, &bias_}; }
   int NumNeurons() const override { return out_features_; }

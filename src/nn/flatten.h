@@ -26,6 +26,16 @@ class Flatten : public Layer {
                   const Tensor& /*aux*/, std::vector<Tensor>* /*param_grads*/) const override {
     return grad_output.Reshape(input.shape());
   }
+  // Flattening a batch is a pure reshape: [B, ...] -> [B, prod(...)].
+  Tensor ForwardBatch(const Tensor& input, int batch, bool /*training*/, Rng* /*rng*/,
+                      Tensor* /*aux*/) const override {
+    return input.Reshape({batch, static_cast<int>(input.numel() / batch)});
+  }
+  Tensor BackwardBatch(const Tensor& input, const Tensor& /*output*/,
+                       const Tensor& grad_output, const Tensor& /*aux*/, int /*batch*/,
+                       std::vector<Tensor>* /*param_grads*/) const override {
+    return grad_output.Reshape(input.shape());
+  }
   void SerializeConfig(BinaryWriter& /*writer*/) const override {}
 };
 

@@ -49,6 +49,23 @@ class Layer {
                           const Tensor& grad_output, const Tensor& aux,
                           std::vector<Tensor>* param_grads) const = 0;
 
+  // Batched forward: `input` is [batch, ...sample_shape]; returns
+  // [batch, ...output_shape], with `*aux` batched the same way (or left
+  // empty when the per-sample pass records no aux). Every sample's result is
+  // bit-identical to Forward on that sample alone — batching amortizes
+  // per-layer overhead, it never reorders a per-scalar reduction. The base
+  // implementation loops Forward over sample slices; hot layers override it
+  // with a single-allocation batch kernel.
+  virtual Tensor ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
+                              Tensor* aux) const;
+
+  // Batched counterpart of Backward over [batch, ...] tensors. Parameter
+  // gradients (when requested) accumulate across samples in batch order,
+  // matching a sequential per-sample loop.
+  virtual Tensor BackwardBatch(const Tensor& input, const Tensor& output,
+                               const Tensor& grad_output, const Tensor& aux, int batch,
+                               std::vector<Tensor>* param_grads) const;
+
   // Trainable parameters (empty for parameterless layers).
   virtual std::vector<Tensor*> MutableParams() { return {}; }
   virtual std::vector<const Tensor*> Params() const { return {}; }
@@ -76,6 +93,32 @@ struct ForwardTrace {
     return layer == 0 ? input : outputs[static_cast<size_t>(layer) - 1];
   }
   const Tensor& Output() const { return outputs.back(); }
+};
+
+// One recorded *batched* forward pass: every tensor carries a leading batch
+// dimension, so outputs[l] holds layer l's activations for all `batch`
+// inputs of one Model::ForwardBatch call. This is the currency of the
+// batched execution path: computed once per (input batch, model) and shared
+// by the objective gradient, the difference check, and the coverage update.
+struct BatchTrace {
+  int batch = 0;
+  Tensor input;                 // [batch, ...model_input_shape]
+  std::vector<Tensor> outputs;  // outputs[l]: [batch, ...layer_l_output_shape]
+  std::vector<Tensor> aux;      // aux[l]: [batch, ...] or empty
+
+  const Tensor& LayerInput(int layer) const {
+    return layer == 0 ? input : outputs[static_cast<size_t>(layer) - 1];
+  }
+  const Tensor& Output() const { return outputs.back(); }
+
+  // Copies sample `index` out as a per-sample ForwardTrace (scalar-path
+  // bridge: objectives and metrics written against ForwardTrace consume the
+  // shared batch activations through this instead of re-forwarding).
+  ForwardTrace Sample(int index) const;
+  // Copies the selected samples into a smaller BatchTrace.
+  BatchTrace Select(const std::vector<int>& indices) const;
+  // Copy of sample `index` of layer `layer`'s output.
+  Tensor SampleOutput(int layer, int index) const;
 };
 
 }  // namespace dx

@@ -11,6 +11,7 @@
 #include "src/nn/pool2d.h"
 #include "src/nn/residual.h"
 #include "src/nn/softmax_layer.h"
+#include "src/tensor/ops.h"
 #include "src/util/serialize.h"
 
 namespace dx {
@@ -25,6 +26,92 @@ void Layer::AddNeuronSeed(Tensor* /*seed*/, int /*index*/, float /*weight*/) con
   throw std::logic_error("layer '" + Kind() + "' has no coverage neurons");
 }
 
+Tensor Layer::ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
+                           Tensor* aux) const {
+  // Generic fallback: per-sample Forward over slices. Bit-identical to the
+  // scalar path by construction; overriding layers must preserve that.
+  Tensor out;
+  Tensor batched_aux;
+  for (int b = 0; b < batch; ++b) {
+    Tensor sample_aux;
+    const Tensor sample_out = Forward(SliceSample(input, b), training, rng, &sample_aux);
+    if (b == 0) {
+      out = Tensor(BatchedShape(batch, sample_out.shape()));
+      if (!sample_aux.empty()) {
+        batched_aux = Tensor(BatchedShape(batch, sample_aux.shape()));
+      }
+    }
+    CopySampleInto(&out, b, sample_out);
+    if (!batched_aux.empty()) {
+      CopySampleInto(&batched_aux, b, sample_aux);
+    }
+  }
+  if (aux != nullptr && !batched_aux.empty()) {
+    *aux = std::move(batched_aux);
+  }
+  return out;
+}
+
+Tensor Layer::BackwardBatch(const Tensor& input, const Tensor& output,
+                            const Tensor& grad_output, const Tensor& aux, int batch,
+                            std::vector<Tensor>* param_grads) const {
+  Tensor grad_in(input.shape());
+  for (int b = 0; b < batch; ++b) {
+    const Tensor aux_b = aux.empty() ? Tensor() : SliceSample(aux, b);
+    CopySampleInto(&grad_in, b,
+                   Backward(SliceSample(input, b), SliceSample(output, b),
+                            SliceSample(grad_output, b), aux_b, param_grads));
+  }
+  return grad_in;
+}
+
+// ---- BatchTrace --------------------------------------------------------------------------
+
+ForwardTrace BatchTrace::Sample(int index) const {
+  ForwardTrace trace;
+  trace.input = SliceSample(input, index);
+  trace.outputs.reserve(outputs.size());
+  trace.aux.resize(outputs.size());
+  for (size_t l = 0; l < outputs.size(); ++l) {
+    trace.outputs.push_back(SliceSample(outputs[l], index));
+    if (!aux[l].empty()) {
+      trace.aux[l] = SliceSample(aux[l], index);
+    }
+  }
+  return trace;
+}
+
+BatchTrace BatchTrace::Select(const std::vector<int>& indices) const {
+  const int n = static_cast<int>(indices.size());
+  BatchTrace trace;
+  trace.batch = n;
+  trace.input = Tensor(BatchedShape(n, SampleShape(input.shape())));
+  for (int i = 0; i < n; ++i) {
+    CopySampleInto(&trace.input, i, SliceSample(input, indices[static_cast<size_t>(i)]));
+  }
+  trace.outputs.reserve(outputs.size());
+  trace.aux.resize(outputs.size());
+  for (size_t l = 0; l < outputs.size(); ++l) {
+    Tensor out(BatchedShape(n, SampleShape(outputs[l].shape())));
+    for (int i = 0; i < n; ++i) {
+      CopySampleInto(&out, i, SliceSample(outputs[l], indices[static_cast<size_t>(i)]));
+    }
+    trace.outputs.push_back(std::move(out));
+    if (!aux[l].empty()) {
+      Tensor a(BatchedShape(n, SampleShape(aux[l].shape())));
+      for (int i = 0; i < n; ++i) {
+        CopySampleInto(&a, i, SliceSample(aux[l], indices[static_cast<size_t>(i)]));
+      }
+      trace.aux[l] = std::move(a);
+    }
+  }
+  return trace;
+}
+
+Tensor BatchTrace::SampleOutput(int layer, int index) const {
+  return SliceSample(outputs[static_cast<size_t>(layer)], index);
+}
+
 // ---- Model -------------------------------------------------------------------------------
 
 Model::Model(std::string name, Shape input_shape)
@@ -32,6 +119,25 @@ Model::Model(std::string name, Shape input_shape)
   if (NumElements(input_shape_) <= 0) {
     throw std::invalid_argument("Model: input shape must have elements");
   }
+}
+
+Model::Model(Model&& other) noexcept
+    : name_(std::move(other.name_)),
+      input_shape_(std::move(other.input_shape_)),
+      layers_(std::move(other.layers_)),
+      layer_shapes_(std::move(other.layer_shapes_)),
+      forward_passes_(other.forward_passes_.load(std::memory_order_relaxed)) {}
+
+Model& Model::operator=(Model&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    input_shape_ = std::move(other.input_shape_);
+    layers_ = std::move(other.layers_);
+    layer_shapes_ = std::move(other.layer_shapes_);
+    forward_passes_.store(other.forward_passes_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  return *this;
 }
 
 void Model::Add(std::unique_ptr<Layer> layer) {
@@ -62,6 +168,29 @@ ForwardTrace Model::Forward(const Tensor& input, bool training, Rng* rng) const 
     trace.outputs.push_back(layers_[l]->Forward(*cur, training, rng, &trace.aux[l]));
     cur = &trace.outputs.back();
   }
+  forward_passes_.fetch_add(1, std::memory_order_relaxed);
+  return trace;
+}
+
+BatchTrace Model::ForwardBatch(const Tensor& input, bool training, Rng* rng) const {
+  if (input.ndim() != static_cast<int>(input_shape_.size()) + 1 ||
+      SampleShape(input.shape()) != input_shape_) {
+    throw std::invalid_argument("Model::ForwardBatch: input shape " +
+                                ShapeToString(input.shape()) + " != batched " +
+                                ShapeToString(input_shape_));
+  }
+  const int batch = input.dim(0);
+  BatchTrace trace;
+  trace.batch = batch;
+  trace.input = input;
+  trace.outputs.reserve(layers_.size());
+  trace.aux.resize(layers_.size());
+  const Tensor* cur = &trace.input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    trace.outputs.push_back(layers_[l]->ForwardBatch(*cur, batch, training, rng, &trace.aux[l]));
+    cur = &trace.outputs.back();
+  }
+  forward_passes_.fetch_add(batch, std::memory_order_relaxed);
   return trace;
 }
 
@@ -75,6 +204,23 @@ float Model::PredictScalar(const Tensor& input) const { return Predict(input)[0]
 
 Tensor Model::BackwardInput(const ForwardTrace& trace, int from_layer, Tensor seed) const {
   return BackwardParams(trace, from_layer, std::move(seed), nullptr);
+}
+
+Tensor Model::BackwardInputBatch(const BatchTrace& trace, int from_layer, Tensor seed) const {
+  if (from_layer < 0 || from_layer >= num_layers()) {
+    throw std::out_of_range("Model::BackwardInputBatch: bad from_layer");
+  }
+  if (seed.shape() != trace.outputs[static_cast<size_t>(from_layer)].shape()) {
+    throw std::invalid_argument("Model::BackwardInputBatch: seed shape mismatch at layer " +
+                                std::to_string(from_layer));
+  }
+  Tensor grad = std::move(seed);
+  for (int l = from_layer; l >= 0; --l) {
+    grad = layers_[static_cast<size_t>(l)]->BackwardBatch(
+        trace.LayerInput(l), trace.outputs[static_cast<size_t>(l)], grad,
+        trace.aux[static_cast<size_t>(l)], trace.batch, nullptr);
+  }
+  return grad;
 }
 
 Tensor Model::BackwardParams(const ForwardTrace& trace, int from_layer, Tensor seed,

@@ -6,6 +6,8 @@
 #ifndef DX_SRC_NN_MODEL_H_
 #define DX_SRC_NN_MODEL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -23,8 +25,10 @@ class Model {
   Model() = default;
   Model(std::string name, Shape input_shape);
 
-  Model(Model&&) = default;
-  Model& operator=(Model&&) = default;
+  // Moves carry the forward-pass counter value (std::atomic is not movable,
+  // so these cannot be defaulted).
+  Model(Model&& other) noexcept;
+  Model& operator=(Model&& other) noexcept;
   Model(const Model&) = delete;
   Model& operator=(const Model&) = delete;
 
@@ -52,6 +56,20 @@ class Model {
   // Runs the network, recording every layer's output (and aux state).
   ForwardTrace Forward(const Tensor& input, bool training = false, Rng* rng = nullptr) const;
 
+  // Batched forward: `input` is [B, ...input_shape] (B >= 1); records every
+  // layer's batched output in one pass. Each sample's activations are
+  // bit-identical to a per-sample Forward, so one BatchTrace can serve the
+  // objective gradient, the difference check, and the coverage update for
+  // all B inputs without re-forwarding any of them.
+  BatchTrace ForwardBatch(const Tensor& input, bool training = false,
+                          Rng* rng = nullptr) const;
+
+  // Counts per-sample forward passes through this model (Forward adds 1,
+  // ForwardBatch adds B). Thread-safe; used by tests and RunStats to assert
+  // the single-pass guarantee of the batched execution path.
+  int64_t forward_passes() const { return forward_passes_.load(std::memory_order_relaxed); }
+  void ResetForwardPasses() const { forward_passes_.store(0, std::memory_order_relaxed); }
+
   // Convenience: final output tensor for an input (inference mode).
   Tensor Predict(const Tensor& input) const;
   // Argmax of the final output (classifiers).
@@ -62,6 +80,11 @@ class Model {
   // Backpropagates `seed` (shaped like layer `from_layer`'s output) down to
   // the model input and returns d<seed·output_{from_layer}>/d(input).
   Tensor BackwardInput(const ForwardTrace& trace, int from_layer, Tensor seed) const;
+
+  // Batched counterpart: `seed` is [B, ...layer_output_shape] with one seed
+  // gradient per sample of `trace`; returns [B, ...input_shape]. Sample b's
+  // result is bit-identical to BackwardInput on trace.Sample(b).
+  Tensor BackwardInputBatch(const BatchTrace& trace, int from_layer, Tensor seed) const;
 
   // Same, but also accumulates parameter gradients into `param_grads`, which
   // must be aligned with MutableParams() (see InitParamGrads).
@@ -94,6 +117,8 @@ class Model {
   Shape input_shape_;
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<Shape> layer_shapes_;
+  // Per-sample forward-pass counter (mutable: Forward is logically const).
+  mutable std::atomic<int64_t> forward_passes_{0};
 };
 
 }  // namespace dx

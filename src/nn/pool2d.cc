@@ -5,6 +5,81 @@
 #include <stdexcept>
 
 namespace dx {
+namespace {
+
+struct PoolGeom {
+  int channels, in_h, in_w, out_h, out_w, kernel, stride;
+  int64_t in_size() const { return static_cast<int64_t>(channels) * in_h * in_w; }
+  int64_t out_size() const { return static_cast<int64_t>(channels) * out_h * out_w; }
+};
+
+// One sample's pooling pass; paux (max mode) receives sample-relative flat
+// input offsets. Shared by the scalar and batched paths.
+void PoolForwardKernel(const PoolGeom& g, PoolMode mode, const float* px, float* py,
+                       float* paux) {
+  for (int c = 0; c < g.channels; ++c) {
+    const float* in_plane = px + static_cast<size_t>(c) * g.in_h * g.in_w;
+    for (int oy = 0; oy < g.out_h; ++oy) {
+      for (int ox = 0; ox < g.out_w; ++ox) {
+        const int iy0 = oy * g.stride;
+        const int ix0 = ox * g.stride;
+        const int64_t out_idx = (static_cast<int64_t>(c) * g.out_h + oy) * g.out_w + ox;
+        if (mode == PoolMode::kMax) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int ky = 0; ky < g.kernel; ++ky) {
+            for (int kx = 0; kx < g.kernel; ++kx) {
+              const int64_t idx = static_cast<int64_t>(iy0 + ky) * g.in_w + (ix0 + kx);
+              const float v = in_plane[idx];
+              if (v > best) {
+                best = v;
+                best_idx = static_cast<int64_t>(c) * g.in_h * g.in_w + idx;
+              }
+            }
+          }
+          py[out_idx] = best;
+          paux[out_idx] = static_cast<float>(best_idx);
+        } else {
+          double acc = 0.0;
+          for (int ky = 0; ky < g.kernel; ++ky) {
+            for (int kx = 0; kx < g.kernel; ++kx) {
+              acc += in_plane[static_cast<size_t>(iy0 + ky) * g.in_w + (ix0 + kx)];
+            }
+          }
+          py[out_idx] = static_cast<float>(acc / (g.kernel * g.kernel));
+        }
+      }
+    }
+  }
+}
+
+void PoolBackwardKernel(const PoolGeom& g, PoolMode mode, const float* pg,
+                        const float* paux, float* pgi) {
+  if (mode == PoolMode::kMax) {
+    for (int64_t i = 0; i < g.out_size(); ++i) {
+      pgi[static_cast<int64_t>(paux[i])] += pg[i];
+    }
+    return;
+  }
+  const float scale = 1.0f / static_cast<float>(g.kernel * g.kernel);
+  for (int c = 0; c < g.channels; ++c) {
+    float* gi_plane = pgi + static_cast<size_t>(c) * g.in_h * g.in_w;
+    const float* go_plane = pg + static_cast<size_t>(c) * g.out_h * g.out_w;
+    for (int oy = 0; oy < g.out_h; ++oy) {
+      for (int ox = 0; ox < g.out_w; ++ox) {
+        const float gv = go_plane[static_cast<size_t>(oy) * g.out_w + ox] * scale;
+        for (int ky = 0; ky < g.kernel; ++ky) {
+          for (int kx = 0; kx < g.kernel; ++kx) {
+            gi_plane[static_cast<size_t>(oy * g.stride + ky) * g.in_w +
+                     (ox * g.stride + kx)] += gv;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Pool2D::Pool2D(PoolMode mode, int kernel, int stride)
     : mode_(mode), kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
@@ -36,53 +111,41 @@ Shape Pool2D::OutputShape(const Shape& input_shape) const {
 Tensor Pool2D::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
                        Tensor* aux) const {
   const Shape out_shape = OutputShape(input.shape());
-  const int channels = out_shape[0];
-  const int out_h = out_shape[1];
-  const int out_w = out_shape[2];
-  const int in_h = input.dim(1);
-  const int in_w = input.dim(2);
+  const PoolGeom g{out_shape[0], input.dim(1), input.dim(2),
+                   out_shape[1], out_shape[2], kernel_,      stride_};
   Tensor out(out_shape);
   Tensor argmax;
   if (mode_ == PoolMode::kMax) {
     argmax = Tensor(out_shape);  // Flat input offsets of winners, stored as float.
   }
+  PoolForwardKernel(g, mode_, input.data(), out.data(),
+                    mode_ == PoolMode::kMax ? argmax.data() : nullptr);
+  if (aux != nullptr && mode_ == PoolMode::kMax) {
+    *aux = std::move(argmax);
+  }
+  return out;
+}
 
-  const float* px = input.data();
-  float* py = out.data();
-  for (int c = 0; c < channels; ++c) {
-    const float* in_plane = px + static_cast<size_t>(c) * in_h * in_w;
-    for (int oy = 0; oy < out_h; ++oy) {
-      for (int ox = 0; ox < out_w; ++ox) {
-        const int iy0 = oy * stride_;
-        const int ix0 = ox * stride_;
-        const int64_t out_idx =
-            (static_cast<int64_t>(c) * out_h + oy) * out_w + ox;
-        if (mode_ == PoolMode::kMax) {
-          float best = -std::numeric_limits<float>::infinity();
-          int64_t best_idx = 0;
-          for (int ky = 0; ky < kernel_; ++ky) {
-            for (int kx = 0; kx < kernel_; ++kx) {
-              const int64_t idx = static_cast<int64_t>(iy0 + ky) * in_w + (ix0 + kx);
-              const float v = in_plane[idx];
-              if (v > best) {
-                best = v;
-                best_idx = static_cast<int64_t>(c) * in_h * in_w + idx;
-              }
-            }
-          }
-          py[out_idx] = best;
-          argmax[out_idx] = static_cast<float>(best_idx);
-        } else {
-          double acc = 0.0;
-          for (int ky = 0; ky < kernel_; ++ky) {
-            for (int kx = 0; kx < kernel_; ++kx) {
-              acc += in_plane[static_cast<size_t>(iy0 + ky) * in_w + (ix0 + kx)];
-            }
-          }
-          py[out_idx] = static_cast<float>(acc / (kernel_ * kernel_));
-        }
-      }
-    }
+Tensor Pool2D::ForwardBatch(const Tensor& input, int batch, bool /*training*/,
+                            Rng* /*rng*/, Tensor* aux) const {
+  if (input.ndim() != 4 || input.dim(0) != batch) {
+    throw std::invalid_argument("Pool2D::ForwardBatch: expected [B, C, H, W] input");
+  }
+  const Shape sample_shape = {input.dim(1), input.dim(2), input.dim(3)};
+  const Shape out_shape = OutputShape(sample_shape);
+  const PoolGeom g{out_shape[0], input.dim(2), input.dim(3),
+                   out_shape[1], out_shape[2], kernel_,      stride_};
+  Tensor out({batch, out_shape[0], out_shape[1], out_shape[2]});
+  Tensor argmax;
+  if (mode_ == PoolMode::kMax) {
+    argmax = Tensor(out.shape());
+  }
+  for (int b = 0; b < batch; ++b) {
+    PoolForwardKernel(
+        g, mode_, input.data() + static_cast<size_t>(b) * g.in_size(),
+        out.data() + static_cast<size_t>(b) * g.out_size(),
+        mode_ == PoolMode::kMax ? argmax.data() + static_cast<size_t>(b) * g.out_size()
+                                : nullptr);
   }
   if (aux != nullptr && mode_ == PoolMode::kMax) {
     *aux = std::move(argmax);
@@ -93,36 +156,30 @@ Tensor Pool2D::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*/,
 Tensor Pool2D::Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                         const Tensor& aux, std::vector<Tensor>* /*param_grads*/) const {
   Tensor grad_in(input.shape());
-  const int64_t n_out = output.numel();
-  if (mode_ == PoolMode::kMax) {
-    if (aux.numel() != n_out) {
-      throw std::invalid_argument("Pool2D::Backward: missing argmax aux tensor");
-    }
-    for (int64_t i = 0; i < n_out; ++i) {
-      grad_in[static_cast<int64_t>(aux[i])] += grad_output[i];
-    }
-  } else {
-    const int in_h = input.dim(1);
-    const int in_w = input.dim(2);
-    const int out_h = output.dim(1);
-    const int out_w = output.dim(2);
-    const int channels = input.dim(0);
-    const float scale = 1.0f / static_cast<float>(kernel_ * kernel_);
-    for (int c = 0; c < channels; ++c) {
-      float* gi_plane = grad_in.data() + static_cast<size_t>(c) * in_h * in_w;
-      const float* go_plane = grad_output.data() + static_cast<size_t>(c) * out_h * out_w;
-      for (int oy = 0; oy < out_h; ++oy) {
-        for (int ox = 0; ox < out_w; ++ox) {
-          const float g = go_plane[static_cast<size_t>(oy) * out_w + ox] * scale;
-          for (int ky = 0; ky < kernel_; ++ky) {
-            for (int kx = 0; kx < kernel_; ++kx) {
-              gi_plane[static_cast<size_t>(oy * stride_ + ky) * in_w + (ox * stride_ + kx)] +=
-                  g;
-            }
-          }
-        }
-      }
-    }
+  if (mode_ == PoolMode::kMax && aux.numel() != output.numel()) {
+    throw std::invalid_argument("Pool2D::Backward: missing argmax aux tensor");
+  }
+  const PoolGeom g{input.dim(0), input.dim(1), input.dim(2),
+                   output.dim(1), output.dim(2), kernel_,    stride_};
+  PoolBackwardKernel(g, mode_, grad_output.data(), aux.data(), grad_in.data());
+  return grad_in;
+}
+
+Tensor Pool2D::BackwardBatch(const Tensor& input, const Tensor& output,
+                             const Tensor& grad_output, const Tensor& aux, int batch,
+                             std::vector<Tensor>* /*param_grads*/) const {
+  Tensor grad_in(input.shape());
+  if (mode_ == PoolMode::kMax && aux.numel() != output.numel()) {
+    throw std::invalid_argument("Pool2D::BackwardBatch: missing argmax aux tensor");
+  }
+  const PoolGeom g{input.dim(1), input.dim(2), input.dim(3),
+                   output.dim(2), output.dim(3), kernel_,    stride_};
+  for (int b = 0; b < batch; ++b) {
+    PoolBackwardKernel(
+        g, mode_, grad_output.data() + static_cast<size_t>(b) * g.out_size(),
+        mode_ == PoolMode::kMax ? aux.data() + static_cast<size_t>(b) * g.out_size()
+                                : nullptr,
+        grad_in.data() + static_cast<size_t>(b) * g.in_size());
   }
   return grad_in;
 }

@@ -53,6 +53,17 @@ Tensor ResidualBlock::Forward(const Tensor& input, bool /*training*/, Rng* /*rng
   return y2;
 }
 
+Tensor ResidualBlock::ForwardBatch(const Tensor& input, int batch, bool /*training*/,
+                                   Rng* /*rng*/, Tensor* /*aux*/) const {
+  const Tensor y1 = conv1_.ForwardBatch(input, batch, false, nullptr, nullptr);
+  Tensor y2 = conv2_.ForwardBatch(y1, batch, false, nullptr, nullptr);
+  const Tensor skip =
+      proj_ != nullptr ? proj_->ForwardBatch(input, batch, false, nullptr, nullptr) : input;
+  y2.AddInPlace(skip);
+  ApplyActivation(Activation::kRelu, &y2);
+  return y2;
+}
+
 Tensor ResidualBlock::Backward(const Tensor& input, const Tensor& output,
                                const Tensor& grad_output, const Tensor& /*aux*/,
                                std::vector<Tensor>* param_grads) const {

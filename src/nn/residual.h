@@ -33,6 +33,10 @@ class ResidualBlock : public Layer {
   Tensor Forward(const Tensor& input, bool training, Rng* rng, Tensor* aux) const override;
   Tensor Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                   const Tensor& aux, std::vector<Tensor>* param_grads) const override;
+  // Composes the sub-convolutions' batch kernels (the backward keeps the
+  // base per-sample loop: it recomputes intermediates either way).
+  Tensor ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
+                      Tensor* aux) const override;
   std::vector<Tensor*> MutableParams() override;
   std::vector<const Tensor*> Params() const override;
   int NumNeurons() const override { return out_channels_; }

@@ -18,16 +18,47 @@ Tensor SoftmaxLayer::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*
   return Softmax(input);
 }
 
+namespace {
+
+// g_in = y * (g_out - <g_out, y>) for one row; shared by the scalar and
+// batched backward.
+void SoftmaxBackwardRow(const float* py, const float* pg, float* pgi, int64_t n) {
+  double dot = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(pg[i]) * py[i];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    pgi[i] = py[i] * (pg[i] - static_cast<float>(dot));
+  }
+}
+
+}  // namespace
+
 Tensor SoftmaxLayer::Backward(const Tensor& /*input*/, const Tensor& output,
                               const Tensor& grad_output, const Tensor& /*aux*/,
                               std::vector<Tensor>* /*param_grads*/) const {
-  double dot = 0.0;
-  for (int64_t i = 0; i < output.numel(); ++i) {
-    dot += static_cast<double>(grad_output[i]) * output[i];
-  }
   Tensor grad_in(output.shape());
-  for (int64_t i = 0; i < output.numel(); ++i) {
-    grad_in[i] = output[i] * (grad_output[i] - static_cast<float>(dot));
+  SoftmaxBackwardRow(output.data(), grad_output.data(), grad_in.data(), output.numel());
+  return grad_in;
+}
+
+Tensor SoftmaxLayer::ForwardBatch(const Tensor& input, int batch, bool /*training*/,
+                                  Rng* /*rng*/, Tensor* /*aux*/) const {
+  if (input.ndim() != 2 || input.dim(0) != batch) {
+    throw std::invalid_argument("SoftmaxLayer::ForwardBatch: expected [B, C] logits");
+  }
+  return Softmax(input);  // Row-wise: identical to per-sample softmax.
+}
+
+Tensor SoftmaxLayer::BackwardBatch(const Tensor& /*input*/, const Tensor& output,
+                                   const Tensor& grad_output, const Tensor& /*aux*/,
+                                   int batch, std::vector<Tensor>* /*param_grads*/) const {
+  Tensor grad_in(output.shape());
+  const int64_t cols = output.numel() / batch;
+  for (int b = 0; b < batch; ++b) {
+    const size_t offset = static_cast<size_t>(b) * cols;
+    SoftmaxBackwardRow(output.data() + offset, grad_output.data() + offset,
+                       grad_in.data() + offset, cols);
   }
   return grad_in;
 }

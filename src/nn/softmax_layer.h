@@ -22,6 +22,12 @@ class SoftmaxLayer : public Layer {
   // Jacobian-vector product: g_in = y * (g_out - <g_out, y>).
   Tensor Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                   const Tensor& aux, std::vector<Tensor>* param_grads) const override;
+  // Row-wise over [B, C]: each row runs the identical stable softmax / JVP.
+  Tensor ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
+                      Tensor* aux) const override;
+  Tensor BackwardBatch(const Tensor& input, const Tensor& output, const Tensor& grad_output,
+                       const Tensor& aux, int batch,
+                       std::vector<Tensor>* param_grads) const override;
   void SerializeConfig(BinaryWriter& /*writer*/) const override {}
 };
 

@@ -1,5 +1,6 @@
 #include "src/tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -157,6 +158,60 @@ Tensor OneHot(int index, int num_classes) {
   Tensor t({num_classes});
   t[index] = 1.0f;
   return t;
+}
+
+Shape BatchedShape(int batch, const Shape& sample) {
+  if (batch < 1) {
+    throw std::invalid_argument("BatchedShape: batch must be >= 1");
+  }
+  Shape shape;
+  shape.reserve(sample.size() + 1);
+  shape.push_back(batch);
+  shape.insert(shape.end(), sample.begin(), sample.end());
+  return shape;
+}
+
+Shape SampleShape(const Shape& batched) {
+  if (batched.empty()) {
+    throw std::invalid_argument("SampleShape: tensor has no batch dimension");
+  }
+  return Shape(batched.begin() + 1, batched.end());
+}
+
+Tensor SliceSample(const Tensor& batched, int index) {
+  const Shape sample_shape = SampleShape(batched.shape());
+  const int64_t stride = NumElements(sample_shape);
+  if (index < 0 || index >= batched.dim(0)) {
+    throw std::out_of_range("SliceSample: index out of range");
+  }
+  const float* src = batched.data() + static_cast<size_t>(index) * stride;
+  return Tensor(sample_shape, std::vector<float>(src, src + stride));
+}
+
+void CopySampleInto(Tensor* batched, int index, const Tensor& sample) {
+  const Shape sample_shape = SampleShape(batched->shape());
+  if (sample.shape() != sample_shape) {
+    throw std::invalid_argument("CopySampleInto: sample shape " +
+                                ShapeToString(sample.shape()) + " != slot shape " +
+                                ShapeToString(sample_shape));
+  }
+  if (index < 0 || index >= batched->dim(0)) {
+    throw std::out_of_range("CopySampleInto: index out of range");
+  }
+  const int64_t stride = sample.numel();
+  std::copy(sample.data(), sample.data() + stride,
+            batched->data() + static_cast<size_t>(index) * stride);
+}
+
+Tensor StackSamples(const std::vector<const Tensor*>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("StackSamples: need at least one sample");
+  }
+  Tensor out(BatchedShape(static_cast<int>(samples.size()), samples[0]->shape()));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    CopySampleInto(&out, static_cast<int>(i), *samples[i]);
+  }
+  return out;
 }
 
 float L1Distance(const Tensor& a, const Tensor& b) {

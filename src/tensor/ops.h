@@ -30,6 +30,24 @@ Tensor OneHot(int index, int num_classes);
 // Sum of |a[i] - b[i]| (the paper's L1 diversity measure, Table 5).
 float L1Distance(const Tensor& a, const Tensor& b);
 
+// ---- Batch layout helpers ----------------------------------------------------------------
+//
+// A "batched" tensor prepends a leading batch dimension B to a per-sample
+// shape: [B, ...sample]. Samples are stored contiguously, so sample b is the
+// flat range [b * numel(sample), (b + 1) * numel(sample)).
+
+// [batch, ...sample]; batch must be >= 1.
+Shape BatchedShape(int batch, const Shape& sample);
+// Drops the leading batch dimension; throws on a 0-dim tensor shape.
+Shape SampleShape(const Shape& batched);
+
+// Copies sample `index` out of a batched tensor.
+Tensor SliceSample(const Tensor& batched, int index);
+// Copies `sample` into slot `index` of a batched tensor (shapes must agree).
+void CopySampleInto(Tensor* batched, int index, const Tensor& sample);
+// Stacks equal-shaped samples into one [N, ...sample] tensor.
+Tensor StackSamples(const std::vector<const Tensor*>& samples);
+
 }  // namespace dx
 
 #endif  // DX_SRC_TENSOR_OPS_H_

@@ -1,0 +1,63 @@
+// Thread-safe string-keyed plug-in registry, shared by the coverage-metric,
+// objective, and seed-scheduler factories so the Register/Make/Names
+// boilerplate (and its locking discipline) lives in exactly one place.
+#ifndef DX_SRC_UTIL_REGISTRY_H_
+#define DX_SRC_UTIL_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dx {
+
+template <typename Factory>
+class NamedRegistry {
+ public:
+  explicit NamedRegistry(std::map<std::string, Factory> builtins)
+      : map_(std::move(builtins)) {}
+
+  // Registers (or replaces) `factory` under `name`.
+  void Register(const std::string& name, Factory factory) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_[name] = std::move(factory);
+  }
+
+  // True when a factory is registered under `name`.
+  bool Contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.find(name) != map_.end();
+  }
+
+  // Factory registered under `name`; throws std::invalid_argument
+  // ("unknown <what>: <name>") otherwise.
+  Factory Get(const std::string& name, const char* what) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(name);
+    if (it == map_.end()) {
+      throw std::invalid_argument(std::string("unknown ") + what + ": " + name);
+    }
+    return it->second;
+  }
+
+  // Registered names, sorted (std::map order).
+  std::vector<std::string> Names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(map_.size());
+    for (const auto& [name, factory] : map_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> map_;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_UTIL_REGISTRY_H_

@@ -1,0 +1,445 @@
+// Batched execution tests: every batched layer kernel must be bit-identical
+// to its per-sample counterpart, Model::ForwardBatch/BackwardInputBatch must
+// reproduce the scalar trace exactly, Session results must be invariant to
+// batch size and worker count, and the executor must forward each
+// (seed, model, iteration) exactly once (the single-pass guarantee).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/random_testing.h"
+#include "src/constraints/constraint.h"
+#include "src/constraints/image_constraints.h"
+#include "src/data/dataset.h"
+#include "src/core/objective.h"
+#include "src/core/seed_scheduler.h"
+#include "src/core/session.h"
+#include "src/coverage/coverage_metric.h"
+#include "src/models/trainer.h"
+#include "src/nn/batchnorm.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/dropout.h"
+#include "src/nn/flatten.h"
+#include "src/nn/model.h"
+#include "src/nn/pool2d.h"
+#include "src/nn/residual.h"
+#include "src/nn/softmax_layer.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+// One full 8-lane dense block plus a tail, so both batch code paths run.
+constexpr int kBatch = 13;
+
+// Runs `layer` over a random batch twice — once per sample, once batched —
+// and asserts outputs, aux, input gradients, and accumulated parameter
+// gradients are bit-identical.
+void ExpectBatchMatchesScalar(const Layer& layer, const Shape& in_shape, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> inputs;
+  std::vector<const Tensor*> input_ptrs;
+  for (int b = 0; b < kBatch; ++b) {
+    inputs.push_back(Tensor::RandUniform(in_shape, rng, -1.0f, 1.0f));
+  }
+  for (const Tensor& t : inputs) {
+    input_ptrs.push_back(&t);
+  }
+  const Tensor batched_in = StackSamples(input_ptrs);
+
+  Tensor batched_aux;
+  const Tensor batched_out =
+      layer.ForwardBatch(batched_in, kBatch, false, nullptr, &batched_aux);
+
+  std::vector<Tensor> scalar_outs;
+  std::vector<Tensor> scalar_auxes;
+  for (int b = 0; b < kBatch; ++b) {
+    Tensor aux;
+    scalar_outs.push_back(layer.Forward(inputs[static_cast<size_t>(b)], false, nullptr, &aux));
+    scalar_auxes.push_back(std::move(aux));
+  }
+  ASSERT_EQ(batched_out.shape(), BatchedShape(kBatch, scalar_outs[0].shape()));
+  for (int b = 0; b < kBatch; ++b) {
+    EXPECT_EQ(SliceSample(batched_out, b).values(),
+              scalar_outs[static_cast<size_t>(b)].values())
+        << layer.Describe() << " forward sample " << b;
+    if (!scalar_auxes[static_cast<size_t>(b)].empty()) {
+      ASSERT_FALSE(batched_aux.empty()) << layer.Describe();
+      EXPECT_EQ(SliceSample(batched_aux, b).values(),
+                scalar_auxes[static_cast<size_t>(b)].values())
+          << layer.Describe() << " aux sample " << b;
+    }
+  }
+
+  // Gradients: per-sample sequential accumulation vs one batched call.
+  std::vector<Tensor> grads;
+  std::vector<const Tensor*> grad_ptrs;
+  for (int b = 0; b < kBatch; ++b) {
+    grads.push_back(Tensor::RandUniform(scalar_outs[0].shape(), rng, -1.0f, 1.0f));
+  }
+  for (const Tensor& t : grads) {
+    grad_ptrs.push_back(&t);
+  }
+  const Tensor batched_grad_out = StackSamples(grad_ptrs);
+
+  const size_t num_params = layer.Params().size();
+  std::vector<Tensor> scalar_param_grads;
+  std::vector<Tensor> batched_param_grads;
+  for (const Tensor* p : layer.Params()) {
+    scalar_param_grads.emplace_back(p->shape());
+    batched_param_grads.emplace_back(p->shape());
+  }
+
+  const Tensor batched_grad_in = layer.BackwardBatch(
+      batched_in, batched_out, batched_grad_out, batched_aux, kBatch,
+      num_params > 0 ? &batched_param_grads : nullptr);
+  for (int b = 0; b < kBatch; ++b) {
+    const Tensor scalar_grad_in = layer.Backward(
+        inputs[static_cast<size_t>(b)], scalar_outs[static_cast<size_t>(b)],
+        grads[static_cast<size_t>(b)], scalar_auxes[static_cast<size_t>(b)],
+        num_params > 0 ? &scalar_param_grads : nullptr);
+    EXPECT_EQ(SliceSample(batched_grad_in, b).values(), scalar_grad_in.values())
+        << layer.Describe() << " backward sample " << b;
+  }
+  for (size_t p = 0; p < num_params; ++p) {
+    EXPECT_EQ(batched_param_grads[p].values(), scalar_param_grads[p].values())
+        << layer.Describe() << " param grad " << p;
+  }
+}
+
+TEST(BatchKernelTest, Dense) {
+  for (const Activation act : {Activation::kNone, Activation::kRelu, Activation::kTanh}) {
+    Rng rng(11);
+    Dense layer(13, 7, act);
+    layer.InitParams(rng);
+    ExpectBatchMatchesScalar(layer, {13}, 100 + static_cast<uint64_t>(act));
+  }
+}
+
+TEST(BatchKernelTest, Conv2D) {
+  Rng rng(12);
+  Conv2D layer(2, 4, 3, 3, 2, 1, Activation::kRelu);
+  layer.InitParams(rng);
+  ExpectBatchMatchesScalar(layer, {2, 9, 9}, 101);
+}
+
+TEST(BatchKernelTest, Pool2DMaxAndAvg) {
+  ExpectBatchMatchesScalar(Pool2D(PoolMode::kMax, 2), {3, 8, 8}, 102);
+  ExpectBatchMatchesScalar(Pool2D(PoolMode::kAvg, 2), {3, 8, 8}, 103);
+}
+
+TEST(BatchKernelTest, Flatten) { ExpectBatchMatchesScalar(Flatten(), {2, 4, 4}, 104); }
+
+TEST(BatchKernelTest, Softmax) { ExpectBatchMatchesScalar(SoftmaxLayer(), {9}, 105); }
+
+TEST(BatchKernelTest, BatchNormFlatAndChw) {
+  BatchNorm flat(6);
+  flat.SetStatistics({0.1f, -0.2f, 0.3f, 0.0f, 1.0f, -1.0f},
+                     {1.0f, 0.5f, 2.0f, 1.5f, 0.25f, 1.0f});
+  ExpectBatchMatchesScalar(flat, {6}, 106);
+  BatchNorm chw(3);
+  chw.SetStatistics({0.5f, -0.5f, 0.0f}, {1.0f, 2.0f, 0.5f});
+  ExpectBatchMatchesScalar(chw, {3, 5, 5}, 107);
+}
+
+TEST(BatchKernelTest, DropoutInferenceViaDefaultPath) {
+  // Dropout keeps the base-class per-sample loop; inference is identity.
+  ExpectBatchMatchesScalar(Dropout(0.4f), {10}, 108);
+}
+
+TEST(BatchKernelTest, ResidualBlockWithProjection) {
+  Rng rng(13);
+  ResidualBlock layer(2, 4, 2);
+  layer.InitParams(rng);
+  ExpectBatchMatchesScalar(layer, {2, 8, 8}, 109);
+}
+
+// ---- Model level -------------------------------------------------------------------------
+
+Model MakeConvNet(uint64_t seed) {
+  Rng rng(seed);
+  Model m("convnet", {1, 12, 12});
+  m.Emplace<Conv2D>(1, 4, 3, 3, 1, 1, Activation::kRelu).InitParams(rng);
+  m.Emplace<Pool2D>(PoolMode::kMax, 2);
+  m.Emplace<Flatten>();
+  m.Emplace<Dense>(4 * 6 * 6, 16, Activation::kTanh).InitParams(rng);
+  m.Emplace<Dense>(16, 3).InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+TEST(BatchModelTest, ForwardBatchMatchesScalarTrace) {
+  const Model m = MakeConvNet(21);
+  Rng rng(22);
+  std::vector<Tensor> inputs;
+  std::vector<const Tensor*> ptrs;
+  for (int b = 0; b < kBatch; ++b) {
+    inputs.push_back(Tensor::RandUniform(m.input_shape(), rng));
+  }
+  for (const Tensor& t : inputs) {
+    ptrs.push_back(&t);
+  }
+  const BatchTrace batched = m.ForwardBatch(StackSamples(ptrs));
+  ASSERT_EQ(batched.batch, kBatch);
+  for (int b = 0; b < kBatch; ++b) {
+    const ForwardTrace scalar = m.Forward(inputs[static_cast<size_t>(b)]);
+    const ForwardTrace view = batched.Sample(b);
+    ASSERT_EQ(view.outputs.size(), scalar.outputs.size());
+    for (size_t l = 0; l < scalar.outputs.size(); ++l) {
+      EXPECT_EQ(view.outputs[l].values(), scalar.outputs[l].values()) << "layer " << l;
+    }
+  }
+}
+
+TEST(BatchModelTest, BackwardInputBatchMatchesScalar) {
+  const Model m = MakeConvNet(23);
+  Rng rng(24);
+  std::vector<Tensor> inputs;
+  std::vector<const Tensor*> ptrs;
+  for (int b = 0; b < kBatch; ++b) {
+    inputs.push_back(Tensor::RandUniform(m.input_shape(), rng));
+  }
+  for (const Tensor& t : inputs) {
+    ptrs.push_back(&t);
+  }
+  const BatchTrace batched = m.ForwardBatch(StackSamples(ptrs));
+  const int last = m.num_layers() - 1;
+  std::vector<Tensor> seeds;
+  std::vector<const Tensor*> seed_ptrs;
+  for (int b = 0; b < kBatch; ++b) {
+    seeds.push_back(Tensor::RandUniform(m.output_shape(), rng, -1.0f, 1.0f));
+  }
+  for (const Tensor& t : seeds) {
+    seed_ptrs.push_back(&t);
+  }
+  const Tensor batched_grad = m.BackwardInputBatch(batched, last, StackSamples(seed_ptrs));
+  for (int b = 0; b < kBatch; ++b) {
+    const ForwardTrace scalar = m.Forward(inputs[static_cast<size_t>(b)]);
+    const Tensor scalar_grad =
+        m.BackwardInput(scalar, last, seeds[static_cast<size_t>(b)]);
+    EXPECT_EQ(SliceSample(batched_grad, b).values(), scalar_grad.values()) << b;
+  }
+}
+
+TEST(BatchModelTest, ForwardPassCounterCountsSamples) {
+  const Model m = MakeConvNet(25);
+  m.ResetForwardPasses();
+  Rng rng(26);
+  const Tensor x = Tensor::RandUniform(m.input_shape(), rng);
+  m.Forward(x);
+  EXPECT_EQ(m.forward_passes(), 1);
+  std::vector<const Tensor*> ptrs = {&x, &x, &x};
+  m.ForwardBatch(StackSamples(ptrs));
+  EXPECT_EQ(m.forward_passes(), 4);
+}
+
+// ---- Coverage metric batch entry point ---------------------------------------------------
+
+TEST(BatchMetricTest, UpdateBatchMatchesSequentialScalarUpdates) {
+  const Model m = MakeConvNet(27);
+  Rng rng(28);
+  std::vector<Tensor> inputs;
+  std::vector<const Tensor*> ptrs;
+  for (int b = 0; b < kBatch; ++b) {
+    inputs.push_back(Tensor::RandUniform(m.input_shape(), rng));
+  }
+  for (const Tensor& t : inputs) {
+    ptrs.push_back(&t);
+  }
+  const BatchTrace batched = m.ForwardBatch(StackSamples(ptrs));
+  CoverageOptions options;
+  options.threshold = 0.2f;
+  for (const std::string& name : CoverageMetricNames()) {
+    auto via_batch = MakeCoverageMetric(name, m, options);
+    auto via_scalar = MakeCoverageMetric(name, m, options);
+    via_batch->UpdateBatch(m, batched);
+    for (int b = 0; b < kBatch; ++b) {
+      via_scalar->Update(m, m.Forward(inputs[static_cast<size_t>(b)]));
+    }
+    EXPECT_EQ(via_batch->covered_items(), via_scalar->covered_items()) << name;
+    EXPECT_FLOAT_EQ(via_batch->Coverage(), via_scalar->Coverage()) << name;
+  }
+}
+
+// ---- Session invariance ------------------------------------------------------------------
+
+Dataset MakeToyTask(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{"toy", {2}, 2, {}, {}};
+  while (ds.size() < n) {
+    Tensor x({2});
+    x[0] = rng.NextFloat();
+    x[1] = rng.NextFloat();
+    if (std::abs(x[0] - x[1]) < 0.08f) {
+      continue;
+    }
+    ds.Add(std::move(x), x[0] > x[1] ? 0.0f : 1.0f);
+  }
+  return ds;
+}
+
+Model MakeToyClassifier(const std::string& name, int hidden, uint64_t seed) {
+  Rng rng(seed);
+  Model m(name, {2});
+  m.Emplace<Dense>(2, hidden, Activation::kRelu).InitParams(rng);
+  m.Emplace<Dense>(hidden, 2).InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+class BatchSessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset train = MakeToyTask(500, 2);
+    models_ = new std::vector<Model>();
+    models_->push_back(MakeToyClassifier("bt_a", 16, 41));
+    models_->push_back(MakeToyClassifier("bt_b", 24, 42));
+    models_->push_back(MakeToyClassifier("bt_c", 12, 43));
+    for (Model& m : *models_) {
+      TrainConfig cfg;
+      cfg.epochs = 8;
+      cfg.learning_rate = 5e-3f;
+      cfg.seed = 7;
+      Trainer::Fit(&m, train, cfg);
+      ASSERT_GT(Trainer::Accuracy(m, train), 0.9f);
+    }
+    seeds_ = new std::vector<Tensor>();
+    Rng rng(44);
+    while (seeds_->size() < 30) {
+      Tensor x({2});
+      x[0] = rng.NextFloat();
+      x[1] = rng.NextFloat();
+      const float margin = std::abs(x[0] - x[1]);
+      if (margin > 0.1f && margin < 0.3f) {
+        seeds_->push_back(std::move(x));
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete seeds_;
+    delete models_;
+    seeds_ = nullptr;
+    models_ = nullptr;
+  }
+
+  static std::vector<Model*> ModelPtrs() {
+    std::vector<Model*> ptrs;
+    for (Model& m : *models_) {
+      ptrs.push_back(&m);
+    }
+    return ptrs;
+  }
+
+  static SessionConfig BaseConfig() {
+    SessionConfig config;
+    config.engine.lambda1 = 2.5f;
+    config.engine.step = 0.05f;
+    config.engine.max_iterations_per_seed = 120;
+    config.engine.rng_seed = 19;
+    return config;
+  }
+
+  static RunStats RunWith(int batch_size, int workers) {
+    SessionConfig config = BaseConfig();
+    config.batch_size = batch_size;
+    config.workers = workers;
+    UnconstrainedImage constraint;
+    Session session(ModelPtrs(), &constraint, config);
+    return session.Run(*seeds_, RunOptions{});
+  }
+
+  static std::vector<Model>* models_;
+  static std::vector<Tensor>* seeds_;
+};
+
+std::vector<Model>* BatchSessionTest::models_ = nullptr;
+std::vector<Tensor>* BatchSessionTest::seeds_ = nullptr;
+
+TEST_F(BatchSessionTest, ResultsAreBitIdenticalAcrossBatchSizesAndWorkers) {
+  const RunStats reference = RunWith(/*batch_size=*/1, /*workers=*/1);
+  ASSERT_GT(reference.tests.size(), 0u);
+  for (const int batch_size : {3, 8}) {
+    for (const int workers : {1, 4}) {
+      const RunStats other = RunWith(batch_size, workers);
+      ASSERT_EQ(other.tests.size(), reference.tests.size())
+          << "batch=" << batch_size << " workers=" << workers;
+      EXPECT_EQ(other.seeds_tried, reference.seeds_tried);
+      EXPECT_EQ(other.seeds_skipped, reference.seeds_skipped);
+      EXPECT_EQ(other.total_iterations, reference.total_iterations);
+      EXPECT_EQ(other.forward_passes, reference.forward_passes);
+      EXPECT_FLOAT_EQ(other.mean_coverage, reference.mean_coverage);
+      for (size_t i = 0; i < reference.tests.size(); ++i) {
+        EXPECT_EQ(other.tests[i].input.values(), reference.tests[i].input.values())
+            << "batch=" << batch_size << " workers=" << workers << " test " << i;
+        EXPECT_EQ(other.tests[i].seed_index, reference.tests[i].seed_index);
+        EXPECT_EQ(other.tests[i].iterations, reference.tests[i].iterations);
+        EXPECT_EQ(other.tests[i].deviating_model, reference.tests[i].deviating_model);
+      }
+    }
+  }
+}
+
+TEST_F(BatchSessionTest, EachSeedModelIterationForwardsExactlyOnce) {
+  SessionConfig config = BaseConfig();
+  UnconstrainedImage constraint;
+  Session session(ModelPtrs(), &constraint, config);
+  int checked = 0;
+  for (size_t i = 0; i < seeds_->size() && checked < 5; ++i) {
+    for (Model* m : ModelPtrs()) {
+      m->ResetForwardPasses();
+    }
+    const auto result = session.GenerateFromSeed((*seeds_)[i], static_cast<int>(i));
+    if (!result.has_value()) {
+      continue;
+    }
+    ++checked;
+    // One consensus pass over the seed plus exactly one pass per iteration:
+    // the objective gradient, the difference check, and the coverage update
+    // all consumed the same shared trace.
+    for (Model* m : ModelPtrs()) {
+      EXPECT_EQ(m->forward_passes(), result->iterations + 1)
+          << m->name() << " seed " << i;
+    }
+  }
+  ASSERT_GT(checked, 0);
+}
+
+TEST_F(BatchSessionTest, RunStatsForwardPassesAccountsAllModels) {
+  const RunStats stats = RunWith(/*batch_size=*/4, /*workers=*/1);
+  // 3 models, each forwarding (iterations + 1) per productive seed and at
+  // least one consensus pass per tried seed.
+  EXPECT_GE(stats.forward_passes,
+            3 * (stats.total_iterations + static_cast<int64_t>(stats.seeds_tried)));
+}
+
+// ---- Plug-in registries ------------------------------------------------------------------
+
+TEST(RegistryTest, CustomObjectiveIsDiscoverable) {
+  RegisterObjective("test-null-objective", []() -> std::unique_ptr<Objective> {
+    return std::make_unique<RandomPerturbationObjective>();
+  });
+  const auto names = ObjectiveNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-null-objective"), names.end());
+  EXPECT_NE(MakeObjective("test-null-objective"), nullptr);
+  EXPECT_THROW(MakeObjective("no-such-objective"), std::invalid_argument);
+}
+
+TEST(RegistryTest, CustomSchedulerIsDiscoverable) {
+  RegisterSeedScheduler("test-rr", []() -> std::unique_ptr<SeedScheduler> {
+    return std::make_unique<RoundRobinScheduler>();
+  });
+  const auto names = SeedSchedulerNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-rr"), names.end());
+  EXPECT_NE(MakeSeedScheduler("test-rr"), nullptr);
+  // Historical aliases still resolve but stay out of the canonical listing.
+  EXPECT_NE(MakeSeedScheduler("round-robin"), nullptr);
+  EXPECT_EQ(std::find(names.begin(), names.end(), "round-robin"), names.end());
+}
+
+}  // namespace
+}  // namespace dx

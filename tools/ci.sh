@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verify sequence: configure, build, ctest, smoke benches.
 #
-# Usage: tools/ci.sh [build-dir]   (default: build)
+# Usage: tools/ci.sh [build-dir] [mode]   (default: build "")
+#
+#   mode "sanitize": build with ASan + UBSan (halt on any report) and run
+#   ctest only — the smoke benches are skipped, sanitized models train too
+#   slowly for them.
 #
 # DEEPXPLORE_FAST=1 is exported so the model zoo trains at CI scale; the
 # trained-model disk cache makes repeat runs fast.
@@ -9,16 +13,31 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+MODE="${2:-}"
 export DEEPXPLORE_FAST=1
 
-echo "==> configure"
-cmake -B "$BUILD_DIR" -S .
+CMAKE_EXTRA=()
+if [ "$MODE" = "sanitize" ]; then
+  # The trained-model disk cache is shared with regular runs (weights are
+  # bit-identical either way), so the sanitized job spends its time on the
+  # engine, not on re-training the zoo under ASan.
+  CMAKE_EXTRA+=(-DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer")
+fi
+
+echo "==> configure ($BUILD_DIR${MODE:+, $MODE})"
+# The guarded expansion keeps bash < 4.4 (set -u) happy when the array is empty.
+cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}
 
 echo "==> build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "==> ctest"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [ "$MODE" = "sanitize" ]; then
+  echo "==> OK (sanitize)"
+  exit 0
+fi
 
 echo "==> smoke: micro_nn"
 if [ -x "$BUILD_DIR/micro_nn" ]; then
@@ -30,5 +49,9 @@ fi
 echo "==> smoke: session scaling bench"
 DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
   "$BUILD_DIR/bench_session_scaling" --seeds 10
+
+echo "==> smoke: batched forward bench"
+DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
+  "$BUILD_DIR/bench_batch_forward"
 
 echo "==> OK"

@@ -54,6 +54,7 @@ std::string Join(const std::vector<std::string>& names) {
   --objective O   )" << Join(ObjectiveNames()) << R"(  (default: joint)
   --scheduler S   )" << Join(SeedSchedulerNames()) << R"(  (default: roundrobin)
   --workers N     parallel seed workers; 0 = all cores        (default: 1)
+  --batch-size N  seeds per batched-executor chunk            (default: 8)
   --constraint C  light | occl | blackout | none | default    (default: default)
   --seeds N       seed inputs drawn from the domain test set  (default: 100)
   --max-tests N   stop after N difference-inducing inputs     (default: all)
@@ -66,8 +67,12 @@ std::string Join(const std::vector<std::string>& names) {
   --rng-seed N    engine RNG seed                             (default: 1234)
   --out DIR       write difference-inducing images to DIR
   --list          print the model zoo and exit
+  --list-metrics     print registered coverage metrics and exit
+  --list-objectives  print registered objectives and exit
+  --list-schedulers  print registered seed schedulers and exit
 
-Results are deterministic for a fixed --rng-seed, whatever --workers is.
+Results are deterministic for a fixed --rng-seed, whatever --workers or
+--batch-size is.
 )";
   std::exit(code);
 }
@@ -161,6 +166,7 @@ int Main(int argc, char** argv) {
   int iters = 100;
   int target = -1;
   int workers = 1;
+  int batch_size = 8;
   uint64_t rng_seed = 1234;
   float threshold = 0.0f;
   std::optional<float> lambda1;
@@ -182,6 +188,7 @@ int Main(int argc, char** argv) {
     else if (arg == "--objective") objective_name = next();
     else if (arg == "--scheduler") scheduler_name = next();
     else if (arg == "--workers") workers = std::atoi(next());
+    else if (arg == "--batch-size") batch_size = std::atoi(next());
     else if (arg == "--rng-seed") rng_seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--seeds") seeds = std::atoi(next());
     else if (arg == "--max-tests") max_tests = std::atoi(next());
@@ -193,6 +200,18 @@ int Main(int argc, char** argv) {
     else if (arg == "--target") target = std::atoi(next());
     else if (arg == "--out") out_dir = next();
     else if (arg == "--list") list = true;
+    else if (arg == "--list-metrics") {
+      for (const std::string& name : CoverageMetricNames()) std::cout << name << "\n";
+      return 0;
+    }
+    else if (arg == "--list-objectives") {
+      for (const std::string& name : ObjectiveNames()) std::cout << name << "\n";
+      return 0;
+    }
+    else if (arg == "--list-schedulers") {
+      for (const std::string& name : SeedSchedulerNames()) std::cout << name << "\n";
+      return 0;
+    }
     else if (arg == "--help" || arg == "-h") Usage(0);
     else {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -235,6 +254,7 @@ int Main(int argc, char** argv) {
   config.objective = objective_name;
   config.scheduler = scheduler_name;
   config.workers = workers;
+  config.batch_size = batch_size;
   std::unique_ptr<Session> engine_ptr;
   try {
     engine_ptr = std::make_unique<Session>(ptrs, constraint.get(), config);
@@ -271,9 +291,11 @@ int Main(int argc, char** argv) {
   report.AddRow({"objective", objective_name});
   report.AddRow({"scheduler", scheduler_name});
   report.AddRow({"workers", std::to_string(workers)});
+  report.AddRow({"batch size", std::to_string(batch_size)});
   report.AddRow({"seeds tried", std::to_string(stats.seeds_tried)});
   report.AddRow({"difference-inducing inputs", std::to_string(stats.tests.size())});
   report.AddRow({"total gradient iterations", std::to_string(stats.total_iterations)});
+  report.AddRow({"model forward passes", std::to_string(stats.forward_passes)});
   report.AddRow({"wall time", TablePrinter::Num(stats.seconds, 2) + " s"});
   report.AddRow({"tests / second",
                  TablePrinter::Num(stats.seconds > 0.0
