@@ -232,6 +232,7 @@ std::vector<std::optional<GeneratedTest>> Executor::Run(
       }
       test.input = state.x;
       test.seed_index = task.seed_index;
+      test.task_ordinal = task.ordinal;
       test.iterations = iter;
       test.seconds = timer.ElapsedSeconds();
       // Route through the metric's batch entry point (a 1-sample Select

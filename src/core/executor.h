@@ -43,6 +43,9 @@ class Executor {
   struct SeedTask {
     const Tensor* seed = nullptr;
     int seed_index = 0;
+    // Global schedule position; stamped into GeneratedTest::task_ordinal as
+    // RNG-stream provenance for corpus replay.
+    uint64_t ordinal = 0;
     Rng* rng = nullptr;
     std::vector<std::unique_ptr<CoverageMetric>>* metrics = nullptr;
   };

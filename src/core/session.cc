@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "src/core/executor.h"
+#include "src/corpus/corpus.h"
 #include "src/tensor/ops.h"
+#include "src/util/serialize.h"
 #include "src/util/timer.h"
 
 namespace dx {
@@ -200,17 +203,297 @@ void Session::ProfileSeeds(const std::vector<Tensor>& seeds) {
   profiled_ = true;
 }
 
+// Compares one regenerated test against the corpus entry at `index`,
+// recording a description of the first divergence.
+struct Session::ReplayCursor {
+  const Corpus* corpus = nullptr;
+  bool ok = true;
+  std::string mismatch;
+
+  bool Check(const GeneratedTest& test, size_t index) {
+    const auto fail = [&](const std::string& what) {
+      ok = false;
+      mismatch = "entry " + std::to_string(index) + ": " + what;
+      return false;
+    };
+    const std::vector<GeneratedTest>& entries = corpus->entries();
+    if (index >= entries.size()) {
+      return fail("replay produced more tests than the corpus records (" +
+                  std::to_string(entries.size()) + ")");
+    }
+    const GeneratedTest& want = entries[index];
+    if (test.seed_index != want.seed_index) {
+      return fail("seed_index " + std::to_string(test.seed_index) + " != recorded " +
+                  std::to_string(want.seed_index));
+    }
+    if (test.task_ordinal != want.task_ordinal) {
+      return fail("task_ordinal " + std::to_string(test.task_ordinal) + " != recorded " +
+                  std::to_string(want.task_ordinal));
+    }
+    if (test.iterations != want.iterations) {
+      return fail("iterations " + std::to_string(test.iterations) + " != recorded " +
+                  std::to_string(want.iterations));
+    }
+    if (test.deviating_model != want.deviating_model) {
+      return fail("deviating_model " + std::to_string(test.deviating_model) +
+                  " != recorded " + std::to_string(want.deviating_model));
+    }
+    if (test.labels != want.labels) {
+      return fail("per-model labels diverge from the recorded predictions");
+    }
+    if (test.outputs != want.outputs) {
+      return fail("per-model outputs diverge from the recorded predictions");
+    }
+    if (test.input.shape() != want.input.shape() ||
+        test.input.values() != want.input.values()) {
+      return fail("generated input is not bit-identical to the recorded one");
+    }
+    return true;
+  }
+};
+
 RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& options) {
+  return RunImpl(seeds, options, nullptr, nullptr);
+}
+
+RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& options,
+                      Corpus* corpus) {
+  return RunImpl(seeds, options, corpus, nullptr);
+}
+
+ReplayResult Session::Replay(const Corpus& corpus) {
+  if (!corpus.initialized() || !corpus.has_checkpoint()) {
+    throw std::invalid_argument("Session::Replay: corpus has no recorded campaign");
+  }
+  const CorpusMeta& meta = corpus.meta();
+  RunOptions options;
+  options.max_tests = meta.max_tests;
+  options.max_seed_passes = meta.max_seed_passes;
+  options.coverage_goal = meta.coverage_goal;
+  // Stop exactly where the recorded campaign stopped, complete or not.
+  options.max_sync_batches = static_cast<int64_t>(corpus.journal().size());
+  ValidateCorpus(corpus, meta.seeds, options);
+  ResetRunState();
+
+  ReplayResult result;
+  ReplayCursor cursor;
+  cursor.corpus = &corpus;
+  result.stats = RunImpl(meta.seeds, options, nullptr, &cursor);
+  result.ok = cursor.ok;
+  result.mismatch = std::move(cursor.mismatch);
+  if (!result.ok) {
+    return result;
+  }
+  const auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.mismatch = what;
+  };
+  const CorpusCheckpoint& cp = corpus.checkpoint();
+  if (result.stats.tests.size() != cp.num_tests) {
+    fail("replay found " + std::to_string(result.stats.tests.size()) +
+         " difference-inducing inputs, corpus records " + std::to_string(cp.num_tests));
+  } else if (result.stats.seeds_tried != cp.seeds_tried ||
+             result.stats.seeds_skipped != cp.seeds_skipped ||
+             result.stats.total_iterations != cp.total_iterations) {
+    fail("replay counters (tried/skipped/iterations) diverge from the checkpoint");
+  } else if (result.stats.forward_passes != cp.forward_passes) {
+    fail("replay forward passes " + std::to_string(result.stats.forward_passes) +
+         " != recorded " + std::to_string(cp.forward_passes));
+  } else if (cp.metric_blobs.size() != metrics_.size()) {
+    fail("checkpoint holds " + std::to_string(cp.metric_blobs.size()) +
+         " coverage snapshots for " + std::to_string(metrics_.size()) + " models");
+  } else {
+    // Coverage state must match bit for bit, not just as a percentage.
+    for (size_t k = 0; k < metrics_.size() && result.ok; ++k) {
+      std::ostringstream blob;
+      BinaryWriter writer(blob);
+      metrics_[k]->Serialize(writer);
+      if (blob.str() != cp.metric_blobs[k]) {
+        fail("model " + models_[k]->name() +
+             ": replayed coverage state differs from the checkpoint snapshot");
+      }
+    }
+    // Stored inputs must still elicit the recorded predictions.
+    for (size_t i = 0; i < corpus.entries().size() && result.ok; ++i) {
+      const GeneratedTest& entry = corpus.entries()[i];
+      if (regression_ ? PredictScalars(entry.input) != entry.outputs
+                      : PredictLabels(entry.input) != entry.labels) {
+        fail("entry " + std::to_string(i) +
+             ": stored input no longer reproduces the recorded predictions");
+      }
+    }
+  }
+  return result;
+}
+
+void Session::ValidateCorpus(const Corpus& corpus, const std::vector<Tensor>& seeds,
+                             const RunOptions& options) const {
+  const CorpusMeta& meta = corpus.meta();
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("Session: corpus " + corpus.dir() +
+                                " does not match this session: " + what);
+  };
+  if (meta.metric != config_.metric || meta.objective != config_.objective ||
+      meta.scheduler != config_.scheduler) {
+    fail("metric/objective/scheduler wiring differs");
+  }
+  if (meta.constraint != constraint_->name()) {
+    fail("constraint is " + constraint_->name() + ", corpus recorded " + meta.constraint);
+  }
+  const EngineConfig& a = meta.engine;
+  const EngineConfig& b = config_.engine;
+  if (a.lambda1 != b.lambda1 || a.lambda2 != b.lambda2 || a.step != b.step ||
+      a.max_iterations_per_seed != b.max_iterations_per_seed ||
+      a.steering_eps != b.steering_eps || a.normalize_gradient != b.normalize_gradient ||
+      a.forced_target_model != b.forced_target_model || a.rng_seed != b.rng_seed) {
+    fail("engine hyperparameters differ");
+  }
+  if (a.coverage.threshold != b.coverage.threshold ||
+      a.coverage.scale_per_layer != b.coverage.scale_per_layer ||
+      a.coverage.exclude_dense != b.coverage.exclude_dense ||
+      a.coverage.exclude_output_layer != b.coverage.exclude_output_layer ||
+      a.coverage.kmc_sections != b.coverage.kmc_sections ||
+      a.coverage.top_k != b.coverage.top_k) {
+    fail("coverage options differ");
+  }
+  if (meta.sync_interval != config_.sync_interval ||
+      meta.profile_from_seeds != config_.profile_from_seeds) {
+    fail("sync_interval/profile_from_seeds differ");
+  }
+  if (meta.max_tests != options.max_tests ||
+      meta.max_seed_passes != options.max_seed_passes ||
+      meta.coverage_goal != options.coverage_goal) {
+    fail("campaign bounds (max_tests/max_seed_passes/coverage_goal) differ");
+  }
+  if (meta.model_names.size() != models_.size()) {
+    fail("model count differs");
+  }
+  for (size_t k = 0; k < models_.size(); ++k) {
+    if (meta.model_names[k] != models_[k]->name()) {
+      fail("model " + std::to_string(k) + " is " + models_[k]->name() +
+           ", corpus recorded " + meta.model_names[k]);
+    }
+  }
+  if (meta.seeds.size() != seeds.size()) {
+    fail("seed pool size differs");
+  }
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    if (meta.seeds[i].shape() != seeds[i].shape() ||
+        meta.seeds[i].values() != seeds[i].values()) {
+      fail("seed " + std::to_string(i) + " is not bit-identical to the recorded pool");
+    }
+  }
+}
+
+void Session::RestoreFromCheckpoint(const Corpus& corpus, const std::vector<Tensor>& seeds,
+                                    const RunOptions& options, RunStats* stats) {
+  const CorpusCheckpoint& cp = corpus.checkpoint();
+  if (cp.metric_blobs.size() != metrics_.size()) {
+    throw std::runtime_error("Session: checkpoint has " +
+                             std::to_string(cp.metric_blobs.size()) +
+                             " coverage snapshots for " + std::to_string(metrics_.size()) +
+                             " models");
+  }
+  for (size_t k = 0; k < metrics_.size(); ++k) {
+    std::istringstream blob(cp.metric_blobs[k]);
+    BinaryReader reader(blob);
+    metrics_[k]->Deserialize(reader);
+  }
+  // Profiling state (k-multisection ranges) is part of the snapshot; a
+  // resumed run must not re-profile, or forward_passes would double-count.
+  profiled_ = true;
+
+  // The journal replays the exact Next()/Report() stream the scheduler saw,
+  // reconstructing its state without requiring schedulers to serialize.
+  scheduler_->Reset(static_cast<int>(seeds.size()), options.max_seed_passes);
+  for (const auto& batch : corpus.journal()) {
+    for (const auto& record : batch) {
+      const int index = scheduler_->Next();
+      if (index != record.seed_index) {
+        throw std::runtime_error(
+            "Session: corpus journal does not replay through scheduler '" +
+            scheduler_->name() + "' (got seed " + std::to_string(index) + ", recorded " +
+            std::to_string(record.seed_index) + ") — corpus/config mismatch?");
+      }
+    }
+    for (const auto& record : batch) {
+      scheduler_->Report(record.seed_index, record.found, record.gain);
+    }
+  }
+
+  stats->tests = corpus.entries();
+  stats->seeds_tried = cp.seeds_tried;
+  stats->seeds_skipped = cp.seeds_skipped;
+  stats->total_iterations = cp.total_iterations;
+}
+
+void Session::ResetRunState() {
+  for (size_t k = 0; k < models_.size(); ++k) {
+    metrics_[k] = MakeCoverageMetric(config_.metric, *models_[k], config_.engine.coverage);
+  }
+  profiled_ = false;
+}
+
+RunStats Session::RunImpl(const std::vector<Tensor>& seeds, const RunOptions& options,
+                          Corpus* corpus, ReplayCursor* replay) {
+  if (corpus != nullptr && config_.sync_interval <= 0) {
+    throw std::invalid_argument(
+        "Session: corpus recording requires sync batches (sync_interval > 0)");
+  }
   RunStats stats;
   Timer timer;
   int64_t forward_base = 0;
   for (const Model* m : models_) {
     forward_base += m->forward_passes();
   }
-  if (config_.profile_from_seeds && !profiled_) {
-    ProfileSeeds(seeds);
+  // Forward passes accumulated by earlier legs of a resumed campaign.
+  int64_t forward_offset = 0;
+
+  uint64_t task_counter = 0;
+  bool resumed = false;
+  if (corpus != nullptr) {
+    if (corpus->initialized()) {
+      ValidateCorpus(*corpus, seeds, options);
+    } else {
+      CorpusMeta meta;
+      meta.metric = config_.metric;
+      meta.objective = config_.objective;
+      meta.scheduler = config_.scheduler;
+      meta.constraint = constraint_->name();
+      meta.engine = config_.engine;
+      meta.sync_interval = config_.sync_interval;
+      meta.profile_from_seeds = config_.profile_from_seeds;
+      meta.max_tests = options.max_tests;
+      meta.max_seed_passes = options.max_seed_passes;
+      meta.coverage_goal = options.coverage_goal;
+      for (const Model* m : models_) {
+        meta.model_names.push_back(m->name());
+      }
+      meta.seeds = seeds;
+      corpus->Initialize(std::move(meta));
+    }
+    if (corpus->has_checkpoint()) {
+      RestoreFromCheckpoint(*corpus, seeds, options, &stats);
+      const CorpusCheckpoint& cp = corpus->checkpoint();
+      task_counter = cp.task_counter;
+      forward_offset = cp.forward_passes;
+      resumed = true;
+      if (cp.complete) {
+        // Nothing left to run: report the recorded campaign as-is.
+        stats.seconds = timer.ElapsedSeconds();
+        stats.mean_coverage = MeanCoverage();
+        stats.forward_passes = cp.forward_passes;
+        return stats;
+      }
+    }
   }
-  scheduler_->Reset(static_cast<int>(seeds.size()), options.max_seed_passes);
+
+  if (!resumed) {
+    if (config_.profile_from_seeds && !profiled_) {
+      ProfileSeeds(seeds);
+    }
+    scheduler_->Reset(static_cast<int>(seeds.size()), options.max_seed_passes);
+  }
 
   if (config_.sync_interval <= 0) {
     // Legacy serial mode: the session RNG is threaded through the whole seed
@@ -268,9 +551,10 @@ RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& option
     std::vector<std::unique_ptr<CoverageMetric>> metrics;
   };
 
-  uint64_t task_counter = 0;
+  int64_t leg_batches = 0;  // Sync batches processed by THIS run call.
   bool done = false;
-  while (!done && timer.ElapsedSeconds() <= options.max_seconds) {
+  while (!done && timer.ElapsedSeconds() <= options.max_seconds &&
+         leg_batches < options.max_sync_batches) {
     std::vector<int> batch;
     batch.reserve(static_cast<size_t>(batch_size));
     while (static_cast<int>(batch.size()) < batch_size) {
@@ -315,6 +599,7 @@ RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& option
         Executor::SeedTask task;
         task.seed = &seeds[static_cast<size_t>(batch[t])];
         task.seed_index = batch[t];
+        task.ordinal = task_counter + static_cast<uint64_t>(t);
         task.rng = &task_rngs[t];
         task.metrics = &results[t].metrics;
         tasks.push_back(task);
@@ -334,19 +619,32 @@ RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& option
     task_counter += batch.size();
 
     // Merge + report in schedule order: deterministic for any worker count.
+    // The journal mirrors the Report stream so a resumed (or replayed)
+    // campaign can reconstruct the scheduler exactly.
+    std::vector<CorpusCheckpoint::JournalRecord> journal_batch;
+    journal_batch.reserve(batch.size());
+    const size_t tests_before = stats.tests.size();
     for (size_t t = 0; t < batch.size() && !done; ++t) {
       TaskResult& result = results[t];
       ++stats.seeds_tried;
       if (!result.test.has_value()) {
         ++stats.seeds_skipped;
         scheduler_->Report(batch[t], false, 0.0f);
+        journal_batch.push_back({batch[t], false, 0.0f});
         continue;
+      }
+      if (replay != nullptr && !replay->Check(*result.test, stats.tests.size())) {
+        --stats.seeds_tried;  // Divergence: abort before counting this task.
+        done = true;
+        break;
       }
       const float before = MeanCoverage();
       for (int k = 0; k < num_models(); ++k) {
         metrics_[static_cast<size_t>(k)]->Merge(*result.metrics[static_cast<size_t>(k)]);
       }
-      scheduler_->Report(batch[t], true, MeanCoverage() - before);
+      const float gain = MeanCoverage() - before;
+      scheduler_->Report(batch[t], true, gain);
+      journal_batch.push_back({batch[t], true, gain});
       stats.total_iterations += result.test->iterations;
       stats.tests.push_back(std::move(*result.test));
       if (static_cast<int>(stats.tests.size()) >= options.max_tests) {
@@ -363,13 +661,54 @@ RunStats Session::Run(const std::vector<Tensor>& seeds, const RunOptions& option
         }
       }
     }
+    ++leg_batches;
+
+    if (corpus != nullptr) {
+      for (size_t i = tests_before; i < stats.tests.size(); ++i) {
+        corpus->AppendEntry(stats.tests[i]);
+      }
+      corpus->AppendJournalBatch(journal_batch);
+      CorpusCheckpoint cp;
+      cp.complete = done;
+      cp.task_counter = task_counter;
+      cp.seeds_tried = stats.seeds_tried;
+      cp.seeds_skipped = stats.seeds_skipped;
+      cp.total_iterations = stats.total_iterations;
+      int64_t forwards = forward_offset - forward_base;
+      for (const Model* m : models_) {
+        forwards += m->forward_passes();
+      }
+      cp.forward_passes = forwards;
+      cp.num_tests = stats.tests.size();
+      cp.num_batches = corpus->journal().size();
+      cp.mean_coverage = MeanCoverage();
+      for (const auto& metric : metrics_) {
+        std::ostringstream blob;
+        BinaryWriter writer(blob);
+        metric->Serialize(writer);
+        cp.metric_blobs.push_back(blob.str());
+      }
+      corpus->WriteCheckpoint(cp);
+    }
   }
+
+  if (corpus != nullptr && !done && corpus->has_checkpoint() &&
+      !corpus->checkpoint().complete && leg_batches < options.max_sync_batches &&
+      timer.ElapsedSeconds() <= options.max_seconds) {
+    // The scheduler ran dry (the loop exited on an empty batch): the
+    // campaign is complete — re-stamp the last checkpoint so a later
+    // --resume is a no-op instead of spinning the scheduler again.
+    CorpusCheckpoint cp = corpus->checkpoint();
+    cp.complete = true;
+    corpus->WriteCheckpoint(cp);
+  }
+
   stats.seconds = timer.ElapsedSeconds();
   stats.mean_coverage = MeanCoverage();
   for (const Model* m : models_) {
     stats.forward_passes += m->forward_passes();
   }
-  stats.forward_passes -= forward_base;
+  stats.forward_passes += forward_offset - forward_base;
   return stats;
 }
 

@@ -42,6 +42,7 @@
 
 namespace dx {
 
+class Corpus;
 class Executor;
 
 // The paper's per-run hyperparameters (Algorithm 1 / Table 2). Kept under
@@ -113,6 +114,10 @@ struct GeneratedTest {
   int deviating_model = 0;     // Index of the model that left the consensus.
   std::vector<int> labels;     // Per-model predicted class (classification).
   std::vector<float> outputs;  // Per-model scalar output (regression).
+  // Global schedule position of the task that produced this test. Together
+  // with the engine rng_seed it pins the task's RNG stream — the provenance
+  // a corpus needs to replay the test deterministically (src/corpus/).
+  uint64_t task_ordinal = 0;
   // Wall time from the start of this seed's executor chunk until the test
   // was found. Under batching (batch_size > 1) the chunk ascends several
   // seeds in lockstep, so this includes the co-scheduled seeds' compute —
@@ -128,6 +133,11 @@ struct RunOptions {
   double max_seconds = 1e18;
   // Stop when every model's tracker reaches this coverage (> 1 disables).
   float coverage_goal = 1.1f;
+  // Stop after this many sync batches (checkpoint boundaries). Unlike the
+  // bounds above this leaves the campaign *incomplete*: a corpus-recorded
+  // run cut here resumes exactly where it stopped, which is how interrupted
+  // or sharded campaign legs are modeled. Per-leg, not stored in the corpus.
+  int64_t max_sync_batches = int64_t{1} << 60;
 };
 
 struct RunStats {
@@ -142,7 +152,20 @@ struct RunStats {
   // models (includes seed profiling). With the batched executor this is
   // exactly one pass per (seed, model, iteration) plus one consensus pass
   // per (seed, model); deterministic for any worker count or batch size.
+  // Resumed runs report the cumulative campaign total (checkpointed passes
+  // plus this leg's), so the number matches an uninterrupted run.
   int64_t forward_passes = 0;
+};
+
+// Outcome of Session::Replay: a deterministic re-run of a recorded campaign
+// checked entry-by-entry against the corpus.
+struct ReplayResult {
+  bool ok = true;
+  // Human-readable description of the first divergence (empty when ok).
+  std::string mismatch;
+  // Stats of the verification re-run (bit-identical to the recorded
+  // campaign when ok).
+  RunStats stats;
 };
 
 class Session {
@@ -206,6 +229,32 @@ class Session {
   // option bound is hit. Results are identical for any worker count.
   RunStats Run(const std::vector<Tensor>& seeds, const RunOptions& options);
 
+  // Durable variant: records every difference-inducing input (with
+  // provenance), the scheduler journal, and per-batch coverage checkpoints
+  // into `corpus` (src/corpus/corpus.h). An uninitialized corpus starts a
+  // new campaign (the manifest captures config + options + seeds); a corpus
+  // with a checkpoint RESUMES it — coverage state, scheduler position, and
+  // counters are restored and the run continues at the next sync batch,
+  // producing results bit-identical to an uninterrupted run (forward_passes
+  // and coverage are cumulative, never double-counted). The session should
+  // be freshly constructed when recording or resuming; config and seeds
+  // must match the manifest (std::invalid_argument otherwise). Requires
+  // sync_interval > 0. batch_size and workers may differ freely between
+  // legs — results are invariant to both.
+  RunStats Run(const std::vector<Tensor>& seeds, const RunOptions& options,
+               Corpus* corpus);
+
+  // Deterministic replay: re-executes the recorded campaign from scratch
+  // (corpus-stored seeds, options, and leg boundary) through the batched
+  // Executor and verifies bit-identical results — every generated test is
+  // compared field-by-field (input bits, labels/outputs, iterations, RNG
+  // provenance) against the stored entries, stored inputs are re-predicted,
+  // and the final coverage state, difference counts, and forward-pass
+  // counters are compared against the checkpoint. Resets this session's
+  // coverage state. The session must be constructed with the corpus' config
+  // (std::invalid_argument otherwise; batch_size/workers free).
+  ReplayResult Replay(const Corpus& corpus);
+
   // Feeds every seed's trace to the metrics' ProfileSeed (k-multisection
   // range calibration). Run() calls this automatically once when the metric
   // asks for it and config().profile_from_seeds is set.
@@ -215,8 +264,25 @@ class Session {
   float MeanCoverage() const;
 
  private:
+  struct ReplayCursor;  // Entry-by-entry verifier state (session.cc).
+
   std::vector<std::unique_ptr<CoverageMetric>> CloneMetrics() const;
   int EffectiveWorkers() const;
+  // The one run loop behind Run/Replay: `corpus` (optional) receives
+  // entries/journal/checkpoints, `replay` (optional) verifies generated
+  // tests against a recorded corpus as they appear.
+  RunStats RunImpl(const std::vector<Tensor>& seeds, const RunOptions& options,
+                   Corpus* corpus, ReplayCursor* replay);
+  // Throws std::invalid_argument unless the corpus manifest matches this
+  // session's result-affecting config, the campaign bounds, and the seeds.
+  void ValidateCorpus(const Corpus& corpus, const std::vector<Tensor>& seeds,
+                      const RunOptions& options) const;
+  // Restores coverage state + scheduler position + counters from the corpus
+  // checkpoint (journal replay reconstructs the scheduler exactly).
+  void RestoreFromCheckpoint(const Corpus& corpus, const std::vector<Tensor>& seeds,
+                             const RunOptions& options, RunStats* stats);
+  // Rebuilds fresh coverage trackers (used by Replay).
+  void ResetRunState();
 
   std::vector<Model*> models_;
   const Constraint* constraint_;

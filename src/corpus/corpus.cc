@@ -1,0 +1,381 @@
+#include "src/corpus/corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/serialize.h"
+
+namespace dx {
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x44584d46;    // "DXMF"
+constexpr uint32_t kEntryMagic = 0x44584554;       // "DXET"
+constexpr uint32_t kCheckpointMagic = 0x44584350;  // "DXCP"
+
+void WriteEngine(BinaryWriter& w, const EngineConfig& e) {
+  w.WriteF32(e.lambda1);
+  w.WriteF32(e.lambda2);
+  w.WriteF32(e.step);
+  w.WriteF32(e.coverage.threshold);
+  w.WriteU32(e.coverage.scale_per_layer ? 1 : 0);
+  w.WriteU32(e.coverage.exclude_dense ? 1 : 0);
+  w.WriteU32(e.coverage.exclude_output_layer ? 1 : 0);
+  w.WriteU32(static_cast<uint32_t>(e.coverage.kmc_sections));
+  w.WriteU32(static_cast<uint32_t>(e.coverage.top_k));
+  w.WriteI64(e.max_iterations_per_seed);
+  w.WriteF32(e.steering_eps);
+  w.WriteU32(e.normalize_gradient ? 1 : 0);
+  w.WriteI64(e.forced_target_model);
+  w.WriteU64(e.rng_seed);
+}
+
+EngineConfig ReadEngine(BinaryReader& r) {
+  EngineConfig e;
+  e.lambda1 = r.ReadF32();
+  e.lambda2 = r.ReadF32();
+  e.step = r.ReadF32();
+  e.coverage.threshold = r.ReadF32();
+  e.coverage.scale_per_layer = r.ReadU32() != 0;
+  e.coverage.exclude_dense = r.ReadU32() != 0;
+  e.coverage.exclude_output_layer = r.ReadU32() != 0;
+  e.coverage.kmc_sections = static_cast<int>(r.ReadU32());
+  e.coverage.top_k = static_cast<int>(r.ReadU32());
+  e.max_iterations_per_seed = static_cast<int>(r.ReadI64());
+  e.steering_eps = r.ReadF32();
+  e.normalize_gradient = r.ReadU32() != 0;
+  e.forced_target_model = static_cast<int>(r.ReadI64());
+  e.rng_seed = r.ReadU64();
+  return e;
+}
+
+void WriteEntry(BinaryWriter& w, const GeneratedTest& t) {
+  w.WriteU32(kEntryMagic);
+  w.WriteI64(t.seed_index);
+  w.WriteI64(t.iterations);
+  w.WriteI64(t.deviating_model);
+  w.WriteU64(t.task_ordinal);
+  w.WriteF64(t.seconds);
+  w.WriteInts(t.labels);
+  w.WriteFloats(t.outputs);
+  w.WriteTensor(t.input);
+}
+
+GeneratedTest ReadEntry(BinaryReader& r) {
+  if (r.ReadU32() != kEntryMagic) {
+    throw std::runtime_error("Corpus: corrupt entry record");
+  }
+  GeneratedTest t;
+  t.seed_index = static_cast<int>(r.ReadI64());
+  t.iterations = static_cast<int>(r.ReadI64());
+  t.deviating_model = static_cast<int>(r.ReadI64());
+  t.task_ordinal = r.ReadU64();
+  t.seconds = r.ReadF64();
+  t.labels = r.ReadInts();
+  t.outputs = r.ReadFloats();
+  t.input = r.ReadTensor();
+  return t;
+}
+
+}  // namespace
+
+const std::string* CorpusMeta::FindMetadata(const std::string& key) const {
+  for (const auto& [k, v] : metadata) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+Corpus::Corpus(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  if (std::filesystem::exists(ManifestPath())) {
+    Load();
+  }
+}
+
+std::string Corpus::ManifestPath() const { return dir_ + "/manifest.bin"; }
+std::string Corpus::EntriesPath() const { return dir_ + "/entries.bin"; }
+std::string Corpus::JournalPath() const { return dir_ + "/journal.bin"; }
+std::string Corpus::CheckpointPath() const { return dir_ + "/checkpoint.bin"; }
+
+void Corpus::SetMetadata(const std::string& key, const std::string& value) {
+  if (initialized_) {
+    return;  // Manifest is immutable once written.
+  }
+  for (auto& [k, v] : pending_metadata_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  pending_metadata_.emplace_back(key, value);
+}
+
+void Corpus::Initialize(CorpusMeta meta) {
+  if (initialized_) {
+    throw std::logic_error("Corpus: already initialized: " + dir_);
+  }
+  for (auto& kv : pending_metadata_) {
+    meta.metadata.push_back(std::move(kv));
+  }
+  pending_metadata_.clear();
+  std::ofstream out(ManifestPath(), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("Corpus: cannot write " + ManifestPath());
+  }
+  BinaryWriter w(out);
+  w.WriteU32(kManifestMagic);
+  w.WriteU32(kCorpusFormatVersion);
+  w.WriteString(meta.metric);
+  w.WriteString(meta.objective);
+  w.WriteString(meta.scheduler);
+  w.WriteString(meta.constraint);
+  WriteEngine(w, meta.engine);
+  w.WriteI64(meta.sync_interval);
+  w.WriteU32(meta.profile_from_seeds ? 1 : 0);
+  w.WriteI64(meta.max_tests);
+  w.WriteI64(meta.max_seed_passes);
+  w.WriteF32(meta.coverage_goal);
+  w.WriteU64(meta.model_names.size());
+  for (const std::string& name : meta.model_names) {
+    w.WriteString(name);
+  }
+  w.WriteU64(meta.metadata.size());
+  for (const auto& [k, v] : meta.metadata) {
+    w.WriteString(k);
+    w.WriteString(v);
+  }
+  w.WriteU64(meta.seeds.size());
+  for (const Tensor& seed : meta.seeds) {
+    w.WriteTensor(seed);
+  }
+  out.close();
+  if (!out) {
+    throw std::runtime_error("Corpus: failed writing " + ManifestPath());
+  }
+  meta_ = std::move(meta);
+  initialized_ = true;
+}
+
+const CorpusMeta& Corpus::meta() const {
+  if (!initialized_) {
+    throw std::logic_error("Corpus: not initialized: " + dir_);
+  }
+  return meta_;
+}
+
+void Corpus::Load() {
+  {
+    std::ifstream in(ManifestPath(), std::ios::binary);
+    BinaryReader r(in);
+    if (r.ReadU32() != kManifestMagic) {
+      throw std::runtime_error("Corpus: bad manifest magic in " + ManifestPath());
+    }
+    const uint32_t version = r.ReadU32();
+    if (version != kCorpusFormatVersion) {
+      throw std::runtime_error("Corpus: unsupported format version " +
+                               std::to_string(version) + " in " + ManifestPath());
+    }
+    meta_.metric = r.ReadString();
+    meta_.objective = r.ReadString();
+    meta_.scheduler = r.ReadString();
+    meta_.constraint = r.ReadString();
+    meta_.engine = ReadEngine(r);
+    meta_.sync_interval = static_cast<int>(r.ReadI64());
+    meta_.profile_from_seeds = r.ReadU32() != 0;
+    meta_.max_tests = static_cast<int>(r.ReadI64());
+    meta_.max_seed_passes = static_cast<int>(r.ReadI64());
+    meta_.coverage_goal = r.ReadF32();
+    const uint64_t num_models = r.ReadU64();
+    meta_.model_names.clear();
+    for (uint64_t i = 0; i < num_models; ++i) {
+      meta_.model_names.push_back(r.ReadString());
+    }
+    const uint64_t num_metadata = r.ReadU64();
+    meta_.metadata.clear();
+    for (uint64_t i = 0; i < num_metadata; ++i) {
+      std::string key = r.ReadString();
+      std::string value = r.ReadString();
+      meta_.metadata.emplace_back(std::move(key), std::move(value));
+    }
+    const uint64_t num_seeds = r.ReadU64();
+    meta_.seeds.clear();
+    for (uint64_t i = 0; i < num_seeds; ++i) {
+      meta_.seeds.push_back(r.ReadTensor());
+    }
+    initialized_ = true;
+  }
+
+  if (std::filesystem::exists(CheckpointPath())) {
+    std::ifstream in(CheckpointPath(), std::ios::binary);
+    BinaryReader r(in);
+    if (r.ReadU32() != kCheckpointMagic) {
+      throw std::runtime_error("Corpus: bad checkpoint magic in " + CheckpointPath());
+    }
+    checkpoint_.complete = r.ReadU32() != 0;
+    checkpoint_.task_counter = r.ReadU64();
+    checkpoint_.seeds_tried = static_cast<int>(r.ReadI64());
+    checkpoint_.seeds_skipped = static_cast<int>(r.ReadI64());
+    checkpoint_.total_iterations = r.ReadI64();
+    checkpoint_.forward_passes = r.ReadI64();
+    checkpoint_.num_tests = r.ReadU64();
+    checkpoint_.num_batches = r.ReadU64();
+    checkpoint_.mean_coverage = r.ReadF32();
+    const uint64_t num_blobs = r.ReadU64();
+    checkpoint_.metric_blobs.clear();
+    for (uint64_t i = 0; i < num_blobs; ++i) {
+      checkpoint_.metric_blobs.push_back(r.ReadString());
+    }
+    has_checkpoint_ = true;
+  }
+
+  // Entries and journal are only meaningful up to the checkpoint's
+  // high-water marks; anything beyond is an uncovered suffix from an
+  // interrupted batch and is dropped (the resumed run regenerates it).
+  const uint64_t keep_entries = has_checkpoint_ ? checkpoint_.num_tests : 0;
+  const uint64_t keep_batches = has_checkpoint_ ? checkpoint_.num_batches : 0;
+
+  entries_.clear();
+  if (std::filesystem::exists(EntriesPath())) {
+    std::ifstream in(EntriesPath(), std::ios::binary);
+    BinaryReader r(in);
+    while (entries_.size() < keep_entries) {
+      entries_.push_back(ReadEntry(r));
+    }
+    const bool trailing = in.peek() != std::ifstream::traits_type::eof();
+    in.close();
+    if (trailing || entries_.size() != keep_entries) {
+      RewriteEntries();
+    }
+  } else if (keep_entries > 0) {
+    throw std::runtime_error("Corpus: checkpoint expects " +
+                             std::to_string(keep_entries) + " entries but " +
+                             EntriesPath() + " is missing");
+  }
+
+  journal_.clear();
+  if (std::filesystem::exists(JournalPath())) {
+    std::ifstream in(JournalPath(), std::ios::binary);
+    BinaryReader r(in);
+    while (journal_.size() < keep_batches) {
+      const uint64_t count = r.ReadU64();
+      if (count > (1ULL << 32)) {
+        throw std::runtime_error("Corpus: corrupt journal batch length in " +
+                                 JournalPath());
+      }
+      std::vector<CorpusCheckpoint::JournalRecord> batch(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        batch[i].seed_index = static_cast<int>(r.ReadI64());
+        batch[i].found = r.ReadU32() != 0;
+        batch[i].gain = r.ReadF32();
+      }
+      journal_.push_back(std::move(batch));
+    }
+    const bool trailing = in.peek() != std::ifstream::traits_type::eof();
+    in.close();
+    if (trailing || journal_.size() != keep_batches) {
+      RewriteJournal();
+    }
+  } else if (keep_batches > 0) {
+    throw std::runtime_error("Corpus: checkpoint expects " +
+                             std::to_string(keep_batches) + " journal batches but " +
+                             JournalPath() + " is missing");
+  }
+}
+
+void Corpus::RewriteEntries() {
+  std::ofstream out(EntriesPath(), std::ios::binary | std::ios::trunc);
+  BinaryWriter w(out);
+  for (const GeneratedTest& t : entries_) {
+    WriteEntry(w, t);
+  }
+  if (!out) {
+    throw std::runtime_error("Corpus: failed rewriting " + EntriesPath());
+  }
+}
+
+void Corpus::RewriteJournal() {
+  std::ofstream out(JournalPath(), std::ios::binary | std::ios::trunc);
+  BinaryWriter w(out);
+  for (const auto& batch : journal_) {
+    w.WriteU64(batch.size());
+    for (const auto& record : batch) {
+      w.WriteI64(record.seed_index);
+      w.WriteU32(record.found ? 1 : 0);
+      w.WriteF32(record.gain);
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("Corpus: failed rewriting " + JournalPath());
+  }
+}
+
+void Corpus::AppendEntry(const GeneratedTest& test) {
+  std::ofstream out(EntriesPath(), std::ios::binary | std::ios::app);
+  BinaryWriter w(out);
+  WriteEntry(w, test);
+  if (!out) {
+    throw std::runtime_error("Corpus: failed appending to " + EntriesPath());
+  }
+  entries_.push_back(test);
+}
+
+void Corpus::AppendJournalBatch(
+    const std::vector<CorpusCheckpoint::JournalRecord>& batch) {
+  std::ofstream out(JournalPath(), std::ios::binary | std::ios::app);
+  BinaryWriter w(out);
+  w.WriteU64(batch.size());
+  for (const auto& record : batch) {
+    w.WriteI64(record.seed_index);
+    w.WriteU32(record.found ? 1 : 0);
+    w.WriteF32(record.gain);
+  }
+  if (!out) {
+    throw std::runtime_error("Corpus: failed appending to " + JournalPath());
+  }
+  journal_.push_back(batch);
+}
+
+void Corpus::WriteCheckpoint(const CorpusCheckpoint& checkpoint) {
+  if (checkpoint.num_tests != entries_.size() ||
+      checkpoint.num_batches != journal_.size()) {
+    throw std::logic_error("Corpus: checkpoint high-water marks disagree with appends");
+  }
+  const std::string tmp = CheckpointPath() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    BinaryWriter w(out);
+    w.WriteU32(kCheckpointMagic);
+    w.WriteU32(checkpoint.complete ? 1 : 0);
+    w.WriteU64(checkpoint.task_counter);
+    w.WriteI64(checkpoint.seeds_tried);
+    w.WriteI64(checkpoint.seeds_skipped);
+    w.WriteI64(checkpoint.total_iterations);
+    w.WriteI64(checkpoint.forward_passes);
+    w.WriteU64(checkpoint.num_tests);
+    w.WriteU64(checkpoint.num_batches);
+    w.WriteF32(checkpoint.mean_coverage);
+    w.WriteU64(checkpoint.metric_blobs.size());
+    for (const std::string& blob : checkpoint.metric_blobs) {
+      w.WriteString(blob);
+    }
+    if (!out) {
+      throw std::runtime_error("Corpus: failed writing " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, CheckpointPath());
+  checkpoint_ = checkpoint;
+  has_checkpoint_ = true;
+}
+
+const CorpusCheckpoint& Corpus::checkpoint() const {
+  if (!has_checkpoint_) {
+    throw std::logic_error("Corpus: no checkpoint in " + dir_);
+  }
+  return checkpoint_;
+}
+
+}  // namespace dx

@@ -21,6 +21,16 @@ void CoverageMetric::UpdateBatch(const Model& model, const BatchTrace& trace) {
   }
 }
 
+void CoverageMetric::Serialize(BinaryWriter& writer) const {
+  (void)writer;
+  throw std::logic_error("CoverageMetric '" + name() + "' does not support Serialize");
+}
+
+void CoverageMetric::Deserialize(BinaryReader& reader) {
+  (void)reader;
+  throw std::logic_error("CoverageMetric '" + name() + "' does not support Deserialize");
+}
+
 NeuronValueMetric::NeuronValueMetric(const Model& model, CoverageOptions options)
     : options_(options) {
   layer_offset_.assign(static_cast<size_t>(model.num_layers()), -1);
@@ -100,6 +110,24 @@ int NeuronValueMetric::FlatIndex(const NeuronId& id) const {
 void NeuronValueMetric::CheckMergeCompatible(const NeuronValueMetric& other) const {
   if (other.total_ != total_ || other.neurons_ != neurons_) {
     throw std::invalid_argument("CoverageMetric::Merge: trackers cover different neurons");
+  }
+}
+
+void NeuronValueMetric::SerializeHeader(BinaryWriter& writer, uint32_t version) const {
+  writer.WriteString(name());
+  writer.WriteU32(version);
+  writer.WriteU32(static_cast<uint32_t>(total_));
+}
+
+void NeuronValueMetric::DeserializeHeader(BinaryReader& reader, uint32_t version) const {
+  const std::string stored_name = reader.ReadString();
+  const uint32_t stored_version = reader.ReadU32();
+  const uint32_t stored_total = reader.ReadU32();
+  if (stored_name != name() || stored_version != version ||
+      stored_total != static_cast<uint32_t>(total_)) {
+    throw std::runtime_error("CoverageMetric::Deserialize: snapshot is for metric '" +
+                             stored_name + "', this tracker is '" + name() +
+                             "' (or neuron count / version mismatch)");
   }
 }
 

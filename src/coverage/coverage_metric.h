@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/nn/model.h"
+#include "src/util/serialize.h"
 
 namespace dx {
 
@@ -94,6 +95,16 @@ class CoverageMetric {
   // before Update calls are meaningful (lets the session skip the profiling
   // forward passes for metrics that don't).
   virtual bool WantsSeedProfile() const { return false; }
+
+  // Writes the full coverage state (covered set plus any calibration, e.g.
+  // k-multisection ranges) so a campaign can checkpoint and resume. The
+  // counterpart Deserialize restores the state into a metric built for the
+  // SAME model and options — the neuron enumeration is not stored, only
+  // validated — and throws std::runtime_error on a mismatched or corrupt
+  // stream. Defaults throw std::logic_error: plug-in metrics must override
+  // both to participate in durable corpora (src/corpus/).
+  virtual void Serialize(BinaryWriter& writer) const;
+  virtual void Deserialize(BinaryReader& reader);
 };
 
 // Base for metrics defined over per-neuron activation values: owns the
@@ -120,6 +131,11 @@ class NeuronValueMetric : public CoverageMetric {
   // Throws std::invalid_argument unless `other` tracks the same neurons with
   // the same options.
   void CheckMergeCompatible(const NeuronValueMetric& other) const;
+  // Serialize/Deserialize building blocks: a header identifying the metric
+  // (factory name, per-metric version, tracked-neuron count) that the reader
+  // validates against this instance before subclass state follows.
+  void SerializeHeader(BinaryWriter& writer, uint32_t version) const;
+  void DeserializeHeader(BinaryReader& reader, uint32_t version) const;
 
   CoverageOptions options_;
   std::vector<NeuronId> neurons_;

@@ -123,4 +123,31 @@ std::unique_ptr<CoverageMetric> KMultisectionCoverage::Clone() const {
   return std::make_unique<KMultisectionCoverage>(*this);
 }
 
+void KMultisectionCoverage::Serialize(BinaryWriter& writer) const {
+  SerializeHeader(writer, /*version=*/1);
+  writer.WriteU32(static_cast<uint32_t>(k_));
+  writer.WriteU32(profiled_ ? 1 : 0);
+  writer.WriteFloats(low_);
+  writer.WriteFloats(high_);
+  writer.WriteBools(covered_);
+}
+
+void KMultisectionCoverage::Deserialize(BinaryReader& reader) {
+  DeserializeHeader(reader, /*version=*/1);
+  const uint32_t k = reader.ReadU32();
+  const bool profiled = reader.ReadU32() != 0;
+  std::vector<float> low = reader.ReadFloats();
+  std::vector<float> high = reader.ReadFloats();
+  std::vector<bool> covered = reader.ReadBools();
+  if (k != static_cast<uint32_t>(k_) || low.size() != static_cast<size_t>(total_) ||
+      high.size() != low.size() ||
+      covered.size() != static_cast<size_t>(total_) * static_cast<size_t>(k_)) {
+    throw std::runtime_error("KMultisectionCoverage::Deserialize: state size mismatch");
+  }
+  profiled_ = profiled;
+  low_ = std::move(low);
+  high_ = std::move(high);
+  covered_ = std::move(covered);
+}
+
 }  // namespace dx

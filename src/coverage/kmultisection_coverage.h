@@ -52,6 +52,11 @@ class KMultisectionCoverage : public NeuronValueMetric {
   void Merge(const CoverageMetric& other) override;
   std::unique_ptr<CoverageMetric> Clone() const override;
 
+  // Persists the covered sections AND the profiled [low, high] ranges, so a
+  // resumed campaign needs no re-profiling pass.
+  void Serialize(BinaryWriter& writer) const override;
+  void Deserialize(BinaryReader& reader) override;
+
  private:
   int k_;
   bool profiled_ = false;

@@ -68,6 +68,20 @@ std::unique_ptr<CoverageMetric> NeuronCoverageTracker::Clone() const {
   return std::make_unique<NeuronCoverageTracker>(*this);
 }
 
+void NeuronCoverageTracker::Serialize(BinaryWriter& writer) const {
+  SerializeHeader(writer, /*version=*/1);
+  writer.WriteBools(covered_);
+}
+
+void NeuronCoverageTracker::Deserialize(BinaryReader& reader) {
+  DeserializeHeader(reader, /*version=*/1);
+  std::vector<bool> covered = reader.ReadBools();
+  if (covered.size() != static_cast<size_t>(total_)) {
+    throw std::runtime_error("NeuronCoverageTracker::Deserialize: covered-set size mismatch");
+  }
+  covered_ = std::move(covered);
+}
+
 std::vector<NeuronId> NeuronCoverageTracker::Activated(const Model& model,
                                                        const ForwardTrace& trace) const {
   const std::vector<float> values = NeuronValues(model, trace);

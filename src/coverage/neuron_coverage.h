@@ -44,6 +44,9 @@ class NeuronCoverageTracker : public NeuronValueMetric {
   void Merge(const CoverageMetric& other) override;
   std::unique_ptr<CoverageMetric> Clone() const override;
 
+  void Serialize(BinaryWriter& writer) const override;
+  void Deserialize(BinaryReader& reader) override;
+
   // Activated neuron ids for a single trace (used by the Table 7 overlap
   // experiment).
   std::vector<NeuronId> Activated(const Model& model, const ForwardTrace& trace) const;

@@ -92,4 +92,20 @@ std::unique_ptr<CoverageMetric> TopKNeuronCoverage::Clone() const {
   return std::make_unique<TopKNeuronCoverage>(*this);
 }
 
+void TopKNeuronCoverage::Serialize(BinaryWriter& writer) const {
+  SerializeHeader(writer, /*version=*/1);
+  writer.WriteU32(static_cast<uint32_t>(k_));
+  writer.WriteBools(covered_);
+}
+
+void TopKNeuronCoverage::Deserialize(BinaryReader& reader) {
+  DeserializeHeader(reader, /*version=*/1);
+  const uint32_t k = reader.ReadU32();
+  std::vector<bool> covered = reader.ReadBools();
+  if (k != static_cast<uint32_t>(k_) || covered.size() != static_cast<size_t>(total_)) {
+    throw std::runtime_error("TopKNeuronCoverage::Deserialize: state size mismatch");
+  }
+  covered_ = std::move(covered);
+}
+
 }  // namespace dx

@@ -37,6 +37,9 @@ class TopKNeuronCoverage : public NeuronValueMetric {
   void Merge(const CoverageMetric& other) override;
   std::unique_ptr<CoverageMetric> Clone() const override;
 
+  void Serialize(BinaryWriter& writer) const override;
+  void Deserialize(BinaryReader& reader) override;
+
  private:
   int k_;
   std::vector<bool> covered_;

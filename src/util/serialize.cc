@@ -1,5 +1,7 @@
 #include "src/util/serialize.h"
 
+#include "src/tensor/tensor.h"
+
 namespace dx {
 
 namespace {
@@ -21,6 +23,22 @@ void BinaryWriter::WriteInts(const std::vector<int>& v) {
   WriteU64(v.size());
   out_.write(reinterpret_cast<const char*>(v.data()),
              static_cast<std::streamsize>(v.size() * sizeof(int)));
+}
+
+void BinaryWriter::WriteBools(const std::vector<bool>& v) {
+  WriteU64(v.size());
+  // One buffered write: this runs on the per-batch checkpoint path, where a
+  // per-element ostream call would dominate.
+  std::string bytes(v.size(), '\0');
+  for (size_t i = 0; i < v.size(); ++i) {
+    bytes[i] = v[i] ? 1 : 0;
+  }
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void BinaryWriter::WriteTensor(const Tensor& t) {
+  WriteInts(t.shape());
+  WriteFloats(t.values());
 }
 
 std::string BinaryReader::ReadString() {
@@ -61,6 +79,35 @@ std::vector<int> BinaryReader::ReadInts() {
     throw std::runtime_error("BinaryReader: truncated int array");
   }
   return v;
+}
+
+std::vector<bool> BinaryReader::ReadBools() {
+  const uint64_t n = ReadU64();
+  if (n > kMaxReasonableLength) {
+    throw std::runtime_error("BinaryReader: corrupt bool array length");
+  }
+  std::string bytes(n, '\0');
+  in_.read(bytes.data(), static_cast<std::streamsize>(n));
+  if (!in_) {
+    throw std::runtime_error("BinaryReader: truncated bool array");
+  }
+  std::vector<bool> v(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    v[i] = bytes[i] != 0;
+  }
+  return v;
+}
+
+Tensor BinaryReader::ReadTensor() {
+  const Shape shape = ReadInts();
+  std::vector<float> values = ReadFloats();
+  if (shape.empty() && values.empty()) {
+    return Tensor();  // Default-constructed (0-element) tensor.
+  }
+  if (static_cast<int64_t>(values.size()) != NumElements(shape)) {
+    throw std::runtime_error("BinaryReader: tensor shape/value mismatch");
+  }
+  return Tensor(shape, std::move(values));
 }
 
 }  // namespace dx

@@ -1,7 +1,8 @@
-// Tiny binary (de)serialization used for model weight caching.
+// Tiny binary (de)serialization used for model weight caching and the
+// on-disk test corpus (src/corpus/).
 //
-// Format: little-endian POD writes. Not portable across endianness — the cache
-// is a per-machine artifact, never shipped.
+// Format: little-endian POD writes. Not portable across endianness — the
+// artifacts are per-machine, never shipped.
 #ifndef DX_SRC_UTIL_SERIALIZE_H_
 #define DX_SRC_UTIL_SERIALIZE_H_
 
@@ -14,6 +15,8 @@
 
 namespace dx {
 
+class Tensor;
+
 class BinaryWriter {
  public:
   explicit BinaryWriter(std::ostream& out) : out_(out) {}
@@ -22,9 +25,14 @@ class BinaryWriter {
   void WriteU64(uint64_t v) { WritePod(v); }
   void WriteI64(int64_t v) { WritePod(v); }
   void WriteF32(float v) { WritePod(v); }
+  void WriteF64(double v) { WritePod(v); }
   void WriteString(const std::string& s);
   void WriteFloats(const std::vector<float>& v);
   void WriteInts(const std::vector<int>& v);
+  // One byte per element (bit-packing is not worth it at coverage-state sizes).
+  void WriteBools(const std::vector<bool>& v);
+  // Shape extents + flat values; round-trips through ReadTensor.
+  void WriteTensor(const Tensor& t);
 
  private:
   template <typename T>
@@ -42,9 +50,12 @@ class BinaryReader {
   uint64_t ReadU64() { return ReadPod<uint64_t>(); }
   int64_t ReadI64() { return ReadPod<int64_t>(); }
   float ReadF32() { return ReadPod<float>(); }
+  double ReadF64() { return ReadPod<double>(); }
   std::string ReadString();
   std::vector<float> ReadFloats();
   std::vector<int> ReadInts();
+  std::vector<bool> ReadBools();
+  Tensor ReadTensor();
 
  private:
   template <typename T>

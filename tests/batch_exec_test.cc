@@ -30,6 +30,7 @@
 #include "src/nn/softmax_layer.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
+#include "tests/test_util.h"
 
 namespace dx {
 namespace {
@@ -37,79 +38,10 @@ namespace {
 // One full 8-lane dense block plus a tail, so both batch code paths run.
 constexpr int kBatch = 13;
 
-// Runs `layer` over a random batch twice — once per sample, once batched —
-// and asserts outputs, aux, input gradients, and accumulated parameter
-// gradients are bit-identical.
+// Hand-picked-shape instantiation of the shared harness; the randomized
+// shape/batch sweep lives in tests/batch_property_test.cc.
 void ExpectBatchMatchesScalar(const Layer& layer, const Shape& in_shape, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Tensor> inputs;
-  std::vector<const Tensor*> input_ptrs;
-  for (int b = 0; b < kBatch; ++b) {
-    inputs.push_back(Tensor::RandUniform(in_shape, rng, -1.0f, 1.0f));
-  }
-  for (const Tensor& t : inputs) {
-    input_ptrs.push_back(&t);
-  }
-  const Tensor batched_in = StackSamples(input_ptrs);
-
-  Tensor batched_aux;
-  const Tensor batched_out =
-      layer.ForwardBatch(batched_in, kBatch, false, nullptr, &batched_aux);
-
-  std::vector<Tensor> scalar_outs;
-  std::vector<Tensor> scalar_auxes;
-  for (int b = 0; b < kBatch; ++b) {
-    Tensor aux;
-    scalar_outs.push_back(layer.Forward(inputs[static_cast<size_t>(b)], false, nullptr, &aux));
-    scalar_auxes.push_back(std::move(aux));
-  }
-  ASSERT_EQ(batched_out.shape(), BatchedShape(kBatch, scalar_outs[0].shape()));
-  for (int b = 0; b < kBatch; ++b) {
-    EXPECT_EQ(SliceSample(batched_out, b).values(),
-              scalar_outs[static_cast<size_t>(b)].values())
-        << layer.Describe() << " forward sample " << b;
-    if (!scalar_auxes[static_cast<size_t>(b)].empty()) {
-      ASSERT_FALSE(batched_aux.empty()) << layer.Describe();
-      EXPECT_EQ(SliceSample(batched_aux, b).values(),
-                scalar_auxes[static_cast<size_t>(b)].values())
-          << layer.Describe() << " aux sample " << b;
-    }
-  }
-
-  // Gradients: per-sample sequential accumulation vs one batched call.
-  std::vector<Tensor> grads;
-  std::vector<const Tensor*> grad_ptrs;
-  for (int b = 0; b < kBatch; ++b) {
-    grads.push_back(Tensor::RandUniform(scalar_outs[0].shape(), rng, -1.0f, 1.0f));
-  }
-  for (const Tensor& t : grads) {
-    grad_ptrs.push_back(&t);
-  }
-  const Tensor batched_grad_out = StackSamples(grad_ptrs);
-
-  const size_t num_params = layer.Params().size();
-  std::vector<Tensor> scalar_param_grads;
-  std::vector<Tensor> batched_param_grads;
-  for (const Tensor* p : layer.Params()) {
-    scalar_param_grads.emplace_back(p->shape());
-    batched_param_grads.emplace_back(p->shape());
-  }
-
-  const Tensor batched_grad_in = layer.BackwardBatch(
-      batched_in, batched_out, batched_grad_out, batched_aux, kBatch,
-      num_params > 0 ? &batched_param_grads : nullptr);
-  for (int b = 0; b < kBatch; ++b) {
-    const Tensor scalar_grad_in = layer.Backward(
-        inputs[static_cast<size_t>(b)], scalar_outs[static_cast<size_t>(b)],
-        grads[static_cast<size_t>(b)], scalar_auxes[static_cast<size_t>(b)],
-        num_params > 0 ? &scalar_param_grads : nullptr);
-    EXPECT_EQ(SliceSample(batched_grad_in, b).values(), scalar_grad_in.values())
-        << layer.Describe() << " backward sample " << b;
-  }
-  for (size_t p = 0; p < num_params; ++p) {
-    EXPECT_EQ(batched_param_grads[p].values(), scalar_param_grads[p].values())
-        << layer.Describe() << " param grad " << p;
-  }
+  testing::ExpectBatchMatchesScalar(layer, in_shape, kBatch, seed);
 }
 
 TEST(BatchKernelTest, Dense) {
@@ -278,7 +210,8 @@ Dataset MakeToyTask(int n, uint64_t seed) {
     if (std::abs(x[0] - x[1]) < 0.08f) {
       continue;
     }
-    ds.Add(std::move(x), x[0] > x[1] ? 0.0f : 1.0f);
+    const float label = x[0] > x[1] ? 0.0f : 1.0f;  // Before the move.
+    ds.Add(std::move(x), label);
   }
   return ds;
 }

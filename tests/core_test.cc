@@ -29,7 +29,8 @@ Dataset MakeToyTask(int n, uint64_t seed) {
     if (std::abs(x[0] - x[1]) < 0.08f) {
       continue;  // Margin keeps the task cleanly separable.
     }
-    ds.Add(std::move(x), x[0] > x[1] ? 0.0f : 1.0f);
+    const float label = x[0] > x[1] ? 0.0f : 1.0f;  // Before the move.
+    ds.Add(std::move(x), label);
   }
   return ds;
 }

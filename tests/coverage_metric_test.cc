@@ -1,8 +1,11 @@
 // The pluggable CoverageMetric interface: factory lookup, k-multisection
-// bucket math, top-k tie handling, and Merge/Clone semantics.
+// bucket math, top-k tie handling, Merge/Clone semantics (commutative,
+// associative, idempotent, and equal to a serial run — the algebra parallel
+// worker merging relies on), and Serialize/Deserialize round trips.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/coverage/coverage_metric.h"
@@ -247,6 +250,108 @@ TEST_P(MergeSemanticsTest, CloneIsIndependentOfTheOriginal) {
   a->Update(model_, model_.Forward(Scalar(0.9f)));
   EXPECT_GT(a->covered_items(), 0);
   EXPECT_EQ(clone->covered_items(), 0);
+}
+
+// Serializing a metric captures its full state: two trackers are
+// state-identical iff their blobs are byte-identical.
+std::string StateBlob(const CoverageMetric& metric) {
+  std::ostringstream out;
+  BinaryWriter writer(out);
+  metric.Serialize(writer);
+  return out.str();
+}
+
+TEST_P(MergeSemanticsTest, MergeIsAssociative) {
+  auto a = Fresh();
+  auto b = Fresh();
+  auto c = Fresh();
+  a->Update(model_, model_.Forward(Scalar(0.9f)));
+  b->Update(model_, model_.Forward(Scalar(-0.7f)));
+  c->Update(model_, model_.Forward(Scalar(0.3f)));
+
+  // (a ⊕ b) ⊕ c — full state compared, not just the covered count.
+  auto left = a->Clone();
+  left->Merge(*b);
+  left->Merge(*c);
+  // a ⊕ (b ⊕ c)
+  auto right_inner = b->Clone();
+  right_inner->Merge(*c);
+  auto right = a->Clone();
+  right->Merge(*right_inner);
+  EXPECT_EQ(StateBlob(*left), StateBlob(*right));
+}
+
+TEST_P(MergeSemanticsTest, MergedClonesEqualSerialUpdates) {
+  // The parallel-worker execution model: each task updates a Clone() of the
+  // session tracker, and the clones are merged back in schedule order. The
+  // result must be state-identical to one tracker seeing every trace
+  // serially, for ANY partition of the traces.
+  const std::vector<float> stimuli = {0.9f, -0.7f, 0.3f, -0.2f, 0.55f, 0.05f};
+  auto serial = Fresh();
+  for (const float v : stimuli) {
+    serial->Update(model_, model_.Forward(Scalar(v)));
+  }
+  for (const size_t split : {size_t{1}, size_t{3}, size_t{5}}) {
+    auto base = Fresh();
+    auto worker_a = base->Clone();
+    auto worker_b = base->Clone();
+    for (size_t i = 0; i < stimuli.size(); ++i) {
+      CoverageMetric& worker = i < split ? *worker_a : *worker_b;
+      worker.Update(model_, model_.Forward(Scalar(stimuli[i])));
+    }
+    base->Merge(*worker_a);
+    base->Merge(*worker_b);
+    EXPECT_EQ(StateBlob(*base), StateBlob(*serial)) << "split at " << split;
+    // Merge order must not matter either.
+    auto swapped = Fresh();
+    swapped->Merge(*worker_b);
+    swapped->Merge(*worker_a);
+    EXPECT_EQ(StateBlob(*swapped), StateBlob(*serial)) << "split at " << split;
+  }
+}
+
+// ---- Serialize / Deserialize -------------------------------------------------------------
+
+TEST_P(MergeSemanticsTest, SerializeDeserializeRoundTripsFullState) {
+  auto metric = Fresh();
+  metric->Update(model_, model_.Forward(Scalar(0.9f)));
+  metric->Update(model_, model_.Forward(Scalar(-0.4f)));
+  const std::string blob = StateBlob(*metric);
+
+  auto restored = Fresh();
+  std::istringstream in(blob);
+  BinaryReader reader(in);
+  restored->Deserialize(reader);
+  EXPECT_EQ(restored->covered_items(), metric->covered_items());
+  EXPECT_FLOAT_EQ(restored->Coverage(), metric->Coverage());
+  EXPECT_EQ(StateBlob(*restored), blob);
+
+  // The restored tracker keeps working: it accepts updates and merges.
+  restored->Update(model_, model_.Forward(Scalar(0.1f)));
+  metric->Update(model_, model_.Forward(Scalar(0.1f)));
+  EXPECT_EQ(StateBlob(*restored), StateBlob(*metric));
+}
+
+TEST_P(MergeSemanticsTest, DeserializeRejectsMismatchedSnapshots) {
+  auto metric = Fresh();
+  metric->Update(model_, model_.Forward(Scalar(0.9f)));
+  const std::string blob = StateBlob(*metric);
+
+  // A tracker over a different model (one more neuron) must reject the blob.
+  Model bigger = LinearModel({1.0f, 2.0f, -1.0f, 0.5f});
+  CoverageOptions opts = RawOptions();
+  opts.kmc_sections = 3;
+  opts.top_k = 1;
+  auto other = MakeCoverageMetric(GetParam(), bigger, opts);
+  std::istringstream in(blob);
+  BinaryReader reader(in);
+  EXPECT_THROW(other->Deserialize(reader), std::runtime_error);
+
+  // Truncated streams are detected, not silently accepted.
+  auto truncated_target = Fresh();
+  std::istringstream short_in(blob.substr(0, blob.size() / 2));
+  BinaryReader short_reader(short_in);
+  EXPECT_THROW(truncated_target->Deserialize(short_reader), std::runtime_error);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMetrics, MergeSemanticsTest,

@@ -1,0 +1,322 @@
+// Golden scenario-matrix regression harness: every registry combination of
+// dataset x coverage metric x objective x seed scheduler runs a short
+// fixed-seed Session and must reproduce the checked-in golden results
+// (difference counts, iteration/forward-pass counters, per-model covered
+// coverage items) bit for bit — at every batch size / worker count combo in
+// {1, 8} x {1, 4}, extending the batch/worker invariance guarantee to the
+// full configuration space.
+//
+// Goldens live in tests/goldens/scenario_matrix_<domain>.json. They are a
+// per-toolchain artifact (bit-exact floating point): after an intentional
+// engine change — or a compiler change that shifts float bits — re-record
+// them with tools/record_goldens.sh and review the diff. Recording mode is
+// selected by the DX_RECORD_GOLDENS=1 environment variable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/image_constraints.h"
+#include "src/constraints/malware_constraints.h"
+#include "src/core/objective.h"
+#include "src/core/seed_scheduler.h"
+#include "src/core/session.h"
+#include "src/coverage/coverage_metric.h"
+#include "src/models/zoo.h"
+
+namespace dx {
+namespace {
+
+// Must run before any zoo access: shrink datasets/epochs for CI-speed runs.
+struct FastModeEnv {
+  FastModeEnv() { ::setenv("DEEPXPLORE_FAST", "1", 1); }
+};
+const FastModeEnv fast_mode_env;
+
+// Scenario-matrix run shape: small enough that the full 5x3x4x2 cross
+// product at four batch/worker combos stays CI-sized, large enough that
+// schedulers recycle seeds (two passes) and coverage accumulates.
+constexpr int kSeeds = 6;
+constexpr int kIters = 6;
+constexpr int kPasses = 2;
+constexpr uint64_t kRngSeed = 77;
+
+struct ScenarioResult {
+  std::string key;  // "metric/objective/scheduler"
+  int tests = 0;
+  int tried = 0;
+  int skipped = 0;
+  int64_t iterations = 0;
+  int64_t forward_passes = 0;
+  std::vector<int> covered;  // Per model, session order.
+  std::vector<int> total;
+};
+
+std::string GoldenPath(Domain domain) {
+  return std::string(DX_SOURCE_DIR) + "/tests/goldens/scenario_matrix_" +
+         DomainName(domain) + ".json";
+}
+
+std::unique_ptr<Constraint> DomainConstraint(Domain domain) {
+  switch (domain) {
+    case Domain::kPdf:
+      return std::make_unique<PdfConstraint>();
+    case Domain::kDrebin:
+      return std::make_unique<DrebinConstraint>();
+    default:
+      return std::make_unique<LightingConstraint>();
+  }
+}
+
+// Table 2-flavored per-domain hyperparameters, scaled to the short run.
+EngineConfig DomainEngine(Domain domain) {
+  EngineConfig config;
+  config.coverage.scale_per_layer = false;
+  config.max_iterations_per_seed = kIters;
+  config.rng_seed = kRngSeed;
+  switch (domain) {
+    case Domain::kMnist:
+      config.lambda1 = 2.0f;
+      config.step = 10.0f / 255.0f;
+      break;
+    case Domain::kImageNet:
+    case Domain::kDriving:
+      config.lambda1 = 1.0f;
+      config.step = 10.0f / 255.0f;
+      break;
+    case Domain::kPdf:
+      config.lambda1 = 2.0f;
+      config.step = 0.1f;
+      break;
+    case Domain::kDrebin:
+      config.lambda1 = 1.0f;
+      config.lambda2 = 0.5f;
+      config.step = 1.0f;
+      break;
+  }
+  return config;
+}
+
+ScenarioResult RunScenario(std::vector<Model*> models, const Constraint* constraint,
+                           Domain domain, const std::string& metric,
+                           const std::string& objective, const std::string& scheduler,
+                           int batch_size, int workers) {
+  SessionConfig config;
+  config.engine = DomainEngine(domain);
+  config.metric = metric;
+  config.objective = objective;
+  config.scheduler = scheduler;
+  config.batch_size = batch_size;
+  config.workers = workers;
+  Session session(models, constraint, config);
+  RunOptions options;
+  options.max_seed_passes = kPasses;
+  const Dataset& test = ModelZoo::TestSet(domain);
+  std::vector<Tensor> seeds;
+  for (int i = 0; i < kSeeds; ++i) {
+    seeds.push_back(test.inputs[static_cast<size_t>(i % test.size())]);
+  }
+  const RunStats stats = session.Run(seeds, options);
+
+  ScenarioResult result;
+  result.key = metric + "/" + objective + "/" + scheduler;
+  result.tests = static_cast<int>(stats.tests.size());
+  result.tried = stats.seeds_tried;
+  result.skipped = stats.seeds_skipped;
+  result.iterations = stats.total_iterations;
+  result.forward_passes = stats.forward_passes;
+  for (int k = 0; k < session.num_models(); ++k) {
+    result.covered.push_back(session.metric(k).covered_items());
+    result.total.push_back(session.metric(k).total_items());
+  }
+  return result;
+}
+
+// ---- Golden JSON (one scenario object per line, parsed with string ops) ------------------
+
+std::string IntListToJson(const std::vector<int>& v) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    out += (i ? ", " : "") + std::to_string(v[i]);
+  }
+  return out + "]";
+}
+
+void WriteGoldens(Domain domain, const std::vector<ScenarioResult>& results) {
+  std::ofstream out(GoldenPath(domain));
+  ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath(domain);
+  out << "{\n";
+  out << "  \"domain\": \"" << DomainName(domain) << "\",\n";
+  out << "  \"config\": {\"seeds\": " << kSeeds << ", \"iters\": " << kIters
+      << ", \"passes\": " << kPasses << ", \"rng_seed\": " << kRngSeed << "},\n";
+  out << "  \"scenarios\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    out << "    {\"key\": \"" << r.key << "\", \"tests\": " << r.tests
+        << ", \"tried\": " << r.tried << ", \"skipped\": " << r.skipped
+        << ", \"iterations\": " << r.iterations
+        << ", \"forward_passes\": " << r.forward_passes
+        << ", \"covered\": " << IntListToJson(r.covered)
+        << ", \"total\": " << IntListToJson(r.total) << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+bool ExtractString(const std::string& line, const std::string& field, std::string* out) {
+  const std::string needle = "\"" + field + "\": \"";
+  const size_t begin = line.find(needle);
+  if (begin == std::string::npos) {
+    return false;
+  }
+  const size_t end = line.find('"', begin + needle.size());
+  if (end == std::string::npos) {
+    return false;
+  }
+  *out = line.substr(begin + needle.size(), end - begin - needle.size());
+  return true;
+}
+
+bool ExtractInt(const std::string& line, const std::string& field, int64_t* out) {
+  const std::string needle = "\"" + field + "\": ";
+  const size_t begin = line.find(needle);
+  if (begin == std::string::npos) {
+    return false;
+  }
+  *out = std::strtoll(line.c_str() + begin + needle.size(), nullptr, 10);
+  return true;
+}
+
+bool ExtractIntList(const std::string& line, const std::string& field,
+                    std::vector<int>* out) {
+  const std::string needle = "\"" + field + "\": [";
+  const size_t begin = line.find(needle);
+  if (begin == std::string::npos) {
+    return false;
+  }
+  const size_t end = line.find(']', begin);
+  if (end == std::string::npos) {
+    return false;
+  }
+  out->clear();
+  std::istringstream items(line.substr(begin + needle.size(), end - begin - needle.size()));
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    out->push_back(std::atoi(item.c_str()));
+  }
+  return true;
+}
+
+std::map<std::string, ScenarioResult> LoadGoldens(Domain domain) {
+  std::map<std::string, ScenarioResult> goldens;
+  std::ifstream in(GoldenPath(domain));
+  EXPECT_TRUE(in.good()) << "missing golden file " << GoldenPath(domain)
+                         << " — record it with tools/record_goldens.sh";
+  std::string line;
+  while (std::getline(in, line)) {
+    ScenarioResult r;
+    if (!ExtractString(line, "key", &r.key)) {
+      continue;  // Header / structural line.
+    }
+    int64_t value = 0;
+    EXPECT_TRUE(ExtractInt(line, "tests", &value)) << line;
+    r.tests = static_cast<int>(value);
+    EXPECT_TRUE(ExtractInt(line, "tried", &value)) << line;
+    r.tried = static_cast<int>(value);
+    EXPECT_TRUE(ExtractInt(line, "skipped", &value)) << line;
+    r.skipped = static_cast<int>(value);
+    EXPECT_TRUE(ExtractInt(line, "iterations", &r.iterations)) << line;
+    EXPECT_TRUE(ExtractInt(line, "forward_passes", &r.forward_passes)) << line;
+    EXPECT_TRUE(ExtractIntList(line, "covered", &r.covered)) << line;
+    EXPECT_TRUE(ExtractIntList(line, "total", &r.total)) << line;
+    goldens[r.key] = r;
+  }
+  return goldens;
+}
+
+void ExpectSameScenario(const ScenarioResult& got, const ScenarioResult& want,
+                        const std::string& context) {
+  EXPECT_EQ(got.tests, want.tests) << context;
+  EXPECT_EQ(got.tried, want.tried) << context;
+  EXPECT_EQ(got.skipped, want.skipped) << context;
+  EXPECT_EQ(got.iterations, want.iterations) << context;
+  EXPECT_EQ(got.forward_passes, want.forward_passes) << context;
+  EXPECT_EQ(got.covered, want.covered) << context;
+  EXPECT_EQ(got.total, want.total) << context;
+}
+
+// ---- The matrix --------------------------------------------------------------------------
+
+class ScenarioMatrixTest : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(ScenarioMatrixTest, FullRegistryCrossProductMatchesGoldens) {
+  const Domain domain = GetParam();
+  const bool recording = std::getenv("DX_RECORD_GOLDENS") != nullptr;
+  std::vector<Model> models = ModelZoo::TrainedDomain(domain);
+  std::vector<Model*> ptrs;
+  for (Model& m : models) {
+    ptrs.push_back(&m);
+  }
+  const auto constraint = DomainConstraint(domain);
+
+  std::vector<ScenarioResult> results;
+  for (const std::string& metric : CoverageMetricNames()) {
+    for (const std::string& objective : ObjectiveNames()) {
+      for (const std::string& scheduler : SeedSchedulerNames()) {
+        const ScenarioResult canonical = RunScenario(
+            ptrs, constraint.get(), domain, metric, objective, scheduler,
+            /*batch_size=*/1, /*workers=*/1);
+        // Batch/worker invariance across the whole configuration space: all
+        // four combos must reproduce the canonical result exactly.
+        for (const int batch_size : {1, 8}) {
+          for (const int workers : {1, 4}) {
+            if (batch_size == 1 && workers == 1) {
+              continue;
+            }
+            const ScenarioResult variant =
+                RunScenario(ptrs, constraint.get(), domain, metric, objective, scheduler,
+                            batch_size, workers);
+            ExpectSameScenario(variant, canonical,
+                               DomainName(domain) + "/" + canonical.key + " batch=" +
+                                   std::to_string(batch_size) + " workers=" +
+                                   std::to_string(workers));
+          }
+        }
+        results.push_back(canonical);
+      }
+    }
+  }
+
+  if (recording) {
+    WriteGoldens(domain, results);
+    return;
+  }
+  const std::map<std::string, ScenarioResult> goldens = LoadGoldens(domain);
+  EXPECT_EQ(goldens.size(), results.size())
+      << "golden file and registry cross-product disagree — re-record with "
+         "tools/record_goldens.sh";
+  for (const ScenarioResult& result : results) {
+    const auto it = goldens.find(result.key);
+    if (it == goldens.end()) {
+      ADD_FAILURE() << DomainName(domain) << "/" << result.key
+                    << " has no golden — re-record with tools/record_goldens.sh";
+      continue;
+    }
+    ExpectSameScenario(result, it->second, DomainName(domain) + "/" + result.key);
+  }
+}
+
+std::string DomainTestName(const ::testing::TestParamInfo<Domain>& info) {
+  return DomainName(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, ScenarioMatrixTest,
+                         ::testing::ValuesIn(AllDomains()), DomainTestName);
+
+}  // namespace
+}  // namespace dx

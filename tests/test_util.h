@@ -1,13 +1,19 @@
-// Shared test helpers: numerical differentiation for gradient checking.
+// Shared test helpers: numerical differentiation for gradient checking and
+// the batched-kernel vs scalar-kernel bit-identity harness.
 #ifndef DX_TESTS_TEST_UTIL_H_
 #define DX_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <functional>
 #include <vector>
 
+#include "src/nn/layer.h"
+#include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
+#include "src/util/rng.h"
 
 namespace dx::testing {
 
@@ -51,6 +57,84 @@ inline float RelErrorQuantile(const Tensor& a, const Tensor& b, float q) {
   const size_t index = std::min(errors.size() - 1,
                                 static_cast<size_t>(q * static_cast<float>(errors.size())));
   return errors[index];
+}
+
+// Runs `layer` over a random batch twice — once per sample, once batched —
+// and asserts outputs, aux, input gradients, and accumulated parameter
+// gradients are bit-identical. The single-pass guarantee of the batched
+// executor rests on this equivalence holding for EVERY layer kernel at
+// every batch size.
+inline void ExpectBatchMatchesScalar(const Layer& layer, const Shape& in_shape, int batch,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> inputs;
+  std::vector<const Tensor*> input_ptrs;
+  for (int b = 0; b < batch; ++b) {
+    inputs.push_back(Tensor::RandUniform(in_shape, rng, -1.0f, 1.0f));
+  }
+  for (const Tensor& t : inputs) {
+    input_ptrs.push_back(&t);
+  }
+  const Tensor batched_in = StackSamples(input_ptrs);
+
+  Tensor batched_aux;
+  const Tensor batched_out =
+      layer.ForwardBatch(batched_in, batch, false, nullptr, &batched_aux);
+
+  std::vector<Tensor> scalar_outs;
+  std::vector<Tensor> scalar_auxes;
+  for (int b = 0; b < batch; ++b) {
+    Tensor aux;
+    scalar_outs.push_back(layer.Forward(inputs[static_cast<size_t>(b)], false, nullptr, &aux));
+    scalar_auxes.push_back(std::move(aux));
+  }
+  ASSERT_EQ(batched_out.shape(), BatchedShape(batch, scalar_outs[0].shape()));
+  for (int b = 0; b < batch; ++b) {
+    EXPECT_EQ(SliceSample(batched_out, b).values(),
+              scalar_outs[static_cast<size_t>(b)].values())
+        << layer.Describe() << " forward sample " << b << " of " << batch;
+    if (!scalar_auxes[static_cast<size_t>(b)].empty()) {
+      ASSERT_FALSE(batched_aux.empty()) << layer.Describe();
+      EXPECT_EQ(SliceSample(batched_aux, b).values(),
+                scalar_auxes[static_cast<size_t>(b)].values())
+          << layer.Describe() << " aux sample " << b << " of " << batch;
+    }
+  }
+
+  // Gradients: per-sample sequential accumulation vs one batched call.
+  std::vector<Tensor> grads;
+  std::vector<const Tensor*> grad_ptrs;
+  for (int b = 0; b < batch; ++b) {
+    grads.push_back(Tensor::RandUniform(scalar_outs[0].shape(), rng, -1.0f, 1.0f));
+  }
+  for (const Tensor& t : grads) {
+    grad_ptrs.push_back(&t);
+  }
+  const Tensor batched_grad_out = StackSamples(grad_ptrs);
+
+  const size_t num_params = layer.Params().size();
+  std::vector<Tensor> scalar_param_grads;
+  std::vector<Tensor> batched_param_grads;
+  for (const Tensor* p : layer.Params()) {
+    scalar_param_grads.emplace_back(p->shape());
+    batched_param_grads.emplace_back(p->shape());
+  }
+
+  const Tensor batched_grad_in = layer.BackwardBatch(
+      batched_in, batched_out, batched_grad_out, batched_aux, batch,
+      num_params > 0 ? &batched_param_grads : nullptr);
+  for (int b = 0; b < batch; ++b) {
+    const Tensor scalar_grad_in = layer.Backward(
+        inputs[static_cast<size_t>(b)], scalar_outs[static_cast<size_t>(b)],
+        grads[static_cast<size_t>(b)], scalar_auxes[static_cast<size_t>(b)],
+        num_params > 0 ? &scalar_param_grads : nullptr);
+    EXPECT_EQ(SliceSample(batched_grad_in, b).values(), scalar_grad_in.values())
+        << layer.Describe() << " backward sample " << b << " of " << batch;
+  }
+  for (size_t p = 0; p < num_params; ++p) {
+    EXPECT_EQ(batched_param_grads[p].values(), scalar_param_grads[p].values())
+        << layer.Describe() << " param grad " << p;
+  }
 }
 
 }  // namespace dx::testing

@@ -7,6 +7,15 @@
 #   ctest only — the smoke benches are skipped, sanitized models train too
 #   slowly for them.
 #
+#   mode "tsan": build with ThreadSanitizer and run the multi-worker /
+#   corpus test subset — the tests whose Sessions run parallel workers over
+#   shared coverage trackers, which is exactly the surface a data race
+#   would corrupt.
+#
+# ctest writes a JUnit report to <build-dir>/ctest-junit.xml and a
+# slowest-first per-test timing table is printed after every run, so slow
+# tests are visible before they become the long pole.
+#
 # DEEPXPLORE_FAST=1 is exported so the model zoo trains at CI scale; the
 # trained-model disk cache makes repeat runs fast.
 set -euo pipefail
@@ -22,6 +31,8 @@ if [ "$MODE" = "sanitize" ]; then
   # bit-identical either way), so the sanitized job spends its time on the
   # engine, not on re-training the zoo under ASan.
   CMAKE_EXTRA+=(-DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer")
+elif [ "$MODE" = "tsan" ]; then
+  CMAKE_EXTRA+=(-DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer")
 fi
 
 echo "==> configure ($BUILD_DIR${MODE:+, $MODE})"
@@ -31,11 +42,35 @@ cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}
 echo "==> build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "==> ctest"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+CTEST_ARGS=(--output-on-failure -j "$(nproc)")
+if ctest --help | grep -q -- --output-junit; then
+  CTEST_ARGS+=(--output-junit ctest-junit.xml)
+fi
+if [ "$MODE" = "tsan" ]; then
+  # Multi-worker Sessions + corpus resume are the race-prone surface; the
+  # rest of the suite is single-threaded and would only slow TSan down.
+  CTEST_ARGS+=(-R 'session_test|batch_exec_test|corpus_test|util_test')
+fi
 
-if [ "$MODE" = "sanitize" ]; then
-  echo "==> OK (sanitize)"
+echo "==> ctest"
+CTEST_LOG="$BUILD_DIR/ctest-run.log"
+CTEST_RC=0
+ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}" | tee "$CTEST_LOG" || CTEST_RC=$?
+
+echo "==> per-test timing (slowest first)"
+# `|| true`: a log with no test lines (ctest died before running any) must
+# not let set -e eat the FAILED branch below.
+grep -E 'Test +#[0-9]+:' "$CTEST_LOG" \
+  | sed -E 's/.*Test +#[0-9]+: +([a-zA-Z0-9_]+) .* ([0-9.]+) sec.*/\2 \1/' \
+  | sort -rn | head -10 | awk '{printf "  %8.2f s  %s\n", $1, $2}' || true
+
+if [ "$CTEST_RC" -ne 0 ]; then
+  echo "==> FAILED (ctest exit $CTEST_RC)"
+  exit "$CTEST_RC"
+fi
+
+if [ "$MODE" = "sanitize" ] || [ "$MODE" = "tsan" ]; then
+  echo "==> OK ($MODE)"
   exit 0
 fi
 
@@ -53,5 +88,13 @@ DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
 echo "==> smoke: batched forward bench"
 DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
   "$BUILD_DIR/bench_batch_forward"
+
+echo "==> smoke: corpus record + resume + replay"
+CORPUS_DIR="$BUILD_DIR/smoke_corpus"
+rm -rf "$CORPUS_DIR"
+"$BUILD_DIR/dxplore" --domain pdf --seeds 60 --iters 20 \
+  --corpus-dir "$CORPUS_DIR" --max-batches 1 > /dev/null
+"$BUILD_DIR/dxplore" --resume --corpus-dir "$CORPUS_DIR" --workers 2 > /dev/null
+"$BUILD_DIR/dxplore" --replay --corpus-dir "$CORPUS_DIR"
 
 echo "==> OK"

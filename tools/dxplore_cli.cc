@@ -13,6 +13,13 @@
 // test-set seeds on the requested number of parallel workers, prints a run
 // report, and optionally dumps every difference-inducing image to DIR as
 // PGM/PPM.
+//
+// Durable campaigns: --corpus-dir DIR records every difference-inducing
+// input (with provenance), the scheduler journal, and per-batch coverage
+// checkpoints; --resume continues an interrupted campaign from its last
+// checkpoint (config and seeds come from the corpus manifest, so only
+// --corpus-dir is needed); --replay re-executes the recorded campaign and
+// verifies bit-identical results (exit 0 verified, 3 diverged).
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -27,6 +34,7 @@
 #include "src/core/objective.h"
 #include "src/core/seed_scheduler.h"
 #include "src/core/session.h"
+#include "src/corpus/corpus.h"
 #include "src/coverage/coverage_metric.h"
 #include "src/models/trainer.h"
 #include "src/models/zoo.h"
@@ -66,6 +74,12 @@ std::string Join(const std::vector<std::string>& names) {
   --target K      force model K as the deviator               (default: random)
   --rng-seed N    engine RNG seed                             (default: 1234)
   --out DIR       write difference-inducing images to DIR
+  --corpus-dir D  record the campaign durably into corpus directory D
+  --resume        continue the campaign in --corpus-dir from its checkpoint
+                  (config + seeds are read from the corpus manifest)
+  --replay        re-execute the campaign in --corpus-dir and verify the
+                  recorded results bit for bit (exit 0 ok, 3 diverged)
+  --max-batches N stop this leg after N sync batches (resumable later)
   --list          print the model zoo and exit
   --list-metrics     print registered coverage metrics and exit
   --list-objectives  print registered objectives and exit
@@ -161,18 +175,22 @@ int Main(int argc, char** argv) {
   std::string objective_name = "joint";
   std::string scheduler_name = "roundrobin";
   std::string out_dir;
+  std::string corpus_dir;
   int seeds = 100;
   int max_tests = 1 << 30;
   int iters = 100;
   int target = -1;
   int workers = 1;
   int batch_size = 8;
+  int64_t max_batches = -1;
   uint64_t rng_seed = 1234;
   float threshold = 0.0f;
   std::optional<float> lambda1;
   std::optional<float> lambda2;
   std::optional<float> step;
   bool list = false;
+  bool resume = false;
+  bool replay = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -199,6 +217,10 @@ int Main(int argc, char** argv) {
     else if (arg == "--iters") iters = std::atoi(next());
     else if (arg == "--target") target = std::atoi(next());
     else if (arg == "--out") out_dir = next();
+    else if (arg == "--corpus-dir") corpus_dir = next();
+    else if (arg == "--resume") resume = true;
+    else if (arg == "--replay") replay = true;
+    else if (arg == "--max-batches") max_batches = std::atoll(next());
     else if (arg == "--list") list = true;
     else if (arg == "--list-metrics") {
       for (const std::string& name : CoverageMetricNames()) std::cout << name << "\n";
@@ -227,6 +249,51 @@ int Main(int argc, char** argv) {
     std::cout << table.ToString();
     return 0;
   }
+  if ((resume || replay) && corpus_dir.empty()) {
+    std::cerr << "--resume/--replay require --corpus-dir\n";
+    return 2;
+  }
+  if (resume && replay) {
+    std::cerr << "--resume and --replay are mutually exclusive\n";
+    return 2;
+  }
+  if (replay && max_batches >= 0) {
+    std::cerr << "--max-batches does not apply to --replay (the recorded leg "
+                 "boundary is replayed exactly)\n";
+    return 2;
+  }
+  std::unique_ptr<Corpus> corpus;
+  if (!corpus_dir.empty()) {
+    corpus = std::make_unique<Corpus>(corpus_dir);
+    if ((resume || replay) && !corpus->initialized()) {
+      std::cerr << corpus_dir << " holds no recorded campaign\n";
+      return 2;
+    }
+    if (!resume && !replay && corpus->initialized()) {
+      std::cerr << corpus_dir
+                << " already holds a campaign; pass --resume to continue it or "
+                   "--replay to verify it\n";
+      return 2;
+    }
+  }
+  if (resume || replay) {
+    // The corpus manifest is the source of truth for everything that affects
+    // results; only --workers / --batch-size / --max-batches apply (results
+    // are invariant to them).
+    const CorpusMeta& meta = corpus->meta();
+    const std::string* stored_domain = meta.FindMetadata("domain");
+    const std::string* stored_constraint = meta.FindMetadata("constraint");
+    if (stored_domain == nullptr || stored_constraint == nullptr) {
+      std::cerr << corpus_dir << ": manifest lacks domain/constraint metadata\n";
+      return 2;
+    }
+    domain_name = *stored_domain;
+    constraint_name = *stored_constraint;
+    metric_name = meta.metric;
+    objective_name = meta.objective;
+    scheduler_name = meta.scheduler;
+  }
+
   const auto domain = ParseDomain(domain_name);
   if (!domain.has_value()) {
     std::cerr << "missing or unknown --domain\n";
@@ -242,14 +309,20 @@ int Main(int argc, char** argv) {
   const auto constraint = MakeConstraint(constraint_name, *domain);
 
   SessionConfig config;
-  config.engine = TableTwoDefaults(*domain);
-  if (lambda1) config.engine.lambda1 = *lambda1;
-  if (lambda2) config.engine.lambda2 = *lambda2;
-  if (step) config.engine.step = *step;
-  config.engine.coverage.threshold = threshold;
-  config.engine.max_iterations_per_seed = iters;
-  config.engine.forced_target_model = target;
-  config.engine.rng_seed = rng_seed;
+  if (resume || replay) {
+    config.engine = corpus->meta().engine;
+    config.sync_interval = corpus->meta().sync_interval;
+    config.profile_from_seeds = corpus->meta().profile_from_seeds;
+  } else {
+    config.engine = TableTwoDefaults(*domain);
+    if (lambda1) config.engine.lambda1 = *lambda1;
+    if (lambda2) config.engine.lambda2 = *lambda2;
+    if (step) config.engine.step = *step;
+    config.engine.coverage.threshold = threshold;
+    config.engine.max_iterations_per_seed = iters;
+    config.engine.forced_target_model = target;
+    config.engine.rng_seed = rng_seed;
+  }
   config.metric = metric_name;
   config.objective = objective_name;
   config.scheduler = scheduler_name;
@@ -264,14 +337,51 @@ int Main(int argc, char** argv) {
   }
   Session& engine = *engine_ptr;
 
-  const Dataset& test = ModelZoo::TestSet(*domain);
-  std::vector<Tensor> pool;
-  for (int i = 0; i < seeds; ++i) {
-    pool.push_back(test.inputs[static_cast<size_t>(i % test.size())]);
+  // The corpus is self-contained: in --resume/--replay mode the recorded
+  // seed pool and campaign bounds come from the manifest (Session::Replay
+  // reads them itself; --max-batches was rejected for --replay above).
+  std::vector<Tensor> flag_pool;
+  if (!resume && !replay) {
+    const Dataset& test = ModelZoo::TestSet(*domain);
+    for (int i = 0; i < seeds; ++i) {
+      flag_pool.push_back(test.inputs[static_cast<size_t>(i % test.size())]);
+    }
   }
+  const std::vector<Tensor>& pool =
+      (resume || replay) ? corpus->meta().seeds : flag_pool;
   RunOptions opts;
-  opts.max_tests = max_tests;
-  const RunStats stats = engine.Run(pool, opts);
+  if (resume) {
+    opts.max_tests = corpus->meta().max_tests;
+    opts.max_seed_passes = corpus->meta().max_seed_passes;
+    opts.coverage_goal = corpus->meta().coverage_goal;
+  } else {
+    opts.max_tests = max_tests;
+  }
+  if (max_batches >= 0) {
+    opts.max_sync_batches = max_batches;
+  }
+
+  RunStats stats;
+  bool replay_ok = true;
+  if (replay) {
+    ReplayResult result = engine.Replay(*corpus);
+    replay_ok = result.ok;
+    stats = std::move(result.stats);
+    if (result.ok) {
+      std::cout << "replay OK: " << stats.tests.size()
+                << " difference-inducing inputs reproduced bit-identically\n";
+    } else {
+      std::cerr << "replay DIVERGED: " << result.mismatch << "\n";
+    }
+  } else if (corpus != nullptr) {
+    if (!corpus->initialized()) {
+      corpus->SetMetadata("domain", domain_name);
+      corpus->SetMetadata("constraint", constraint_name);
+    }
+    stats = engine.Run(pool, opts, corpus.get());
+  } else {
+    stats = engine.Run(pool, opts);
+  }
 
   if (!out_dir.empty()) {
     std::filesystem::create_directories(out_dir);
@@ -312,9 +422,27 @@ int Main(int argc, char** argv) {
   if (!out_dir.empty()) {
     std::cout << "images written to " << out_dir << "/\n";
   }
+  if (corpus != nullptr && !replay) {
+    const bool complete = corpus->has_checkpoint() && corpus->checkpoint().complete;
+    std::cout << "corpus " << (resume ? "resumed" : "recorded") << " in " << corpus_dir
+              << " (" << corpus->entries().size() << " entries"
+              << (complete ? ", complete" : ", resumable") << ")\n";
+  }
+  if (replay) {
+    return replay_ok ? 0 : 3;
+  }
   return stats.tests.empty() ? 1 : 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return Main(argc, argv); }
+int main(int argc, char** argv) {
+  try {
+    return Main(argc, argv);
+  } catch (const std::exception& e) {
+    // Corrupt corpora, config mismatches, and I/O failures surface as
+    // exceptions; report them as a normal CLI error, not a core dump.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

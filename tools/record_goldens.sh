@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Re-records the scenario-matrix golden files (tests/goldens/*.json).
+#
+# Usage: tools/record_goldens.sh [build-dir]   (default: build)
+#
+# Run this after an INTENTIONAL engine change (or a toolchain change that
+# shifts floating-point bits), then review the golden diff like any other
+# code change — every delta is a behavior delta across the dataset x metric
+# x objective x scheduler matrix. The recording run still enforces the
+# batch-size/worker-count invariance checks.
+#
+# DEEPXPLORE_FAST is set by the test binary itself; the trained-model disk
+# cache makes repeat recordings fast.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . > /dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target scenario_matrix_test
+
+echo "==> recording goldens into tests/goldens/"
+DX_RECORD_GOLDENS=1 "$BUILD_DIR/scenario_matrix_test"
+
+echo "==> verifying the freshly recorded goldens reproduce"
+"$BUILD_DIR/scenario_matrix_test"
+
+echo "==> done; review the diff:"
+git -C . diff --stat -- tests/goldens/ || true
