@@ -1,0 +1,174 @@
+// Steady-state execution-plan throughput: the compiled zero-allocation path
+// (Model::Compile + plan-backed ForwardBatch / BackwardInputBatch /
+// BackwardSample) against the allocating by-value API, on one conv-heavy
+// model (MNI_C1) and one dense-heavy model (PDF_C1).
+//
+// This is the bench behind the PR-4 refactor: once the plan is warm, an
+// iteration touches only pre-sized slabs and arena scratch — the win over
+// the by-value path is exactly the removed allocation/free traffic (and the
+// cache locality of reused buffers). Bit-identity of the two paths is
+// asserted inline before timing.
+//
+// Emits a JSON record (stdout and <artifact dir>/plan_steady_state.json);
+// the checked-in baseline lives at bench/baselines/plan_steady_state.json.
+// The CI Release job runs this bench once as a smoke test so the plan path
+// cannot bit-rot in optimized builds.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/nn/execution_plan.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace dx;
+using namespace dx::bench;
+
+struct Row {
+  std::string model;
+  std::string op;           // "forward" or "forward+backward"
+  int batch = 8;
+  double byvalue_sps = 0.0;  // samples/sec, allocating by-value API
+  double plan_sps = 0.0;     // samples/sec, compiled plan
+  double speedup = 0.0;
+};
+
+Row BenchOne(const Model& model, int batch, bool backward, int reps) {
+  Rng rng(7);
+  const Tensor stacked =
+      Tensor::RandUniform(BatchedShape(batch, model.input_shape()), rng);
+  const int last = model.num_layers() - 1;
+  const Tensor seed =
+      Tensor::RandUniform(BatchedShape(batch, model.output_shape()), rng, -1.0f, 1.0f);
+
+  ExecutionPlan plan = model.Compile(batch);
+
+  // Bit-identity before timing: the plan path must reproduce the by-value
+  // trace and gradient exactly.
+  {
+    const BatchTrace want = model.ForwardBatch(stacked);
+    const BatchTrace& got = model.ForwardBatch(stacked, plan);
+    for (int l = 0; l < model.num_layers(); ++l) {
+      if (got.outputs[static_cast<size_t>(l)].values() !=
+          want.outputs[static_cast<size_t>(l)].values()) {
+        std::cerr << "ERROR: plan forward diverges from by-value (" << model.name()
+                  << ", layer " << l << ")\n";
+        std::exit(1);
+      }
+    }
+    const Tensor want_g = model.BackwardInputBatch(want, last, seed);
+    const Tensor& got_g = model.BackwardInputBatch(plan, last, seed);
+    if (got_g.values() != want_g.values()) {
+      std::cerr << "ERROR: plan backward diverges from by-value (" << model.name()
+                << ")\n";
+      std::exit(1);
+    }
+  }
+
+  Row row;
+  row.model = model.name();
+  row.op = backward ? "forward+backward" : "forward";
+  row.batch = batch;
+  {
+    Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      const BatchTrace trace = model.ForwardBatch(stacked);
+      if (backward) {
+        const Tensor g = model.BackwardInputBatch(trace, last, seed);
+        (void)g;
+      }
+    }
+    row.byvalue_sps = static_cast<double>(reps) * batch / timer.ElapsedSeconds();
+  }
+  {
+    model.ForwardBatch(stacked, plan);  // Warm the slabs at this width.
+    Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      model.ForwardBatch(stacked, plan);
+      if (backward) {
+        model.BackwardInputBatch(plan, last, seed);
+      }
+    }
+    row.plan_sps = static_cast<double>(reps) * batch / timer.ElapsedSeconds();
+  }
+  row.speedup = row.byvalue_sps > 0.0 ? row.plan_sps / row.byvalue_sps : 0.0;
+  return row;
+}
+
+std::string ToJson(const std::vector<Row>& rows) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"plan_steady_state\",\n"
+      << "  \"models\": [\"MNI_C1\", \"PDF_C1\"],\n"
+      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"model\": \"" << r.model << "\", \"op\": \"" << r.op
+        << "\", \"batch\": " << r.batch << ", \"byvalue_samples_per_sec\": "
+        << r.byvalue_sps << ", \"plan_samples_per_sec\": " << r.plan_sps
+        << ", \"speedup\": " << r.speedup << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  PrintHeader("Plan steady state",
+              "compiled ExecutionPlan vs allocating by-value execution", args);
+
+  std::vector<Row> rows;
+  bool plan_wins = true;
+  for (const char* name : {"MNI_C1", "PDF_C1"}) {
+    const Model model = ModelZoo::Build(name, 7);
+    for (const bool backward : {false, true}) {
+      for (const int batch : {1, 8}) {
+        const Tensor probe = Tensor::Zeros(model.input_shape());
+        Timer probe_timer;
+        model.Forward(probe);
+        const double per_sample = std::max(1e-7, probe_timer.ElapsedSeconds());
+        const int reps =
+            std::max(3, static_cast<int>(0.3 / (per_sample * batch * (backward ? 3 : 1))));
+        rows.push_back(BenchOne(model, batch, backward, reps));
+        const Row& r = rows.back();
+        std::cerr << r.model << " " << r.op << " batch=" << r.batch << ": "
+                  << r.byvalue_sps << " -> " << r.plan_sps << " samples/s ("
+                  << r.speedup << "x)\n";
+        if (r.speedup < 0.95) {
+          plan_wins = false;  // The plan must never lose to the allocating path.
+        }
+      }
+    }
+  }
+
+  TablePrinter table({"Model", "Op", "Batch", "By-value s/s", "Plan s/s", "Speedup"});
+  for (const Row& r : rows) {
+    table.AddRow({r.model, r.op, std::to_string(r.batch),
+                  TablePrinter::Num(r.byvalue_sps, 0), TablePrinter::Num(r.plan_sps, 0),
+                  TablePrinter::Num(r.speedup, 2) + "x"});
+  }
+  std::cout << table.ToString();
+
+  const std::string json = ToJson(rows);
+  std::cout << json;
+  const std::string path = ArtifactDir() + "/plan_steady_state.json";
+  std::ofstream file(path);
+  file << json;
+  std::cout << "json written to " << path << "\n";
+  if (!plan_wins) {
+    std::cerr << "WARNING: plan path slower than the by-value path on some row\n";
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/nn/execution_plan.h"
 #include "src/nn/loss.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
@@ -66,6 +67,22 @@ void FgsmObjective::Accumulate(const ObjectiveContext& ctx, int k,
     seed[ctx.consensus] = -1.0f;
   }
   grad->AddInPlace(model.BackwardInput(trace, last, std::move(seed)));
+}
+
+void FgsmObjective::AccumulatePlanned(const ObjectiveContext& ctx, int k,
+                                      ExecutionPlan& plan, int pos, Tensor* grad) const {
+  if (k != ctx.target_model) {
+    return;
+  }
+  const Model& model = plan.model();
+  const int last = model.num_layers() - 1;
+  Tensor& seed = plan.AcquireSeed(last);
+  if (ctx.regression) {
+    seed[0] = 1.0f;
+  } else {
+    seed[ctx.consensus] = -1.0f;
+  }
+  grad->AddInPlace(plan.BackwardSample(pos, last, seed));
 }
 
 }  // namespace dx

@@ -39,6 +39,8 @@ class FgsmObjective : public Objective {
   std::string name() const override { return "fgsm"; }
   void Accumulate(const ObjectiveContext& ctx, int k, const ForwardTrace& trace,
                   Tensor* grad) const override;
+  void AccumulatePlanned(const ObjectiveContext& ctx, int k, ExecutionPlan& plan, int pos,
+                         Tensor* grad) const override;
   bool NeedsTrace(const ObjectiveContext& ctx, int k) const override {
     return k == ctx.target_model;
   }

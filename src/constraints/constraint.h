@@ -26,6 +26,15 @@ class Constraint {
   // current input; `rng` supports stochastic placement choices.
   virtual Tensor Apply(const Tensor& grad, const Tensor& x, Rng& rng) const = 0;
 
+  // In-place variant for the zero-allocation executor: writes the direction
+  // into `*direction`, which the caller has pre-shaped like `grad`; every
+  // element is overwritten. Must be bit-identical to Apply (same float ops,
+  // same rng draw order). The default adapter calls Apply and moves the
+  // result in — correct for out-of-tree constraints, but allocating;
+  // built-in constraints override it allocation-free.
+  virtual void ApplyInto(const Tensor& grad, const Tensor& x, Rng& rng,
+                         Tensor* direction) const;
+
   // Projects x onto the valid input domain after x += s * direction.
   // Default: clamp to [0, 1] (valid for all image domains).
   virtual void ProjectInput(Tensor* x) const;
@@ -36,6 +45,8 @@ class UnconstrainedImage : public Constraint {
  public:
   std::string name() const override { return "unconstrained"; }
   Tensor Apply(const Tensor& grad, const Tensor& x, Rng& rng) const override;
+  void ApplyInto(const Tensor& grad, const Tensor& x, Rng& rng,
+                 Tensor* direction) const override;
 };
 
 }  // namespace dx

@@ -17,10 +17,15 @@ void CheckChw(const Tensor& t, const char* who) {
 
 }  // namespace
 
-Tensor LightingConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
-                                 Rng& /*rng*/) const {
-  const float direction = grad.Mean() >= 0.0f ? 1.0f : -1.0f;
-  return Tensor(grad.shape(), direction);
+Tensor LightingConstraint::Apply(const Tensor& grad, const Tensor& x, Rng& rng) const {
+  Tensor out(grad.shape());
+  ApplyInto(grad, x, rng, &out);
+  return out;
+}
+
+void LightingConstraint::ApplyInto(const Tensor& grad, const Tensor& /*x*/, Rng& /*rng*/,
+                                   Tensor* direction) const {
+  direction->Fill(grad.Mean() >= 0.0f ? 1.0f : -1.0f);
 }
 
 OcclusionConstraint::OcclusionConstraint(int height, int width, Placement placement)
@@ -30,8 +35,14 @@ OcclusionConstraint::OcclusionConstraint(int height, int width, Placement placem
   }
 }
 
-Tensor OcclusionConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
-                                  Rng& rng) const {
+Tensor OcclusionConstraint::Apply(const Tensor& grad, const Tensor& x, Rng& rng) const {
+  Tensor out(grad.shape());
+  ApplyInto(grad, x, rng, &out);
+  return out;
+}
+
+void OcclusionConstraint::ApplyInto(const Tensor& grad, const Tensor& /*x*/, Rng& rng,
+                                    Tensor* direction) const {
   CheckChw(grad, "OcclusionConstraint");
   const int channels = grad.dim(0);
   const int h = grad.dim(1);
@@ -39,10 +50,11 @@ Tensor OcclusionConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
   if (rect_h_ > h || rect_w_ > w) {
     throw std::invalid_argument("OcclusionConstraint: rectangle larger than image");
   }
+  Tensor& out = *direction;
   if (placement_ == Placement::kRandom) {
     const int y0 = static_cast<int>(rng.UniformInt(0, h - rect_h_));
     const int x0 = static_cast<int>(rng.UniformInt(0, w - rect_w_));
-    Tensor out(grad.shape());
+    out.Fill(0.0f);
     for (int c = 0; c < channels; ++c) {
       for (int y = y0; y < y0 + rect_h_; ++y) {
         for (int xx = x0; xx < x0 + rect_w_; ++xx) {
@@ -51,12 +63,16 @@ Tensor OcclusionConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
         }
       }
     }
-    return out;
+    return;
   }
   // Place the rectangle where the gradient has the largest L1 mass: the
   // position DeepXplore is "free to choose" that maximizes progress.
-  // Column-prefix sums of per-pixel |grad| summed over channels.
-  std::vector<double> mass(static_cast<size_t>(h) * w, 0.0);
+  // Column-prefix sums of per-pixel |grad| summed over channels. The scratch
+  // is thread-local (constraints are shared, const, across workers) and
+  // reused across iterations, so the steady state stays allocation-free.
+  static thread_local std::vector<double> mass;
+  static thread_local std::vector<double> prefix;
+  mass.assign(static_cast<size_t>(h) * w, 0.0);
   for (int c = 0; c < channels; ++c) {
     for (int y = 0; y < h; ++y) {
       for (int xx = 0; xx < w; ++xx) {
@@ -66,7 +82,7 @@ Tensor OcclusionConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
     }
   }
   // 2-D prefix sums for O(1) window queries.
-  std::vector<double> prefix(static_cast<size_t>(h + 1) * (w + 1), 0.0);
+  prefix.assign(static_cast<size_t>(h + 1) * (w + 1), 0.0);
   for (int y = 0; y < h; ++y) {
     for (int xx = 0; xx < w; ++xx) {
       prefix[static_cast<size_t>(y + 1) * (w + 1) + (xx + 1)] =
@@ -93,7 +109,7 @@ Tensor OcclusionConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
       }
     }
   }
-  Tensor out(grad.shape());
+  out.Fill(0.0f);
   for (int c = 0; c < channels; ++c) {
     for (int y = best_y; y < best_y + rect_h_; ++y) {
       for (int xx = best_x; xx < best_x + rect_w_; ++xx) {
@@ -102,7 +118,6 @@ Tensor OcclusionConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
       }
     }
   }
-  return out;
 }
 
 BlackRectsConstraint::BlackRectsConstraint(int count, int size)
@@ -112,8 +127,14 @@ BlackRectsConstraint::BlackRectsConstraint(int count, int size)
   }
 }
 
-Tensor BlackRectsConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
-                                   Rng& rng) const {
+Tensor BlackRectsConstraint::Apply(const Tensor& grad, const Tensor& x, Rng& rng) const {
+  Tensor out(grad.shape());
+  ApplyInto(grad, x, rng, &out);
+  return out;
+}
+
+void BlackRectsConstraint::ApplyInto(const Tensor& grad, const Tensor& /*x*/, Rng& rng,
+                                     Tensor* direction) const {
   CheckChw(grad, "BlackRectsConstraint");
   const int channels = grad.dim(0);
   const int h = grad.dim(1);
@@ -121,7 +142,8 @@ Tensor BlackRectsConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
   if (size_ > h || size_ > w) {
     throw std::invalid_argument("BlackRectsConstraint: patch larger than image");
   }
-  Tensor out(grad.shape());
+  Tensor& out = *direction;
+  out.Fill(0.0f);
   for (int k = 0; k < count_; ++k) {
     const int y0 = static_cast<int>(rng.UniformInt(0, h - size_));
     const int x0 = static_cast<int>(rng.UniformInt(0, w - size_));
@@ -147,7 +169,6 @@ Tensor BlackRectsConstraint::Apply(const Tensor& grad, const Tensor& /*x*/,
       }
     }
   }
-  return out;
 }
 
 }  // namespace dx

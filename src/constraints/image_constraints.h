@@ -24,6 +24,8 @@ class LightingConstraint : public Constraint {
  public:
   std::string name() const override { return "light"; }
   Tensor Apply(const Tensor& grad, const Tensor& x, Rng& rng) const override;
+  void ApplyInto(const Tensor& grad, const Tensor& x, Rng& rng,
+                 Tensor* direction) const override;
 };
 
 class OcclusionConstraint : public Constraint {
@@ -39,6 +41,10 @@ class OcclusionConstraint : public Constraint {
                       Placement placement = Placement::kMaxGradientMass);
   std::string name() const override { return "occl"; }
   Tensor Apply(const Tensor& grad, const Tensor& x, Rng& rng) const override;
+  // Allocation-free in steady state (the gradient-mass prefix sums live in
+  // thread-local scratch that is reused across iterations).
+  void ApplyInto(const Tensor& grad, const Tensor& x, Rng& rng,
+                 Tensor* direction) const override;
 
  private:
   int rect_h_;
@@ -52,6 +58,8 @@ class BlackRectsConstraint : public Constraint {
   BlackRectsConstraint(int count, int size);
   std::string name() const override { return "blackout"; }
   Tensor Apply(const Tensor& grad, const Tensor& x, Rng& rng) const override;
+  void ApplyInto(const Tensor& grad, const Tensor& x, Rng& rng,
+                 Tensor* direction) const override;
 
  private:
   int count_;

@@ -4,34 +4,24 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/nn/execution_plan.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
 namespace dx {
+
+ExecutorProfile& ExecutorProfile::operator+=(const ExecutorProfile& other) {
+  stack_seconds += other.stack_seconds;
+  forward_seconds += other.forward_seconds;
+  gradient_seconds += other.gradient_seconds;
+  constraint_seconds += other.constraint_seconds;
+  coverage_seconds += other.coverage_seconds;
+  iterations += other.iterations;
+  return *this;
+}
+
 namespace {
-
-// Per-model final scalar outputs of sample `pos` (regression models).
-std::vector<float> SampleScalars(const std::vector<BatchTrace>& traces, int pos) {
-  std::vector<float> outs(traces.size());
-  for (size_t k = 0; k < traces.size(); ++k) {
-    outs[k] =
-        traces[k].SampleOutput(static_cast<int>(traces[k].outputs.size()) - 1, pos)[0];
-  }
-  return outs;
-}
-
-// Per-model argmax labels of sample `pos` (classification models).
-std::vector<int> SampleLabels(const std::vector<BatchTrace>& traces, int pos) {
-  std::vector<int> labels(traces.size());
-  for (size_t k = 0; k < traces.size(); ++k) {
-    labels[k] = static_cast<int>(
-        traces[k]
-            .SampleOutput(static_cast<int>(traces[k].outputs.size()) - 1, pos)
-            .Argmax());
-  }
-  return labels;
-}
 
 bool ScalarsDiffer(const std::vector<float>& outs, float eps) {
   const auto [lo, hi] = std::minmax_element(outs.begin(), outs.end());
@@ -80,6 +70,31 @@ int DeviatorFromLabels(const std::vector<int>& labels) {
 
 }  // namespace
 
+// Pooled per-chunk execution buffers: one compiled plan per model plus every
+// tensor the lockstep loop writes. A state is borrowed by exactly one Run at
+// a time; after the first Run at a given width all of this storage is warm
+// and iterations allocate nothing.
+struct Executor::ChunkState {
+  struct TaskState {
+    Tensor x;           // Current input of the ascent (storage reused).
+    int consensus = 0;  // Seed-time consensus class (classification).
+    int target = 0;     // j: the model pushed away from the consensus.
+    int pos = 0;        // This task's sample index within the plan traces.
+  };
+
+  int capacity = 0;
+  std::vector<ExecutionPlan> plans;  // One per model.
+  Tensor stacked;                    // [width, ...input_shape] batch buffer.
+  std::vector<Tensor> grads;         // Per task: objective gradient.
+  Tensor direction;                  // Constraint output (reused across tasks).
+  std::vector<TaskState> states;
+  std::vector<int> active;
+  std::vector<int> still_active;
+  std::vector<int> labels;           // Per model, current sample.
+  std::vector<float> scalars;        // Per model, current sample.
+  std::vector<Shape> out_shapes;     // Per model output sample shape (for views).
+};
+
 Executor::Executor(std::vector<Model*> models, const Constraint* constraint,
                    bool regression, const EngineConfig* engine)
     : models_(std::move(models)),
@@ -91,6 +106,8 @@ Executor::Executor(std::vector<Model*> models, const Constraint* constraint,
   }
 }
 
+Executor::~Executor() = default;
+
 std::vector<BatchTrace> Executor::ForwardAll(const Tensor& batch_input) const {
   std::vector<BatchTrace> traces;
   traces.reserve(models_.size());
@@ -98,6 +115,57 @@ std::vector<BatchTrace> Executor::ForwardAll(const Tensor& batch_input) const {
     traces.push_back(m->ForwardBatch(batch_input));
   }
   return traces;
+}
+
+std::unique_ptr<Executor::ChunkState> Executor::AcquireState(int width) const {
+  std::unique_ptr<ChunkState> state;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!state_pool_.empty()) {
+      state = std::move(state_pool_.back());
+      state_pool_.pop_back();
+    }
+  }
+  if (state == nullptr) {
+    state = std::make_unique<ChunkState>();
+  }
+  if (state->capacity < width) {
+    // First chunk this wide for this state: (re)compile the plans and size
+    // every buffer. This is the warm-up allocation site; the pool stabilizes
+    // once every concurrent caller has seen its maximum chunk width.
+    state->plans.clear();
+    state->plans.reserve(models_.size());
+    state->out_shapes.clear();
+    state->out_shapes.reserve(models_.size());
+    for (const Model* m : models_) {
+      state->plans.push_back(m->Compile(width));
+      state->out_shapes.push_back(m->output_shape());
+    }
+    const Shape& in_shape = models_[0]->input_shape();
+    state->stacked = Tensor(BatchedShape(width, in_shape));
+    state->grads.assign(static_cast<size_t>(width), Tensor(in_shape));
+    state->direction = Tensor(in_shape);
+    state->states.resize(static_cast<size_t>(width));
+    state->labels.resize(models_.size());
+    state->scalars.resize(models_.size());
+    state->capacity = width;
+  }
+  return state;
+}
+
+void Executor::ReleaseState(std::unique_ptr<ChunkState> state) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  state_pool_.push_back(std::move(state));
+}
+
+ExecutorProfile Executor::profile() const {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  return profile_;
+}
+
+void Executor::ResetProfile() {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  profile_ = ExecutorProfile{};
 }
 
 std::vector<std::optional<GeneratedTest>> Executor::Run(
@@ -109,59 +177,116 @@ std::vector<std::optional<GeneratedTest>> Executor::Run(
   }
   Timer timer;
   const int num_k = num_models();
+  const bool profiling = profiling_;
+  ExecutorProfile prof;
+  Timer phase;
+
+  std::unique_ptr<ChunkState> holder = AcquireState(n);
+  // Scope guard: the warm state (compiled plans, slabs, arenas) goes back to
+  // the pool even when a task throws mid-run — destroying it would force a
+  // full recompile/warm-up on every subsequent chunk.
+  struct StateReturner {
+    const Executor* executor;
+    std::unique_ptr<ChunkState>* holder;
+    ~StateReturner() {
+      if (*holder != nullptr) {
+        executor->ReleaseState(std::move(*holder));
+      }
+    }
+  } state_returner{this, &holder};
+  ChunkState& cs = *holder;
+  const Shape& in_shape = models_[0]->input_shape();
+  const int64_t in_stride = NumElements(in_shape);
+
+  // Stacks the current inputs of `width` tasks into the reused batch buffer.
+  const auto stack_into = [&](int width, const auto& input_of) {
+    cs.stacked.SetBatchDim(width);
+    float* dst = cs.stacked.data();
+    for (int i = 0; i < width; ++i) {
+      const Tensor& x = input_of(i);
+      std::copy(x.data(), x.data() + in_stride, dst + static_cast<int64_t>(i) * in_stride);
+    }
+  };
+  // One batched forward per model through the persistent plans.
+  const auto forward_all = [&](int width) {
+    for (int k = 0; k < num_k; ++k) {
+      cs.plans[k].ForwardBatch(cs.stacked, width);
+    }
+  };
+  // Final-layer outputs of sample `pos`, read through non-owning views of
+  // the plan traces (no per-sample tensor copies).
+  const auto read_labels = [&](int pos) {
+    for (int k = 0; k < num_k; ++k) {
+      const BatchTrace& trace = cs.plans[k].trace();
+      const Tensor& out = trace.outputs.back();
+      const int64_t cols = out.numel() / trace.batch;
+      const ConstTensorView row(out.data() + static_cast<int64_t>(pos) * cols,
+                                &cs.out_shapes[static_cast<size_t>(k)], cols);
+      cs.labels[static_cast<size_t>(k)] = static_cast<int>(row.Argmax());
+    }
+  };
+  const auto read_scalars = [&](int pos) {
+    for (int k = 0; k < num_k; ++k) {
+      const BatchTrace& trace = cs.plans[k].trace();
+      const Tensor& out = trace.outputs.back();
+      const int64_t cols = out.numel() / trace.batch;
+      cs.scalars[static_cast<size_t>(k)] = out.data()[static_cast<int64_t>(pos) * cols];
+    }
+  };
 
   // Forward pass #0 over the stacked seeds: consensus check now, iteration
   // 1's objective gradient next — one pass, two consumers.
-  std::vector<const Tensor*> stacked;
-  stacked.reserve(static_cast<size_t>(n));
-  for (const SeedTask& task : tasks) {
-    stacked.push_back(task.seed);
-  }
-  std::vector<BatchTrace> traces = ForwardAll(StackSamples(stacked));
-
-  struct TaskState {
-    Tensor x;           // Current input of the ascent.
-    int consensus = 0;  // Seed-time consensus class (classification).
-    int target = 0;     // j: the model pushed away from the consensus.
-    int pos = 0;        // This task's sample index within `traces`.
-  };
-  std::vector<TaskState> states(static_cast<size_t>(n));
-  std::vector<int> active;  // Task ids still ascending, in task order.
-  active.reserve(static_cast<size_t>(n));
-
+  if (profiling) phase.Reset();
   for (int t = 0; t < n; ++t) {
-    TaskState& state = states[static_cast<size_t>(t)];
+    if (tasks[static_cast<size_t>(t)].seed->shape() != in_shape) {
+      throw std::invalid_argument("Executor::Run: seed shape mismatch");
+    }
+  }
+  stack_into(n, [&](int i) -> const Tensor& { return *tasks[static_cast<size_t>(i)].seed; });
+  if (profiling) prof.stack_seconds += phase.ElapsedSeconds();
+  if (profiling) phase.Reset();
+  forward_all(n);
+  if (profiling) prof.forward_seconds += phase.ElapsedSeconds();
+
+  cs.active.clear();
+  for (int t = 0; t < n; ++t) {
+    ChunkState::TaskState& state = cs.states[static_cast<size_t>(t)];
     if (regression_) {
       // Seed must not already be a difference (Algorithm 1 line 4).
-      if (ScalarsDiffer(SampleScalars(traces, t), engine_->steering_eps)) {
+      read_scalars(t);
+      if (ScalarsDiffer(cs.scalars, engine_->steering_eps)) {
         continue;  // results[t] stays nullopt.
       }
     } else {
       // All models must agree on the seed's class.
-      const std::vector<int> labels = SampleLabels(traces, t);
-      if (LabelsDiffer(labels)) {
+      read_labels(t);
+      if (LabelsDiffer(cs.labels)) {
         continue;
       }
-      state.consensus = labels[0];
+      state.consensus = cs.labels[0];
     }
-    state.x = *tasks[static_cast<size_t>(t)].seed;
+    state.x = *tasks[static_cast<size_t>(t)].seed;  // Reuses the slot's storage.
     state.target = engine_->forced_target_model >= 0 &&
                            engine_->forced_target_model < num_k
                        ? engine_->forced_target_model
                        : static_cast<int>(
                              tasks[static_cast<size_t>(t)].rng->UniformInt(0, num_k - 1));
     state.pos = t;
-    active.push_back(t);
+    cs.active.push_back(t);
   }
 
   const ForwardTrace no_trace;
-  for (int iter = 1; iter <= engine_->max_iterations_per_seed && !active.empty(); ++iter) {
-    // 1. Objective gradients against the shared traces — backward only, no
-    //    re-forward — then the constrained ascent step (Algorithm 1 l. 8-16).
-    for (const int t : active) {
+  for (int iter = 1; iter <= engine_->max_iterations_per_seed && !cs.active.empty();
+       ++iter) {
+    // 1. Objective gradients against the shared plan traces — backward only,
+    //    no re-forward — then the constrained ascent step (Algorithm 1
+    //    l. 8-16). Everything writes into reused buffers.
+    for (const int t : cs.active) {
       const SeedTask& task = tasks[static_cast<size_t>(t)];
-      TaskState& state = states[static_cast<size_t>(t)];
-      Tensor grad(state.x.shape());
+      ChunkState::TaskState& state = cs.states[static_cast<size_t>(t)];
+      if (profiling) phase.Reset();
+      Tensor& grad = cs.grads[static_cast<size_t>(t)];
+      grad.Fill(0.0f);
       ObjectiveContext ctx;
       ctx.models = &models_;
       ctx.metrics = task.metrics;
@@ -173,8 +298,8 @@ std::vector<std::optional<GeneratedTest>> Executor::Run(
       ctx.rng = task.rng;
       for (int k = 0; k < num_k; ++k) {
         if (objective.NeedsTrace(ctx, k)) {
-          const ForwardTrace sample = traces[static_cast<size_t>(k)].Sample(state.pos);
-          objective.Accumulate(ctx, k, sample, &grad);
+          objective.AccumulatePlanned(ctx, k, cs.plans[static_cast<size_t>(k)], state.pos,
+                                      &grad);
         } else {
           objective.Accumulate(ctx, k, no_trace, &grad);
         }
@@ -186,48 +311,54 @@ std::vector<std::optional<GeneratedTest>> Executor::Run(
                           std::sqrt(static_cast<float>(std::max<int64_t>(1, grad.numel())));
         grad.Scale(1.0f / (rms + 1e-5f));
       }
-      const Tensor direction = constraint_->Apply(grad, state.x, *task.rng);
-      state.x.Axpy(engine_->step, direction);
+      if (profiling) prof.gradient_seconds += phase.ElapsedSeconds();
+      if (profiling) phase.Reset();
+      constraint_->ApplyInto(grad, state.x, *task.rng, &cs.direction);
+      state.x.Axpy(engine_->step, cs.direction);
       constraint_->ProjectInput(&state.x);
+      if (profiling) prof.constraint_seconds += phase.ElapsedSeconds();
     }
 
     // 2. The iteration's single shared forward pass at the stepped inputs.
-    std::vector<const Tensor*> xs;
-    xs.reserve(active.size());
-    for (const int t : active) {
-      xs.push_back(&states[static_cast<size_t>(t)].x);
-    }
-    traces = ForwardAll(StackSamples(xs));
-    for (size_t i = 0; i < active.size(); ++i) {
-      states[static_cast<size_t>(active[i])].pos = static_cast<int>(i);
+    const int width = static_cast<int>(cs.active.size());
+    if (profiling) phase.Reset();
+    stack_into(width, [&](int i) -> const Tensor& {
+      return cs.states[static_cast<size_t>(cs.active[static_cast<size_t>(i)])].x;
+    });
+    if (profiling) prof.stack_seconds += phase.ElapsedSeconds();
+    if (profiling) phase.Reset();
+    forward_all(width);
+    if (profiling) prof.forward_seconds += phase.ElapsedSeconds();
+    for (int i = 0; i < width; ++i) {
+      cs.states[static_cast<size_t>(cs.active[static_cast<size_t>(i)])].pos = i;
     }
 
     // 3. Difference check from the same traces; finishers also reuse them
     //    for their labels and coverage update (Algorithm 1 line 18).
-    std::vector<int> still_active;
-    still_active.reserve(active.size());
-    for (const int t : active) {
+    if (profiling) phase.Reset();
+    cs.still_active.clear();
+    for (const int t : cs.active) {
       const SeedTask& task = tasks[static_cast<size_t>(t)];
-      TaskState& state = states[static_cast<size_t>(t)];
+      ChunkState::TaskState& state = cs.states[static_cast<size_t>(t)];
       GeneratedTest test;
       bool found = false;
       if (regression_) {
-        std::vector<float> outs = SampleScalars(traces, state.pos);
-        if (ScalarsDiffer(outs, engine_->steering_eps)) {
+        read_scalars(state.pos);
+        if (ScalarsDiffer(cs.scalars, engine_->steering_eps)) {
           found = true;
-          test.deviating_model = DeviatorFromScalars(outs);
-          test.outputs = std::move(outs);
+          test.deviating_model = DeviatorFromScalars(cs.scalars);
+          test.outputs = cs.scalars;
         }
       } else {
-        std::vector<int> labels = SampleLabels(traces, state.pos);
-        if (LabelsDiffer(labels)) {
+        read_labels(state.pos);
+        if (LabelsDiffer(cs.labels)) {
           found = true;
-          test.deviating_model = DeviatorFromLabels(labels);
-          test.labels = std::move(labels);
+          test.deviating_model = DeviatorFromLabels(cs.labels);
+          test.labels = cs.labels;
         }
       }
       if (!found) {
-        still_active.push_back(t);  // Budget exhaustion leaves nullopt.
+        cs.still_active.push_back(t);  // Budget exhaustion leaves nullopt.
         continue;
       }
       test.input = state.x;
@@ -235,17 +366,25 @@ std::vector<std::optional<GeneratedTest>> Executor::Run(
       test.task_ordinal = task.ordinal;
       test.iterations = iter;
       test.seconds = timer.ElapsedSeconds();
-      // Route through the metric's batch entry point (a 1-sample Select
-      // copy, paid once per found test) so metrics that override
-      // UpdateBatch see the batched trace format.
+      // Route through the metric's batch entry point via the plan's reused
+      // width-1 sample trace (same bits as the old one-sample Select copy,
+      // without the allocations) so metrics that override UpdateBatch see
+      // the batched trace format.
       for (int k = 0; k < num_k; ++k) {
         (*task.metrics)[static_cast<size_t>(k)]->UpdateBatch(
             *models_[static_cast<size_t>(k)],
-            traces[static_cast<size_t>(k)].Select({state.pos}));
+            cs.plans[static_cast<size_t>(k)].SampleTrace(state.pos));
       }
       results[static_cast<size_t>(t)] = std::move(test);
     }
-    active = std::move(still_active);
+    std::swap(cs.active, cs.still_active);
+    if (profiling) prof.coverage_seconds += phase.ElapsedSeconds();
+    ++prof.iterations;
+  }
+
+  if (profiling) {
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    profile_ += prof;
   }
   return results;
 }

@@ -5,10 +5,19 @@
 
 #include "src/baselines/adversarial.h"
 #include "src/baselines/random_testing.h"
+#include "src/nn/execution_plan.h"
 #include "src/util/registry.h"
 #include "src/util/rng.h"
 
 namespace dx {
+
+void Objective::AccumulatePlanned(const ObjectiveContext& ctx, int k, ExecutionPlan& plan,
+                                  int pos, Tensor* grad) const {
+  // Compatibility adapter: materialize the sample as a ForwardTrace and run
+  // the by-value path. Allocating, but correct for any objective.
+  const ForwardTrace trace = plan.trace().Sample(pos);
+  Accumulate(ctx, k, trace, grad);
+}
 
 void DifferentialObjective::Accumulate(const ObjectiveContext& ctx, int k,
                                        const ForwardTrace& trace, Tensor* grad) const {
@@ -22,6 +31,21 @@ void DifferentialObjective::Accumulate(const ObjectiveContext& ctx, int k,
     seed[ctx.consensus] = weight;
   }
   grad->AddInPlace(model.BackwardInput(trace, last, std::move(seed)));
+}
+
+void DifferentialObjective::AccumulatePlanned(const ObjectiveContext& ctx, int k,
+                                              ExecutionPlan& plan, int pos,
+                                              Tensor* grad) const {
+  const Model& model = plan.model();
+  const float weight = k == ctx.target_model ? -ctx.lambda1 : 1.0f;
+  const int last = model.num_layers() - 1;
+  Tensor& seed = plan.AcquireSeed(last);
+  if (ctx.regression) {
+    seed[0] = weight;
+  } else {
+    seed[ctx.consensus] = weight;
+  }
+  grad->AddInPlace(plan.BackwardSample(pos, last, seed));
 }
 
 void CoverageObjective::Accumulate(const ObjectiveContext& ctx, int k,
@@ -38,6 +62,23 @@ void CoverageObjective::Accumulate(const ObjectiveContext& ctx, int k,
   Tensor seed(trace.outputs[static_cast<size_t>(id.layer)].shape());
   model.layer(id.layer).AddNeuronSeed(&seed, id.index, ctx.lambda2);
   grad->AddInPlace(model.BackwardInput(trace, id.layer, std::move(seed)));
+}
+
+void CoverageObjective::AccumulatePlanned(const ObjectiveContext& ctx, int k,
+                                          ExecutionPlan& plan, int pos,
+                                          Tensor* grad) const {
+  if (ctx.lambda2 == 0.0f) {
+    return;
+  }
+  const Model& model = plan.model();
+  const CoverageMetric& metric = *(*ctx.metrics)[static_cast<size_t>(k)];
+  NeuronId id;
+  if (!metric.PickUncovered(*ctx.rng, &id)) {
+    return;
+  }
+  Tensor& seed = plan.AcquireSeed(id.layer);
+  model.layer(id.layer).AddNeuronSeed(&seed, id.index, ctx.lambda2);
+  grad->AddInPlace(plan.BackwardSample(pos, id.layer, seed));
 }
 
 CompositeObjective::CompositeObjective(std::string name,
@@ -58,6 +99,14 @@ bool CompositeObjective::NeedsTrace(const ObjectiveContext& ctx, int k) const {
     }
   }
   return false;
+}
+
+void CompositeObjective::AccumulatePlanned(const ObjectiveContext& ctx, int k,
+                                           ExecutionPlan& plan, int pos,
+                                           Tensor* grad) const {
+  for (const auto& part : parts_) {
+    part->AccumulatePlanned(ctx, k, plan, pos, grad);
+  }
 }
 
 std::unique_ptr<Objective> MakeJointObjective() {

@@ -29,6 +29,7 @@
 
 namespace dx {
 
+class ExecutionPlan;
 class Rng;
 
 // Everything an objective may read for one gradient evaluation. Pointers are
@@ -66,6 +67,17 @@ class Objective {
     (void)k;
     return true;
   }
+
+  // Plan-aware variant used by the zero-allocation executor: contributes the
+  // same gradient as Accumulate, evaluated at sample `pos` of model k's
+  // current plan trace, with backprop running through the plan's reused
+  // buffers (ExecutionPlan::AcquireSeed / BackwardSample). The default
+  // adapter copies the sample out as a ForwardTrace and calls Accumulate —
+  // correct for any out-of-tree objective, but allocating; built-in
+  // objectives override it allocation-free. Results must be bit-identical to
+  // Accumulate. `grad` is per-sample input-shaped, as in Accumulate.
+  virtual void AccumulatePlanned(const ObjectiveContext& ctx, int k, ExecutionPlan& plan,
+                                 int pos, Tensor* grad) const;
 };
 
 // Equation 2: push every model's consensus confidence up except model j's,
@@ -76,6 +88,8 @@ class DifferentialObjective : public Objective {
   std::string name() const override { return "differential"; }
   void Accumulate(const ObjectiveContext& ctx, int k, const ForwardTrace& trace,
                   Tensor* grad) const override;
+  void AccumulatePlanned(const ObjectiveContext& ctx, int k, ExecutionPlan& plan, int pos,
+                         Tensor* grad) const override;
 };
 
 // Equation 3: λ2 · d(neuron)/d(input) for one currently-uncovered neuron of
@@ -86,6 +100,8 @@ class CoverageObjective : public Objective {
   std::string name() const override { return "coverage"; }
   void Accumulate(const ObjectiveContext& ctx, int k, const ForwardTrace& trace,
                   Tensor* grad) const override;
+  void AccumulatePlanned(const ObjectiveContext& ctx, int k, ExecutionPlan& plan, int pos,
+                         Tensor* grad) const override;
 };
 
 // Sum of sub-objectives (the λ weights live inside the parts, via ctx).
@@ -97,6 +113,8 @@ class CompositeObjective : public Objective {
   void Accumulate(const ObjectiveContext& ctx, int k, const ForwardTrace& trace,
                   Tensor* grad) const override;
   bool NeedsTrace(const ObjectiveContext& ctx, int k) const override;
+  void AccumulatePlanned(const ObjectiveContext& ctx, int k, ExecutionPlan& plan, int pos,
+                         Tensor* grad) const override;
 
  private:
   std::string name_;

@@ -68,6 +68,7 @@ Session::Session(std::vector<Model*> models, const Constraint* constraint,
   scheduler_ = MakeSeedScheduler(config_.scheduler);
   executor_ = std::make_unique<Executor>(models_, constraint_, regression_,
                                          &config_.engine);
+  executor_->EnableProfiling(config_.profile_phases);
 }
 
 Session::~Session() = default;
@@ -711,6 +712,8 @@ RunStats Session::RunImpl(const std::vector<Tensor>& seeds, const RunOptions& op
   stats.forward_passes += forward_offset - forward_base;
   return stats;
 }
+
+ExecutorProfile Session::ExecutorPhases() const { return executor_->profile(); }
 
 float Session::MeanCoverage() const {
   double sum = 0.0;

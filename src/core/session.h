@@ -44,6 +44,7 @@ namespace dx {
 
 class Corpus;
 class Executor;
+struct ExecutorProfile;
 
 // The paper's per-run hyperparameters (Algorithm 1 / Table 2). Kept under
 // its historical name via the DeepXploreConfig alias below.
@@ -105,6 +106,11 @@ struct SessionConfig {
   // Run the metric's ProfileSeed pass over the seed pool at the start of
   // Run (k-multisection range profiling); no-op for metrics that don't ask.
   bool profile_from_seeds = true;
+  // Collect per-phase wall-time in the batched executor (stack / forward /
+  // gradient / constraint / coverage — see ExecutorProfile and the CLI's
+  // --profile flag). Purely observational: never affects results and is not
+  // part of the corpus manifest.
+  bool profile_phases = false;
 };
 
 struct GeneratedTest {
@@ -262,6 +268,10 @@ class Session {
 
   // Mean coverage across the per-model trackers.
   float MeanCoverage() const;
+
+  // Per-phase executor wall-time accumulated so far (meaningful when
+  // config().profile_phases is set; zeros otherwise).
+  ExecutorProfile ExecutorPhases() const;
 
  private:
   struct ReplayCursor;  // Entry-by-entry verifier state (session.cc).

@@ -85,21 +85,28 @@ bool KMultisectionCoverage::IsSectionCovered(const NeuronId& id, int section) co
 }
 
 bool KMultisectionCoverage::PickUncovered(Rng& rng, NeuronId* id) const {
-  std::vector<int> candidates;
-  candidates.reserve(static_cast<size_t>(total_));
-  for (int i = 0; i < total_; ++i) {
+  // Allocation-free count-then-select (hot loop); draw and pick are
+  // identical to the old candidate-list implementation.
+  const auto has_uncovered_bucket = [&](int i) {
     const auto begin = covered_.begin() + static_cast<int64_t>(i) * k_;
-    if (std::find(begin, begin + k_, false) != begin + k_) {
-      candidates.push_back(i);
-    }
+    return std::find(begin, begin + k_, false) != begin + k_;
+  };
+  int64_t count = 0;
+  for (int i = 0; i < total_; ++i) {
+    count += has_uncovered_bucket(i) ? 1 : 0;
   }
-  if (candidates.empty()) {
+  if (count == 0) {
     return false;
   }
-  const int pick = candidates[static_cast<size_t>(
-      rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
-  *id = neurons_[static_cast<size_t>(pick)];
-  return true;
+  const int64_t r = rng.UniformInt(0, count - 1);
+  int64_t seen = 0;
+  for (int i = 0; i < total_; ++i) {
+    if (has_uncovered_bucket(i) && seen++ == r) {
+      *id = neurons_[static_cast<size_t>(i)];
+      return true;
+    }
+  }
+  return false;  // Unreachable.
 }
 
 void KMultisectionCoverage::Merge(const CoverageMetric& other) {

@@ -59,20 +59,24 @@ bool TopKNeuronCoverage::IsCovered(const NeuronId& id) const {
 }
 
 bool TopKNeuronCoverage::PickUncovered(Rng& rng, NeuronId* id) const {
-  std::vector<int> uncovered;
-  uncovered.reserve(static_cast<size_t>(total_));
+  // Allocation-free count-then-select (hot loop); draw and pick are
+  // identical to the old candidate-list implementation.
+  int64_t count = 0;
   for (int i = 0; i < total_; ++i) {
-    if (!covered_[static_cast<size_t>(i)]) {
-      uncovered.push_back(i);
-    }
+    count += covered_[static_cast<size_t>(i)] ? 0 : 1;
   }
-  if (uncovered.empty()) {
+  if (count == 0) {
     return false;
   }
-  const int pick = uncovered[static_cast<size_t>(
-      rng.UniformInt(0, static_cast<int64_t>(uncovered.size()) - 1))];
-  *id = neurons_[static_cast<size_t>(pick)];
-  return true;
+  const int64_t r = rng.UniformInt(0, count - 1);
+  int64_t seen = 0;
+  for (int i = 0; i < total_; ++i) {
+    if (!covered_[static_cast<size_t>(i)] && seen++ == r) {
+      *id = neurons_[static_cast<size_t>(i)];
+      return true;
+    }
+  }
+  return false;  // Unreachable.
 }
 
 void TopKNeuronCoverage::Merge(const CoverageMetric& other) {

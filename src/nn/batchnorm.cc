@@ -1,5 +1,6 @@
 #include "src/nn/batchnorm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -118,6 +119,53 @@ Tensor BatchNorm::ForwardBatch(const Tensor& input, int batch, bool /*training*/
     }
   }
   return out;
+}
+
+void BatchNorm::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
+                                 Rng* /*rng*/, Tensor* output, Tensor* /*aux*/,
+                                 Workspace* /*ws*/) const {
+  // Plane geometry by arithmetic — no Shape construction per call.
+  const int64_t sample = input.numel() / batch;
+  if (sample % num_features_ != 0) {
+    throw std::invalid_argument("BatchNorm::ForwardBatchInto: feature-count mismatch");
+  }
+  const int64_t plane = sample / num_features_;
+  std::copy(input.data(), input.data() + input.numel(), output->data());
+  float* p = output->data();
+  for (int c = 0; c < num_features_; ++c) {
+    const float scale = gamma_[c] / std::sqrt(var_[c] + eps_);
+    const float shift = beta_[c] - mu_[c] * scale;
+    for (int b = 0; b < batch; ++b) {
+      float* row = p + static_cast<size_t>(b) * sample + static_cast<size_t>(c) * plane;
+      for (int64_t i = 0; i < plane; ++i) {
+        row[i] = row[i] * scale + shift;
+      }
+    }
+  }
+}
+
+void BatchNorm::BackwardBatchInto(const Tensor& input, const Tensor& /*output*/,
+                                  const Tensor& grad_output, const Tensor& /*aux*/,
+                                  int batch, Tensor* grad_input, Workspace* /*ws*/,
+                                  std::vector<Tensor>* param_grads) const {
+  const int64_t sample = input.numel() / batch;
+  const int64_t plane = sample / num_features_;
+  float* g_gamma = nullptr;
+  float* g_beta = nullptr;
+  if (param_grads != nullptr) {
+    if (param_grads->size() != 4) {
+      throw std::invalid_argument(
+          "BatchNorm::BackwardBatchInto: expected 4 param grad tensors");
+    }
+    g_gamma = (*param_grads)[0].data();
+    g_beta = (*param_grads)[1].data();
+  }
+  for (int b = 0; b < batch; ++b) {
+    const size_t offset = static_cast<size_t>(b) * sample;
+    BatchNormBackwardKernel(input.data() + offset, grad_output.data() + offset,
+                            grad_input->data() + offset, gamma_.data(), mu_.data(),
+                            var_.data(), eps_, num_features_, plane, g_gamma, g_beta);
+  }
 }
 
 Tensor BatchNorm::Backward(const Tensor& input, const Tensor& /*output*/,

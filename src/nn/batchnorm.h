@@ -40,6 +40,13 @@ class BatchNorm : public Layer {
   Tensor BackwardBatch(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                        const Tensor& aux, int batch,
                        std::vector<Tensor>* param_grads) const override;
+  // Zero-allocation variants of the frozen-statistics affine and its grad.
+  void ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                        Tensor* output, Tensor* aux, Workspace* ws) const override;
+  void BackwardBatchInto(const Tensor& input, const Tensor& output,
+                         const Tensor& grad_output, const Tensor& aux, int batch,
+                         Tensor* grad_input, Workspace* ws,
+                         std::vector<Tensor>* param_grads) const override;
   // gamma, beta, mu, var are all persisted; only gamma/beta are trainable but
   // mu/var ride along in MutableParams for serialization simplicity — the
   // optimizer must skip them, so they are exposed separately.

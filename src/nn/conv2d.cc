@@ -1,9 +1,11 @@
 #include "src/nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/tensor/workspace.h"
 #include "src/util/rng.h"
 
 namespace dx {
@@ -230,6 +232,25 @@ Tensor Conv2D::ForwardBatch(const Tensor& input, int batch, bool /*training*/,
   return out;
 }
 
+void Conv2D::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
+                              Rng* /*rng*/, Tensor* output, Tensor* /*aux*/,
+                              Workspace* /*ws*/) const {
+  if (input.ndim() != 4 || input.dim(0) != batch || output->ndim() != 4) {
+    throw std::invalid_argument("Conv2D::ForwardBatchInto: expected [B, C, H, W] tensors");
+  }
+  // Geometry comes from the caller-sized tensors directly — constructing
+  // Shape objects here would allocate on every hot-loop call.
+  const ConvGeom g{in_channels_,    out_channels_,   kernel_h_,    kernel_w_,
+                   stride_,         padding_,        input.dim(2), input.dim(3),
+                   output->dim(2),  output->dim(3)};
+  for (int b = 0; b < batch; ++b) {
+    ConvForwardKernel(g, input.data() + static_cast<size_t>(b) * g.in_size(),
+                      weight_.data(), bias_.data(),
+                      output->data() + static_cast<size_t>(b) * g.out_size());
+  }
+  ApplyActivation(act_, output);
+}
+
 Tensor Conv2D::Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                         const Tensor& /*aux*/, std::vector<Tensor>* param_grads) const {
   Tensor grad_pre = grad_output;
@@ -268,6 +289,31 @@ Tensor Conv2D::BackwardBatch(const Tensor& input, const Tensor& output,
                        param_grads != nullptr ? (*param_grads)[1].data() : nullptr);
   }
   return grad_in;
+}
+
+void Conv2D::BackwardBatchInto(const Tensor& input, const Tensor& output,
+                               const Tensor& grad_output, const Tensor& /*aux*/, int batch,
+                               Tensor* grad_input, Workspace* ws,
+                               std::vector<Tensor>* param_grads) const {
+  if (param_grads != nullptr && param_grads->size() != 2) {
+    throw std::invalid_argument("Conv2D::BackwardBatchInto: expected 2 param grad tensors");
+  }
+  const ConvGeom g{in_channels_, out_channels_, kernel_h_,     kernel_w_,
+                   stride_,      padding_,      input.dim(2),  input.dim(3),
+                   output.dim(2), output.dim(3)};
+  Tensor* grad_pre = ws->Acquire(output.shape());
+  std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
+            grad_pre->data());
+  ApplyActivationGrad(act_, output, grad_pre);
+  std::fill(grad_input->data(), grad_input->data() + grad_input->numel(), 0.0f);
+  for (int b = 0; b < batch; ++b) {
+    ConvBackwardKernel(g, input.data() + static_cast<size_t>(b) * g.in_size(),
+                       weight_.data(),
+                       grad_pre->data() + static_cast<size_t>(b) * g.out_size(),
+                       grad_input->data() + static_cast<size_t>(b) * g.in_size(),
+                       param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
+                       param_grads != nullptr ? (*param_grads)[1].data() : nullptr);
+  }
 }
 
 float Conv2D::NeuronValue(const Tensor& output, int index) const {

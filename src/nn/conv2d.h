@@ -35,6 +35,13 @@ class Conv2D : public Layer {
   Tensor BackwardBatch(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                        const Tensor& aux, int batch,
                        std::vector<Tensor>* param_grads) const override;
+  // Zero-allocation variants: same per-sample kernels over caller slabs.
+  void ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                        Tensor* output, Tensor* aux, Workspace* ws) const override;
+  void BackwardBatchInto(const Tensor& input, const Tensor& output,
+                         const Tensor& grad_output, const Tensor& aux, int batch,
+                         Tensor* grad_input, Workspace* ws,
+                         std::vector<Tensor>* param_grads) const override;
   std::vector<Tensor*> MutableParams() override { return {&weight_, &bias_}; }
   std::vector<const Tensor*> Params() const override { return {&weight_, &bias_}; }
   int NumNeurons() const override { return out_channels_; }

@@ -1,9 +1,11 @@
 #include "src/nn/dense.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/tensor/workspace.h"
 #include "src/util/rng.h"
 
 namespace dx {
@@ -50,6 +52,56 @@ void DenseBackwardKernel(const float* pg, const float* pw, const float* px, floa
         grow[i] += g * px[i];
       }
     }
+  }
+}
+
+// Pre-activation batch matvec shared by ForwardBatch and ForwardBatchInto.
+// Full blocks of kLanes samples run a transposed kernel with fixed-size
+// accumulator arrays: the compiler keeps the lanes in registers, each weight
+// row is read once for the whole block, and the matvec's serial double-add
+// chain becomes kLanes independent chains. Each lane still computes
+// bias + Σ_i w[i]·x[i] in ascending i — the scalar kernel's exact operation
+// sequence — so results are bit-identical; leftover samples just run the
+// scalar kernel. `xt` is scratch for the [in, batch] transpose, required
+// (and only read) when batch >= kLanes.
+constexpr int kDenseLanes = 8;
+
+void DenseForwardBatchKernel(const float* px, float* py, const float* pw, const float* pb,
+                             int in_features, int out_features, int batch, float* xt) {
+  int b0 = 0;
+  if (batch >= kDenseLanes) {
+    // Transpose to [in, batch] for contiguous batch-inner loads.
+    for (int b = 0; b < batch; ++b) {
+      const float* x_row = px + static_cast<size_t>(b) * in_features;
+      for (int i = 0; i < in_features; ++i) {
+        xt[static_cast<size_t>(i) * batch + b] = x_row[i];
+      }
+    }
+    for (; b0 + kDenseLanes <= batch; b0 += kDenseLanes) {
+      double acc[kDenseLanes];
+      for (int o = 0; o < out_features; ++o) {
+        const float* row = pw + static_cast<size_t>(o) * in_features;
+        const double bias = pb[o];
+        for (int j = 0; j < kDenseLanes; ++j) {
+          acc[j] = bias;
+        }
+        for (int i = 0; i < in_features; ++i) {
+          const double w = row[i];
+          const float* x_col = xt + static_cast<size_t>(i) * batch + b0;
+          for (int j = 0; j < kDenseLanes; ++j) {
+            acc[j] += w * static_cast<double>(x_col[j]);
+          }
+        }
+        for (int j = 0; j < kDenseLanes; ++j) {
+          py[static_cast<size_t>(b0 + j) * out_features + o] = static_cast<float>(acc[j]);
+        }
+      }
+    }
+  }
+  for (; b0 < batch; ++b0) {
+    DenseForwardSample(px + static_cast<size_t>(b0) * in_features,
+                       py + static_cast<size_t>(b0) * out_features, pw, pb, in_features,
+                       out_features);
   }
 }
 
@@ -148,55 +200,29 @@ Tensor Dense::ForwardBatch(const Tensor& input, int batch, bool /*training*/, Rn
     throw std::invalid_argument("Dense::ForwardBatch: bad input size");
   }
   Tensor out({batch, out_features_});
-  const float* px = input.data();
-  const float* pw = weight_.data();
-  float* py = out.data();
-  // Full blocks of kLanes samples run a transposed kernel with fixed-size
-  // accumulator arrays: the compiler keeps the lanes in registers, each
-  // weight row is read once for the whole block, and the matvec's serial
-  // double-add chain becomes kLanes independent chains. Each lane still
-  // computes bias + Σ_i w[i]·x[i] in ascending i — the scalar kernel's exact
-  // operation sequence — so results are bit-identical; leftover samples just
-  // run the scalar kernel.
-  constexpr int kLanes = 8;
-  int b0 = 0;
-  if (batch >= kLanes) {
-    // Transpose to [in, batch] for contiguous batch-inner loads.
-    std::vector<float> xt(static_cast<size_t>(batch) * in_features_);
-    for (int b = 0; b < batch; ++b) {
-      const float* x_row = px + static_cast<size_t>(b) * in_features_;
-      for (int i = 0; i < in_features_; ++i) {
-        xt[static_cast<size_t>(i) * batch + b] = x_row[i];
-      }
-    }
-    for (; b0 + kLanes <= batch; b0 += kLanes) {
-      double acc[kLanes];
-      for (int o = 0; o < out_features_; ++o) {
-        const float* row = pw + static_cast<size_t>(o) * in_features_;
-        const double bias = bias_[o];
-        for (int j = 0; j < kLanes; ++j) {
-          acc[j] = bias;
-        }
-        for (int i = 0; i < in_features_; ++i) {
-          const double w = row[i];
-          const float* x_col = xt.data() + static_cast<size_t>(i) * batch + b0;
-          for (int j = 0; j < kLanes; ++j) {
-            acc[j] += w * static_cast<double>(x_col[j]);
-          }
-        }
-        for (int j = 0; j < kLanes; ++j) {
-          py[static_cast<size_t>(b0 + j) * out_features_ + o] = static_cast<float>(acc[j]);
-        }
-      }
-    }
+  std::vector<float> xt;
+  if (batch >= kDenseLanes) {
+    xt.resize(static_cast<size_t>(batch) * in_features_);
   }
-  for (; b0 < batch; ++b0) {
-    DenseForwardSample(px + static_cast<size_t>(b0) * in_features_,
-                       py + static_cast<size_t>(b0) * out_features_, pw, bias_.data(),
-                       in_features_, out_features_);
-  }
+  DenseForwardBatchKernel(input.data(), out.data(), weight_.data(), bias_.data(),
+                          in_features_, out_features_, batch, xt.data());
   ApplyActivation(act_, &out);
   return out;
+}
+
+void Dense::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
+                             Rng* /*rng*/, Tensor* output, Tensor* /*aux*/,
+                             Workspace* ws) const {
+  if (input.numel() != static_cast<int64_t>(batch) * in_features_) {
+    throw std::invalid_argument("Dense::ForwardBatchInto: bad input size");
+  }
+  float* xt = nullptr;
+  if (batch >= kDenseLanes) {
+    xt = ws->AcquireFlat(static_cast<int64_t>(in_features_) * batch)->data();
+  }
+  DenseForwardBatchKernel(input.data(), output->data(), weight_.data(), bias_.data(),
+                          in_features_, out_features_, batch, xt);
+  ApplyActivation(act_, output);
 }
 
 Tensor Dense::BackwardBatch(const Tensor& input, const Tensor& output,
@@ -218,6 +244,30 @@ Tensor Dense::BackwardBatch(const Tensor& input, const Tensor& output,
                         in_features_, out_features_);
   }
   return grad_in;
+}
+
+void Dense::BackwardBatchInto(const Tensor& input, const Tensor& output,
+                              const Tensor& grad_output, const Tensor& /*aux*/, int batch,
+                              Tensor* grad_input, Workspace* ws,
+                              std::vector<Tensor>* param_grads) const {
+  if (param_grads != nullptr && param_grads->size() != 2) {
+    throw std::invalid_argument("Dense::BackwardBatchInto: expected 2 param grad tensors");
+  }
+  // dL/d(pre-activation) in arena scratch instead of a fresh tensor.
+  Tensor* grad_pre = ws->Acquire(output.shape());
+  std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
+            grad_pre->data());
+  ApplyActivationGrad(act_, output, grad_pre);
+  std::fill(grad_input->data(), grad_input->data() + grad_input->numel(), 0.0f);
+  for (int b = 0; b < batch; ++b) {
+    DenseBackwardKernel(grad_pre->data() + static_cast<size_t>(b) * out_features_,
+                        weight_.data(),
+                        input.data() + static_cast<size_t>(b) * in_features_,
+                        grad_input->data() + static_cast<size_t>(b) * in_features_,
+                        param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
+                        param_grads != nullptr ? (*param_grads)[1].data() : nullptr,
+                        in_features_, out_features_);
+  }
 }
 
 float Dense::NeuronValue(const Tensor& output, int index) const {

@@ -1,8 +1,10 @@
 #include "src/nn/dropout.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/tensor/workspace.h"
 #include "src/util/rng.h"
 
 namespace dx {
@@ -49,6 +51,46 @@ Tensor Dropout::Backward(const Tensor& /*input*/, const Tensor& /*output*/,
   Tensor grad_in = grad_output;
   grad_in.MulInPlace(aux);
   return grad_in;
+}
+
+void Dropout::ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                               Tensor* output, Tensor* aux, Workspace* /*ws*/) const {
+  (void)batch;
+  if (!training || rate_ == 0.0f) {
+    std::copy(input.data(), input.data() + input.numel(), output->data());
+    return;
+  }
+  if (rng == nullptr) {
+    throw std::invalid_argument("Dropout::ForwardBatchInto: training mode requires an Rng");
+  }
+  if (aux->shape() != input.shape()) {  // Steady state: shapes match, no-op.
+    aux->ResizeInPlace(input.shape());
+  }
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  float* mask = aux->data();
+  const float* px = input.data();
+  float* py = output->data();
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    mask[i] = rng->Bernoulli(rate_) ? 0.0f : keep_scale;
+    py[i] = px[i] * mask[i];
+  }
+}
+
+void Dropout::BackwardBatchInto(const Tensor& /*input*/, const Tensor& /*output*/,
+                                const Tensor& grad_output, const Tensor& aux,
+                                int /*batch*/, Tensor* grad_input, Workspace* /*ws*/,
+                                std::vector<Tensor>* /*param_grads*/) const {
+  const float* pg = grad_output.data();
+  float* pgi = grad_input->data();
+  if (aux.empty()) {
+    // Inference-mode trace: identity.
+    std::copy(pg, pg + grad_output.numel(), pgi);
+    return;
+  }
+  const float* mask = aux.data();
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    pgi[i] = pg[i] * mask[i];
+  }
 }
 
 void Dropout::SerializeConfig(BinaryWriter& writer) const { writer.WriteF32(rate_); }

@@ -19,6 +19,14 @@ class Dropout : public Layer {
   Tensor Forward(const Tensor& input, bool training, Rng* rng, Tensor* aux) const override;
   Tensor Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                   const Tensor& aux, std::vector<Tensor>* param_grads) const override;
+  // Zero-allocation variants (inference = copy; training masks into *aux
+  // with the same per-element Bernoulli draw order as Forward).
+  void ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                        Tensor* output, Tensor* aux, Workspace* ws) const override;
+  void BackwardBatchInto(const Tensor& input, const Tensor& output,
+                         const Tensor& grad_output, const Tensor& aux, int batch,
+                         Tensor* grad_input, Workspace* ws,
+                         std::vector<Tensor>* param_grads) const override;
   void SerializeConfig(BinaryWriter& writer) const override;
 
   float rate() const { return rate_; }

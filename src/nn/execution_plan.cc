@@ -1,0 +1,214 @@
+#include "src/nn/execution_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "src/tensor/ops.h"
+
+namespace dx {
+
+ExecutionPlan::ExecutionPlan(const Model& model, int max_batch)
+    : model_(&model), capacity_(max_batch) {
+  if (max_batch < 1) {
+    throw std::invalid_argument("ExecutionPlan: max_batch must be >= 1");
+  }
+  const int num_layers = model.num_layers();
+  if (num_layers == 0) {
+    throw std::invalid_argument("ExecutionPlan: model has no layers");
+  }
+  input_numel_ = NumElements(model.input_shape());
+
+  // Full-capacity slabs up front: later width changes only shrink/grow the
+  // leading dimension within this storage (SetBatchDim — allocation-free).
+  trace_.batch = 0;
+  trace_.input = Tensor(BatchedShape(max_batch, model.input_shape()));
+  trace_.outputs.reserve(static_cast<size_t>(num_layers));
+  trace_.aux.resize(static_cast<size_t>(num_layers));
+  sample_.batch = 1;
+  sample_.input = Tensor(BatchedShape(1, model.input_shape()));
+  sample_.outputs.reserve(static_cast<size_t>(num_layers));
+  sample_.aux.resize(static_cast<size_t>(num_layers));
+  bw_.resize(static_cast<size_t>(num_layers));
+  fwd_ws_.resize(static_cast<size_t>(num_layers));
+  bwd_ws_.resize(static_cast<size_t>(num_layers));
+  seeds_.reserve(static_cast<size_t>(num_layers));
+  out_numel_.reserve(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    const Shape& out_shape = model.layer_output_shape(l);
+    out_numel_.push_back(NumElements(out_shape));
+    trace_.outputs.emplace_back(BatchedShape(max_batch, out_shape));
+    sample_.outputs.emplace_back(BatchedShape(1, out_shape));
+    seeds_.emplace_back(out_shape);
+    if (l >= 1) {
+      // Gradient wrt layer l's input == layer l-1's output.
+      bw_[static_cast<size_t>(l)] =
+          Tensor(BatchedShape(max_batch, model.layer_output_shape(l - 1)));
+    }
+  }
+  bw_input_batch_ = Tensor(BatchedShape(max_batch, model.input_shape()));
+  bw_input_sample_ = Tensor(model.input_shape());
+}
+
+const BatchTrace& ExecutionPlan::ForwardBatch(const Tensor& input, int width) {
+  if (width < 1 || width > capacity_) {
+    throw std::invalid_argument("ExecutionPlan::ForwardBatch: width " +
+                                std::to_string(width) + " outside [1, " +
+                                std::to_string(capacity_) + "]");
+  }
+  if (input.numel() != input_numel_ * width) {
+    throw std::invalid_argument("ExecutionPlan::ForwardBatch: bad input size");
+  }
+  width_ = width;
+  sample_pos_ = -1;
+  trace_.batch = width;
+  trace_.input.SetBatchDim(width);
+  std::copy(input.data(), input.data() + input.numel(), trace_.input.data());
+  const Tensor* cur = &trace_.input;
+  for (int l = 0; l < model_->num_layers(); ++l) {
+    Tensor& out = trace_.outputs[static_cast<size_t>(l)];
+    out.SetBatchDim(width);
+    Workspace& ws = fwd_ws_[static_cast<size_t>(l)];
+    ws.Rewind();
+    model_->layer(l).ForwardBatchInto(*cur, width, /*training=*/false, /*rng=*/nullptr,
+                                      &out, &trace_.aux[static_cast<size_t>(l)], &ws);
+    cur = &out;
+  }
+  model_->CountForwardPasses(width);
+  return trace_;
+}
+
+const Tensor& ExecutionPlan::BackwardInputBatch(int from_layer, const Tensor& seed) {
+  if (width_ == 0) {
+    throw std::logic_error("ExecutionPlan::BackwardInputBatch: no trace (run ForwardBatch)");
+  }
+  if (from_layer < 0 || from_layer >= model_->num_layers()) {
+    throw std::out_of_range("ExecutionPlan::BackwardInputBatch: bad from_layer");
+  }
+  if (seed.numel() != out_numel_[static_cast<size_t>(from_layer)] * width_) {
+    throw std::invalid_argument("ExecutionPlan::BackwardInputBatch: seed size mismatch");
+  }
+  const Tensor* grad = &seed;
+  for (int l = from_layer; l >= 1; --l) {
+    Tensor& gi = bw_[static_cast<size_t>(l)];
+    gi.SetBatchDim(width_);
+    Workspace& ws = bwd_ws_[static_cast<size_t>(l)];
+    ws.Rewind();
+    model_->layer(l).BackwardBatchInto(trace_.LayerInput(l),
+                                       trace_.outputs[static_cast<size_t>(l)], *grad,
+                                       trace_.aux[static_cast<size_t>(l)], width_, &gi,
+                                       &ws, nullptr);
+    grad = &gi;
+  }
+  bw_input_batch_.SetBatchDim(width_);
+  bwd_ws_[0].Rewind();
+  model_->layer(0).BackwardBatchInto(trace_.input, trace_.outputs[0], *grad, trace_.aux[0],
+                                     width_, &bw_input_batch_, &bwd_ws_[0], nullptr);
+  return bw_input_batch_;
+}
+
+Tensor& ExecutionPlan::AcquireSeed(int layer) {
+  if (layer < 0 || layer >= model_->num_layers()) {
+    throw std::out_of_range("ExecutionPlan::AcquireSeed: bad layer");
+  }
+  Tensor& seed = seeds_[static_cast<size_t>(layer)];
+  seed.Fill(0.0f);
+  return seed;
+}
+
+void ExecutionPlan::EnsureSample(int pos) {
+  if (pos < 0 || pos >= width_) {
+    throw std::out_of_range("ExecutionPlan: sample position out of range");
+  }
+  if (sample_pos_ == pos) {
+    return;
+  }
+  const float* in = trace_.input.data() + static_cast<size_t>(pos) * input_numel_;
+  std::copy(in, in + input_numel_, sample_.input.data());
+  for (int l = 0; l < model_->num_layers(); ++l) {
+    const int64_t stride = out_numel_[static_cast<size_t>(l)];
+    const float* src =
+        trace_.outputs[static_cast<size_t>(l)].data() + static_cast<size_t>(pos) * stride;
+    std::copy(src, src + stride, sample_.outputs[static_cast<size_t>(l)].data());
+    const Tensor& aux = trace_.aux[static_cast<size_t>(l)];
+    Tensor& sample_aux = sample_.aux[static_cast<size_t>(l)];
+    if (aux.empty()) {
+      if (!sample_aux.empty()) {
+        sample_aux = Tensor();
+      }
+      continue;
+    }
+    const int64_t aux_stride = aux.numel() / width_;
+    if (sample_aux.numel() != aux_stride) {  // Warm-up / width change only.
+      sample_aux.ResizeInPlace(BatchedShape(1, SampleShape(aux.shape())));
+    }
+    const float* asrc = aux.data() + static_cast<size_t>(pos) * aux_stride;
+    std::copy(asrc, asrc + aux_stride, sample_aux.data());
+  }
+  sample_pos_ = pos;
+}
+
+const Tensor& ExecutionPlan::BackwardSample(int pos, int from_layer, const Tensor& seed) {
+  if (width_ == 0) {
+    throw std::logic_error("ExecutionPlan::BackwardSample: no trace (run ForwardBatch)");
+  }
+  if (from_layer < 0 || from_layer >= model_->num_layers()) {
+    throw std::out_of_range("ExecutionPlan::BackwardSample: bad from_layer");
+  }
+  if (seed.numel() != out_numel_[static_cast<size_t>(from_layer)]) {
+    throw std::invalid_argument("ExecutionPlan::BackwardSample: seed size mismatch");
+  }
+  EnsureSample(pos);
+  const Tensor* grad = &seed;
+  for (int l = from_layer; l >= 1; --l) {
+    Tensor& gi = bw_[static_cast<size_t>(l)];
+    gi.SetBatchDim(1);
+    Workspace& ws = bwd_ws_[static_cast<size_t>(l)];
+    ws.Rewind();
+    model_->layer(l).BackwardBatchInto(sample_.LayerInput(l),
+                                       sample_.outputs[static_cast<size_t>(l)], *grad,
+                                       sample_.aux[static_cast<size_t>(l)], 1, &gi, &ws,
+                                       nullptr);
+    grad = &gi;
+  }
+  bwd_ws_[0].Rewind();
+  model_->layer(0).BackwardBatchInto(sample_.input, sample_.outputs[0], *grad,
+                                     sample_.aux[0], 1, &bw_input_sample_, &bwd_ws_[0],
+                                     nullptr);
+  return bw_input_sample_;
+}
+
+const BatchTrace& ExecutionPlan::SampleTrace(int pos) {
+  if (width_ == 0) {
+    throw std::logic_error("ExecutionPlan::SampleTrace: no trace (run ForwardBatch)");
+  }
+  EnsureSample(pos);
+  return sample_;
+}
+
+// ---- Model integration -------------------------------------------------------------------
+
+ExecutionPlan Model::Compile(int max_batch) const {
+  return ExecutionPlan(*this, max_batch);
+}
+
+const BatchTrace& Model::ForwardBatch(const Tensor& input, ExecutionPlan& plan) const {
+  if (&plan.model() != this) {
+    throw std::invalid_argument("Model::ForwardBatch: plan compiled for another model");
+  }
+  if (input.ndim() < 1) {
+    throw std::invalid_argument("Model::ForwardBatch: input has no batch dimension");
+  }
+  return plan.ForwardBatch(input, input.dim(0));
+}
+
+const Tensor& Model::BackwardInputBatch(ExecutionPlan& plan, int from_layer,
+                                        const Tensor& seed) const {
+  if (&plan.model() != this) {
+    throw std::invalid_argument(
+        "Model::BackwardInputBatch: plan compiled for another model");
+  }
+  return plan.BackwardInputBatch(from_layer, seed);
+}
+
+}  // namespace dx

@@ -1,0 +1,120 @@
+// ExecutionPlan: a compiled, pre-sized execution context for one
+// (model, max batch) pair — the zero-allocation counterpart of
+// Model::ForwardBatch / BackwardInputBatch.
+//
+// Model::Compile(max_batch) sizes every buffer the batched forward and
+// backward passes will ever touch up front:
+//
+//   * one output slab per layer (the plan-owned BatchTrace),
+//   * a width-1 sample trace for per-sample objective backprop and
+//     coverage updates,
+//   * the backward gradient chain (one buffer per layer boundary) plus
+//     batched and per-sample final input-gradient buffers,
+//   * per-layer seed buffers for objective gradients, and
+//   * a Workspace arena (src/tensor/workspace.h) for layer-kernel scratch
+//     (dense transpose, activation-grad intermediates, residual recompute).
+//
+// After the plan has executed once at a given width ("warm-up"), every
+// subsequent ForwardBatch / BackwardSample / SampleTrace call performs ZERO
+// heap allocations: slabs are resized in place within reserved capacity and
+// the arena reuses its slots. One caveat: the batched BackwardInputBatch and
+// the per-sample BackwardSample share the per-layer backward scratch arenas,
+// so *alternating* between them each iteration flips the scratch shapes
+// between [width, ...] and [1, ...] and re-allocates Shape storage per flip —
+// steady-state zero-allocation holds for a stable call pattern (the executor
+// hot loop uses BackwardSample only; tests/alloc_test.cc enforces that
+// path). Results are bit-identical to the by-value Model API — the plan runs
+// the exact same layer kernels (Layer::*Into) in the same order.
+//
+// Lifetime & invalidation: the plan borrows the model. Weight *values* may
+// change between calls (kernels read them live), but structural changes
+// (adding layers) invalidate the plan — recompile. Width may vary per call
+// in [1, capacity]; compiling a larger batch later means a new plan.
+//
+// Not thread-safe: one plan per execution context (the batched executor
+// pools one plan set per concurrent chunk).
+#ifndef DX_SRC_NN_EXECUTION_PLAN_H_
+#define DX_SRC_NN_EXECUTION_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/layer.h"
+#include "src/nn/model.h"
+#include "src/tensor/tensor.h"
+#include "src/tensor/workspace.h"
+
+namespace dx {
+
+class ExecutionPlan {
+ public:
+  // Prefer Model::Compile(max_batch).
+  ExecutionPlan(const Model& model, int max_batch);
+
+  ExecutionPlan(ExecutionPlan&&) = default;
+  ExecutionPlan& operator=(ExecutionPlan&&) = default;
+
+  const Model& model() const { return *model_; }
+  int capacity() const { return capacity_; }
+  // Width of the current trace (0 before the first forward).
+  int width() const { return width_; }
+
+  // Runs the model over `input` ([width, ...input_shape] data; only numel is
+  // inspected) into the plan-owned trace and returns it. Counts `width`
+  // forward passes on the model, exactly like Model::ForwardBatch.
+  const BatchTrace& ForwardBatch(const Tensor& input, int width);
+  // The current trace (valid after ForwardBatch; width() samples wide).
+  const BatchTrace& trace() const { return trace_; }
+
+  // Batched backward through the current trace: d(seed·out_from)/d(input),
+  // seed shaped like trace().outputs[from_layer]. Returns a reused
+  // [width, ...input_shape] buffer, bit-identical to Model::BackwardInputBatch.
+  const Tensor& BackwardInputBatch(int from_layer, const Tensor& seed);
+
+  // ---- Per-sample entry points (the objective-gradient hot loop) ---------
+
+  // A reusable zero-filled seed buffer shaped like layer `layer`'s
+  // per-sample output. Valid until the next AcquireSeed(layer) call.
+  Tensor& AcquireSeed(int layer);
+
+  // d(seed·out_from of sample `pos`)/d(input): backpropagates through a
+  // width-1 copy of sample `pos` of the current trace (cached across calls
+  // for the same pos). `seed` needs out-numel elements (shape free, e.g. an
+  // AcquireSeed buffer). Returns a reused input-shaped buffer whose bits
+  // equal Model::BackwardInput on trace().Sample(pos).
+  const Tensor& BackwardSample(int pos, int from_layer, const Tensor& seed);
+
+  // Width-1 trace holding sample `pos` of the current trace — the reused
+  // replacement for trace().Select({pos}) (feeds CoverageMetric::UpdateBatch
+  // without allocating).
+  const BatchTrace& SampleTrace(int pos);
+
+ private:
+  // Copies sample `pos` into sample_ unless it is already there.
+  void EnsureSample(int pos);
+
+  const Model* model_;
+  int capacity_;
+  int width_ = 0;
+  int64_t input_numel_;            // Per-sample input elements.
+  std::vector<int64_t> out_numel_; // Per-layer per-sample output elements.
+
+  BatchTrace trace_;    // Slabs at the current width.
+  BatchTrace sample_;   // Width-1 sample trace.
+  int sample_pos_ = -1; // Which sample sample_ holds (-1: stale).
+
+  std::vector<Tensor> bw_;   // bw_[l] (l >= 1): grad wrt layer l's input.
+  Tensor bw_input_batch_;    // Final input grad, [width, ...input_shape].
+  Tensor bw_input_sample_;   // Final input grad, per-sample shape.
+  std::vector<Tensor> seeds_;  // Per-layer per-sample seed buffers.
+  // One scratch arena per (layer, direction): each arena then sees a single
+  // deterministic acquisition sequence, so its slots keep stable shapes and
+  // every warm Acquire is a no-op (a shared arena would flip slot shapes
+  // between layers and re-allocate Shape storage each flip).
+  std::vector<Workspace> fwd_ws_;
+  std::vector<Workspace> bwd_ws_;
+};
+
+}  // namespace dx
+
+#endif  // DX_SRC_NN_EXECUTION_PLAN_H_

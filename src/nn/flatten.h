@@ -2,6 +2,7 @@
 #ifndef DX_SRC_NN_FLATTEN_H_
 #define DX_SRC_NN_FLATTEN_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,20 @@ class Flatten : public Layer {
                        const Tensor& grad_output, const Tensor& /*aux*/, int /*batch*/,
                        std::vector<Tensor>* /*param_grads*/) const override {
     return grad_output.Reshape(input.shape());
+  }
+  // Zero-allocation variants: a flatten between distinct slabs is a memcpy
+  // (the by-value path's reshape must deep-copy anyway).
+  void ForwardBatchInto(const Tensor& input, int /*batch*/, bool /*training*/,
+                        Rng* /*rng*/, Tensor* output, Tensor* /*aux*/,
+                        Workspace* /*ws*/) const override {
+    std::copy(input.data(), input.data() + input.numel(), output->data());
+  }
+  void BackwardBatchInto(const Tensor& /*input*/, const Tensor& /*output*/,
+                         const Tensor& grad_output, const Tensor& /*aux*/, int /*batch*/,
+                         Tensor* grad_input, Workspace* /*ws*/,
+                         std::vector<Tensor>* /*param_grads*/) const override {
+    std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
+              grad_input->data());
   }
   void SerializeConfig(BinaryWriter& /*writer*/) const override {}
 };

@@ -24,6 +24,7 @@
 namespace dx {
 
 class Rng;
+class Workspace;
 
 class Layer {
  public:
@@ -65,6 +66,42 @@ class Layer {
   virtual Tensor BackwardBatch(const Tensor& input, const Tensor& output,
                                const Tensor& grad_output, const Tensor& aux, int batch,
                                std::vector<Tensor>* param_grads) const;
+
+  // ---- In-place batch kernels (zero-allocation execution path) ----------------------------
+  //
+  // The `*Into` variants write into caller-provided storage instead of
+  // returning fresh tensors; they are the currency of ExecutionPlan
+  // (src/nn/execution_plan.h), whose slabs are reused across gradient-ascent
+  // iterations. Contract:
+  //   * Results are bit-identical to the by-value ForwardBatch/BackwardBatch
+  //     (same kernels, same float-operation order).
+  //   * `ws` supplies scratch buffers (never null on the plan path; see
+  //     src/tensor/workspace.h). Acquire in a deterministic order so the
+  //     arena reaches a stable slot layout.
+  //   * The default adapters below call the by-value API and move the result
+  //     into the destination tensors — correct for any out-of-tree layer,
+  //     but allocating. Built-in layers override both with kernels that only
+  //     touch pre-existing storage.
+
+  // `output` is pre-shaped to [batch, ...OutputShape]; every element is
+  // overwritten. When the layer records aux state it ResizeInPlace's `*aux`
+  // to the batched aux shape and fills it (allocation-free once the tensor
+  // has seen that capacity); layers without aux leave `*aux` untouched, so
+  // callers should pass a tensor whose emptiness reflects "no aux recorded".
+  virtual void ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                                Tensor* output, Tensor* aux, Workspace* ws) const;
+
+  // Writes dLoss/dInput into `grad_input`, which holds batch * |input
+  // sample| elements; implementations treat it (and `grad_output`, which
+  // only promises numel == output.numel()) as flat storage — geometry comes
+  // from `input`/`output`. This shape looseness lets a plan run a batch-1
+  // backward whose seed and final gradient are per-sample-shaped. Every
+  // element of `grad_input` is overwritten; param grads accumulate exactly
+  // as in BackwardBatch.
+  virtual void BackwardBatchInto(const Tensor& input, const Tensor& output,
+                                 const Tensor& grad_output, const Tensor& aux, int batch,
+                                 Tensor* grad_input, Workspace* ws,
+                                 std::vector<Tensor>* param_grads) const;
 
   // Trainable parameters (empty for parameterless layers).
   virtual std::vector<Tensor*> MutableParams() { return {}; }

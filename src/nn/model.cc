@@ -1,5 +1,6 @@
 #include "src/nn/model.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -63,6 +64,34 @@ Tensor Layer::BackwardBatch(const Tensor& input, const Tensor& output,
                             SliceSample(grad_output, b), aux_b, param_grads));
   }
   return grad_in;
+}
+
+void Layer::ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                             Tensor* output, Tensor* aux, Workspace* /*ws*/) const {
+  // Compatibility adapter: by-value kernel, then move into the caller's
+  // slots. Out-of-tree layers keep working (at the old allocation cost);
+  // built-in layers override with storage-reusing kernels.
+  Tensor batched_aux;
+  *output = ForwardBatch(input, batch, training, rng, &batched_aux);
+  if (!batched_aux.empty()) {
+    *aux = std::move(batched_aux);
+  }
+}
+
+void Layer::BackwardBatchInto(const Tensor& input, const Tensor& output,
+                              const Tensor& grad_output, const Tensor& aux, int batch,
+                              Tensor* grad_input, Workspace* /*ws*/,
+                              std::vector<Tensor>* param_grads) const {
+  // grad_output only promises numel: restore the batched shape before
+  // handing it to the shape-checking by-value kernel.
+  Tensor reshaped;
+  const Tensor* go = &grad_output;
+  if (grad_output.shape() != output.shape()) {
+    reshaped = grad_output.Reshape(output.shape());
+    go = &reshaped;
+  }
+  const Tensor g = BackwardBatch(input, output, *go, aux, batch, param_grads);
+  std::copy(g.data(), g.data() + g.numel(), grad_input->data());
 }
 
 // ---- BatchTrace --------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 
 namespace dx {
 
+class ExecutionPlan;
 class Rng;
 
 class Model {
@@ -69,6 +70,25 @@ class Model {
   // the single-pass guarantee of the batched execution path.
   int64_t forward_passes() const { return forward_passes_.load(std::memory_order_relaxed); }
   void ResetForwardPasses() const { forward_passes_.store(0, std::memory_order_relaxed); }
+  // Adds `n` passes to the counter — for execution engines (ExecutionPlan)
+  // whose layer loops bypass Model::ForwardBatch but must keep the
+  // single-pass accounting exact.
+  void CountForwardPasses(int64_t n) const {
+    forward_passes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Compiles a zero-allocation execution context for batches of up to
+  // `max_batch` samples: pre-sized layer slabs, backward scratch, and trace
+  // storage reused across iterations (src/nn/execution_plan.h). The plan
+  // borrows this model and is invalidated by structural changes (Add).
+  ExecutionPlan Compile(int max_batch) const;
+
+  // Plan-backed overloads: bit-identical to the by-value ForwardBatch /
+  // BackwardInputBatch but reusing the plan's buffers (the returned
+  // references live in the plan and are overwritten by its next call).
+  const BatchTrace& ForwardBatch(const Tensor& input, ExecutionPlan& plan) const;
+  const Tensor& BackwardInputBatch(ExecutionPlan& plan, int from_layer,
+                                   const Tensor& seed) const;
 
   // Convenience: final output tensor for an input (inference mode).
   Tensor Predict(const Tensor& input) const;

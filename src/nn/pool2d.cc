@@ -153,6 +153,30 @@ Tensor Pool2D::ForwardBatch(const Tensor& input, int batch, bool /*training*/,
   return out;
 }
 
+void Pool2D::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
+                              Rng* /*rng*/, Tensor* output, Tensor* aux,
+                              Workspace* /*ws*/) const {
+  if (input.ndim() != 4 || input.dim(0) != batch || output->ndim() != 4) {
+    throw std::invalid_argument("Pool2D::ForwardBatchInto: expected [B, C, H, W] tensors");
+  }
+  // Geometry from the caller-sized tensors — no Shape construction per call.
+  const PoolGeom g{output->dim(1), input.dim(2),   input.dim(3),
+                   output->dim(2), output->dim(3), kernel_,      stride_};
+  float* paux = nullptr;
+  if (mode_ == PoolMode::kMax) {
+    if (aux->shape() != output->shape()) {  // Steady state: shapes match, no-op.
+      aux->ResizeInPlace(output->shape());
+    }
+    paux = aux->data();
+  }
+  for (int b = 0; b < batch; ++b) {
+    PoolForwardKernel(g, mode_, input.data() + static_cast<size_t>(b) * g.in_size(),
+                      output->data() + static_cast<size_t>(b) * g.out_size(),
+                      paux != nullptr ? paux + static_cast<size_t>(b) * g.out_size()
+                                      : nullptr);
+  }
+}
+
 Tensor Pool2D::Backward(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                         const Tensor& aux, std::vector<Tensor>* /*param_grads*/) const {
   Tensor grad_in(input.shape());
@@ -182,6 +206,25 @@ Tensor Pool2D::BackwardBatch(const Tensor& input, const Tensor& output,
         grad_in.data() + static_cast<size_t>(b) * g.in_size());
   }
   return grad_in;
+}
+
+void Pool2D::BackwardBatchInto(const Tensor& input, const Tensor& output,
+                               const Tensor& grad_output, const Tensor& aux, int batch,
+                               Tensor* grad_input, Workspace* /*ws*/,
+                               std::vector<Tensor>* /*param_grads*/) const {
+  if (mode_ == PoolMode::kMax && aux.numel() != output.numel()) {
+    throw std::invalid_argument("Pool2D::BackwardBatchInto: missing argmax aux tensor");
+  }
+  const PoolGeom g{input.dim(1), input.dim(2), input.dim(3),
+                   output.dim(2), output.dim(3), kernel_,    stride_};
+  std::fill(grad_input->data(), grad_input->data() + grad_input->numel(), 0.0f);
+  for (int b = 0; b < batch; ++b) {
+    PoolBackwardKernel(
+        g, mode_, grad_output.data() + static_cast<size_t>(b) * g.out_size(),
+        mode_ == PoolMode::kMax ? aux.data() + static_cast<size_t>(b) * g.out_size()
+                                : nullptr,
+        grad_input->data() + static_cast<size_t>(b) * g.in_size());
+  }
 }
 
 void Pool2D::SerializeConfig(BinaryWriter& writer) const {

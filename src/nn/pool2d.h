@@ -32,6 +32,13 @@ class Pool2D : public Layer {
   Tensor BackwardBatch(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                        const Tensor& aux, int batch,
                        std::vector<Tensor>* param_grads) const override;
+  // Zero-allocation variants; max mode resizes *aux in place for its argmax map.
+  void ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                        Tensor* output, Tensor* aux, Workspace* ws) const override;
+  void BackwardBatchInto(const Tensor& input, const Tensor& output,
+                         const Tensor& grad_output, const Tensor& aux, int batch,
+                         Tensor* grad_input, Workspace* ws,
+                         std::vector<Tensor>* param_grads) const override;
   void SerializeConfig(BinaryWriter& writer) const override;
 
   PoolMode mode() const { return mode_; }

@@ -1,8 +1,11 @@
 #include "src/nn/residual.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/tensor/ops.h"
+#include "src/tensor/workspace.h"
 #include "src/util/rng.h"
 
 namespace dx {
@@ -62,6 +65,75 @@ Tensor ResidualBlock::ForwardBatch(const Tensor& input, int batch, bool /*traini
   y2.AddInPlace(skip);
   ApplyActivation(Activation::kRelu, &y2);
   return y2;
+}
+
+void ResidualBlock::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
+                                     Rng* /*rng*/, Tensor* output, Tensor* /*aux*/,
+                                     Workspace* ws) const {
+  // conv2 is 3x3 stride-1 pad-1 with out_channels filters, so conv1's output
+  // (y1) has exactly the block's output shape — borrow it instead of
+  // constructing a Shape (which would allocate on every hot-loop call).
+  Tensor* y1 = ws->Acquire(output->shape());
+  conv1_.ForwardBatchInto(input, batch, false, nullptr, y1, nullptr, ws);
+  conv2_.ForwardBatchInto(*y1, batch, false, nullptr, output, nullptr, ws);
+  if (proj_ != nullptr) {
+    Tensor* skip = ws->Acquire(output->shape());
+    proj_->ForwardBatchInto(input, batch, false, nullptr, skip, nullptr, ws);
+    output->AddInPlace(*skip);
+  } else {
+    output->AddInPlace(input);
+  }
+  ApplyActivation(Activation::kRelu, output);
+}
+
+void ResidualBlock::BackwardBatchInto(const Tensor& input, const Tensor& output,
+                                      const Tensor& grad_output, const Tensor& aux,
+                                      int batch, Tensor* grad_input, Workspace* ws,
+                                      std::vector<Tensor>* param_grads) const {
+  if (param_grads != nullptr) {
+    // Parameter gradients must accumulate in the per-sample order of the
+    // inherited BackwardBatch (sample-major, not layer-major); the adapter
+    // preserves that. The zero-allocation path below is input-grad only —
+    // which is all the gradient-ascent hot loop asks for.
+    Layer::BackwardBatchInto(input, output, grad_output, aux, batch, grad_input, ws,
+                             param_grads);
+    return;
+  }
+  // Recompute the intermediates batched (same per-sample conv kernels as the
+  // scalar recompute, so gradients stay bit-identical). y1 shares the block
+  // output's shape — see ForwardBatchInto.
+  Tensor* y1 = ws->Acquire(output.shape());
+  conv1_.ForwardBatchInto(input, batch, false, nullptr, y1, nullptr, ws);
+  Tensor* y2 = ws->Acquire(output.shape());
+  conv2_.ForwardBatchInto(*y1, batch, false, nullptr, y2, nullptr, ws);
+
+  // Through the output ReLU: relu'(out) in terms of the post-activation value.
+  Tensor* g_sum = ws->Acquire(output.shape());
+  std::copy(grad_output.data(), grad_output.data() + grad_output.numel(), g_sum->data());
+  ApplyActivationGrad(Activation::kRelu, output, g_sum);
+
+  // Main path.
+  Tensor* g_y1 = ws->Acquire(output.shape());
+  conv2_.BackwardBatchInto(*y1, *y2, *g_sum, Tensor(), batch, g_y1, ws, nullptr);
+  conv1_.BackwardBatchInto(input, *y1, *g_y1, Tensor(), batch, grad_input, ws, nullptr);
+
+  // Skip path (flat adds: grad_input may be per-sample-shaped).
+  float* gi = grad_input->data();
+  if (proj_ != nullptr) {
+    Tensor* skip = ws->Acquire(output.shape());
+    proj_->ForwardBatchInto(input, batch, false, nullptr, skip, nullptr, ws);
+    Tensor* g_skip = ws->Acquire(input.shape());
+    proj_->BackwardBatchInto(input, *skip, *g_sum, Tensor(), batch, g_skip, ws, nullptr);
+    const float* gs = g_skip->data();
+    for (int64_t i = 0; i < grad_input->numel(); ++i) {
+      gi[i] += gs[i];
+    }
+  } else {
+    const float* gs = g_sum->data();
+    for (int64_t i = 0; i < grad_input->numel(); ++i) {
+      gi[i] += gs[i];
+    }
+  }
 }
 
 Tensor ResidualBlock::Backward(const Tensor& input, const Tensor& output,

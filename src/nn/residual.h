@@ -37,6 +37,16 @@ class ResidualBlock : public Layer {
   // base per-sample loop: it recomputes intermediates either way).
   Tensor ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
                       Tensor* aux) const override;
+  // Zero-allocation variants: sub-convolution Into kernels with arena-backed
+  // intermediates. The input-grad-only backward (param_grads == nullptr)
+  // runs batched; with param grads it defers to the per-sample adapter so
+  // accumulation order matches BackwardBatch.
+  void ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                        Tensor* output, Tensor* aux, Workspace* ws) const override;
+  void BackwardBatchInto(const Tensor& input, const Tensor& output,
+                         const Tensor& grad_output, const Tensor& aux, int batch,
+                         Tensor* grad_input, Workspace* ws,
+                         std::vector<Tensor>* param_grads) const override;
   std::vector<Tensor*> MutableParams() override;
   std::vector<const Tensor*> Params() const override;
   int NumNeurons() const override { return out_channels_; }

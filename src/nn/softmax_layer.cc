@@ -1,5 +1,6 @@
 #include "src/nn/softmax_layer.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/tensor/ops.h"
@@ -61,6 +62,28 @@ Tensor SoftmaxLayer::BackwardBatch(const Tensor& /*input*/, const Tensor& output
                        grad_in.data() + offset, cols);
   }
   return grad_in;
+}
+
+void SoftmaxLayer::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
+                                    Rng* /*rng*/, Tensor* output, Tensor* /*aux*/,
+                                    Workspace* /*ws*/) const {
+  if (input.ndim() != 2 || input.dim(0) != batch) {
+    throw std::invalid_argument("SoftmaxLayer::ForwardBatchInto: expected [B, C] logits");
+  }
+  std::copy(input.data(), input.data() + input.numel(), output->data());
+  SoftmaxRowsInPlace(output->data(), batch, input.dim(1));
+}
+
+void SoftmaxLayer::BackwardBatchInto(const Tensor& /*input*/, const Tensor& output,
+                                     const Tensor& grad_output, const Tensor& /*aux*/,
+                                     int batch, Tensor* grad_input, Workspace* /*ws*/,
+                                     std::vector<Tensor>* /*param_grads*/) const {
+  const int64_t cols = output.numel() / batch;
+  for (int b = 0; b < batch; ++b) {
+    const size_t offset = static_cast<size_t>(b) * cols;
+    SoftmaxBackwardRow(output.data() + offset, grad_output.data() + offset,
+                       grad_input->data() + offset, cols);
+  }
 }
 
 }  // namespace dx

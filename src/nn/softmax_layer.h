@@ -28,6 +28,13 @@ class SoftmaxLayer : public Layer {
   Tensor BackwardBatch(const Tensor& input, const Tensor& output, const Tensor& grad_output,
                        const Tensor& aux, int batch,
                        std::vector<Tensor>* param_grads) const override;
+  // Zero-allocation variants: stable row softmax / JVP over caller storage.
+  void ForwardBatchInto(const Tensor& input, int batch, bool training, Rng* rng,
+                        Tensor* output, Tensor* aux, Workspace* ws) const override;
+  void BackwardBatchInto(const Tensor& input, const Tensor& output,
+                         const Tensor& grad_output, const Tensor& aux, int batch,
+                         Tensor* grad_input, Workspace* ws,
+                         std::vector<Tensor>* param_grads) const override;
   void SerializeConfig(BinaryWriter& /*writer*/) const override {}
 };
 

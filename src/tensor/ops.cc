@@ -123,15 +123,7 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor Softmax(const Tensor& logits) {
-  if (logits.ndim() != 1 && logits.ndim() != 2) {
-    throw std::invalid_argument("Softmax expects 1-D or 2-D input, got " +
-                                ShapeToString(logits.shape()));
-  }
-  const int rows = logits.ndim() == 2 ? logits.dim(0) : 1;
-  const int cols = logits.ndim() == 2 ? logits.dim(1) : logits.dim(0);
-  Tensor out = logits;
-  float* p = out.data();
+void SoftmaxRowsInPlace(float* p, int rows, int cols) {
   for (int r = 0; r < rows; ++r) {
     float* row = p + static_cast<size_t>(r) * cols;
     float max_v = row[0];
@@ -148,6 +140,17 @@ Tensor Softmax(const Tensor& logits) {
       row[c] *= inv;
     }
   }
+}
+
+Tensor Softmax(const Tensor& logits) {
+  if (logits.ndim() != 1 && logits.ndim() != 2) {
+    throw std::invalid_argument("Softmax expects 1-D or 2-D input, got " +
+                                ShapeToString(logits.shape()));
+  }
+  const int rows = logits.ndim() == 2 ? logits.dim(0) : 1;
+  const int cols = logits.ndim() == 2 ? logits.dim(1) : logits.dim(0);
+  Tensor out = logits;
+  SoftmaxRowsInPlace(out.data(), rows, cols);
   return out;
 }
 

@@ -23,6 +23,9 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
 
 // Numerically stable softmax over the last axis of a 1-D or 2-D tensor.
 Tensor Softmax(const Tensor& logits);
+// In-place building block of Softmax: stable row-wise softmax over a raw
+// [rows, cols] buffer (same operation order, so results are bit-identical).
+void SoftmaxRowsInPlace(float* p, int rows, int cols);
 
 // One-hot row vector of length `num_classes`.
 Tensor OneHot(int index, int num_classes);

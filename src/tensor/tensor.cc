@@ -107,7 +107,11 @@ float Tensor::at(const std::vector<int>& indices) const {
   return const_cast<Tensor*>(this)->at(indices);
 }
 
-Tensor Tensor::Reshape(Shape new_shape) const {
+namespace {
+
+// Resolves an at-most-one -1 dimension against `numel` and validates the
+// element count; shared by both Reshape overloads.
+Shape ResolveReshape(Shape new_shape, const Shape& old_shape, int64_t numel) {
   int64_t known = 1;
   int infer_axis = -1;
   for (size_t i = 0; i < new_shape.size(); ++i) {
@@ -121,16 +125,50 @@ Tensor Tensor::Reshape(Shape new_shape) const {
     }
   }
   if (infer_axis >= 0) {
-    if (known == 0 || numel() % known != 0) {
+    if (known == 0 || numel % known != 0) {
       throw std::invalid_argument("cannot infer dimension in Reshape");
     }
-    new_shape[static_cast<size_t>(infer_axis)] = static_cast<int>(numel() / known);
+    new_shape[static_cast<size_t>(infer_axis)] = static_cast<int>(numel / known);
   }
-  if (NumElements(new_shape) != numel()) {
-    throw std::invalid_argument("Reshape from " + ShapeToString(shape_) + " to " +
+  if (NumElements(new_shape) != numel) {
+    throw std::invalid_argument("Reshape from " + ShapeToString(old_shape) + " to " +
                                 ShapeToString(new_shape) + " changes element count");
   }
-  return Tensor(std::move(new_shape), data_);
+  return new_shape;
+}
+
+}  // namespace
+
+Tensor Tensor::Reshape(Shape new_shape) const& {
+  return Tensor(ResolveReshape(std::move(new_shape), shape_, numel()), data_);
+}
+
+Tensor Tensor::Reshape(Shape new_shape) && {
+  // Resolve BEFORE moving the data out (argument evaluation order is
+  // unspecified, and ResolveReshape reads numel()).
+  Shape resolved = ResolveReshape(std::move(new_shape), shape_, numel());
+  return Tensor(std::move(resolved), std::move(data_));
+}
+
+void Tensor::ResizeInPlace(Shape new_shape) {
+  const int64_t n = NumElements(new_shape);
+  shape_ = std::move(new_shape);
+  data_.resize(static_cast<size_t>(n));
+}
+
+void Tensor::SetBatchDim(int batch) {
+  if (shape_.empty()) {
+    throw std::logic_error("SetBatchDim: tensor has no batch dimension");
+  }
+  if (batch < 0) {
+    throw std::invalid_argument("SetBatchDim: negative batch");
+  }
+  int64_t stride = 1;
+  for (size_t i = 1; i < shape_.size(); ++i) {
+    stride *= shape_[i];
+  }
+  shape_[0] = batch;
+  data_.resize(static_cast<size_t>(stride * batch));
 }
 
 Tensor& Tensor::Fill(float value) {
@@ -249,6 +287,25 @@ float Tensor::L2Norm() const {
     sum += static_cast<double>(v) * v;
   }
   return static_cast<float>(std::sqrt(sum));
+}
+
+int64_t ConstTensorView::Argmax() const {
+  if (numel_ == 0) {
+    throw std::invalid_argument("Argmax of empty view");
+  }
+  return std::distance(data_, std::max_element(data_, data_ + numel_));
+}
+
+float ConstTensorView::Sum() const {
+  double sum = 0.0;
+  for (int64_t i = 0; i < numel_; ++i) {
+    sum += data_[static_cast<size_t>(i)];
+  }
+  return static_cast<float>(sum);
+}
+
+void TensorView::Fill(float value) const {
+  std::fill(data_, data_ + numel_, value);
 }
 
 std::string Tensor::ToString(int max_elements) const {

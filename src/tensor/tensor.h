@@ -66,8 +66,28 @@ class Tensor {
   float at(const std::vector<int>& indices) const;
 
   // Returns a tensor with the same data and a new shape; element counts must
-  // match. A dimension of -1 is inferred (at most one).
-  Tensor Reshape(Shape new_shape) const;
+  // match. A dimension of -1 is inferred (at most one). The rvalue overload
+  // moves the data vector instead of deep-copying it, so chains like
+  // `std::move(t).Reshape(...)` (e.g. flattening a freshly built batch) are
+  // allocation-free.
+  Tensor Reshape(Shape new_shape) const&;
+  Tensor Reshape(Shape new_shape) &&;
+
+  // Pre-allocates capacity for at least `n` elements without changing the
+  // shape or contents (used by execution plans to make later ResizeInPlace
+  // calls allocation-free).
+  void Reserve(int64_t n) { data_.reserve(static_cast<size_t>(n)); }
+  // Re-shapes this tensor in place, reusing its storage. Growing beyond the
+  // current size zero-fills the new elements; within the reserved capacity
+  // no heap allocation happens. Existing elements keep their values.
+  void ResizeInPlace(Shape new_shape);
+  // Changes only the leading (batch) dimension in place — unlike
+  // ResizeInPlace this never constructs a Shape, so it is allocation-free
+  // even when the extent changes (the execution plan's width-adjust path).
+  // Requires ndim() >= 1.
+  void SetBatchDim(int batch);
+  // Current element capacity of the underlying storage.
+  int64_t Capacity() const { return static_cast<int64_t>(data_.capacity()); }
 
   // In-place mutators (return *this for chaining).
   Tensor& Fill(float value);
@@ -97,6 +117,75 @@ class Tensor {
 
   Shape shape_;
   std::vector<float> data_;
+};
+
+// ---- Non-owning views --------------------------------------------------------------------
+//
+// A view is a raw data pointer plus a *borrowed* shape: trivially copyable,
+// never allocating — the currency of zero-allocation hot paths (the batched
+// executor reads per-sample slices of trace slabs through views instead of
+// copying them out as Tensors). Both the viewed data and the Shape object
+// must outlive the view; views of a Tensor are invalidated by anything that
+// reallocates or reshapes it.
+
+class ConstTensorView {
+ public:
+  ConstTensorView() = default;
+  // Views `numel` contiguous floats at `data`, described by `shape` (which
+  // must stay alive; `numel` must equal NumElements(*shape)).
+  ConstTensorView(const float* data, const Shape* shape, int64_t numel)
+      : data_(data), shape_(shape), numel_(numel) {}
+  // View of a whole tensor.
+  explicit ConstTensorView(const Tensor& t)
+      : data_(t.data()), shape_(&t.shape()), numel_(t.numel()) {}
+
+  const Shape& shape() const { return *shape_; }
+  int ndim() const { return static_cast<int>(shape_->size()); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+  const float* data() const { return data_; }
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + numel_; }
+
+  float operator[](int64_t flat_index) const {
+    return data_[static_cast<size_t>(flat_index)];
+  }
+
+  // Index of the largest element (first on ties), matching Tensor::Argmax.
+  int64_t Argmax() const;
+  float Sum() const;  // Double-accumulated, matching Tensor::Sum.
+
+ private:
+  const float* data_ = nullptr;
+  const Shape* shape_ = nullptr;
+  int64_t numel_ = 0;
+};
+
+class TensorView {
+ public:
+  TensorView() = default;
+  TensorView(float* data, const Shape* shape, int64_t numel)
+      : data_(data), shape_(shape), numel_(numel) {}
+  explicit TensorView(Tensor& t) : data_(t.data()), shape_(&t.shape()), numel_(t.numel()) {}
+
+  const Shape& shape() const { return *shape_; }
+  int ndim() const { return static_cast<int>(shape_->size()); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+  float* data() const { return data_; }
+
+  float& operator[](int64_t flat_index) const {
+    return data_[static_cast<size_t>(flat_index)];
+  }
+
+  void Fill(float value) const;
+
+  operator ConstTensorView() const { return {data_, shape_, numel_}; }
+
+ private:
+  float* data_ = nullptr;
+  const Shape* shape_ = nullptr;
+  int64_t numel_ = 0;
 };
 
 }  // namespace dx

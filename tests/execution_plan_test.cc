@@ -1,0 +1,253 @@
+// ExecutionPlan equivalence: the compiled zero-allocation path must be
+// bit-identical to the by-value Model API — forward traces (outputs AND
+// aux), batched input gradients, per-sample objective backprop, and the
+// width-1 sample trace — across layer types, widths, and width changes
+// (the plan's buffers are reused in place between calls).
+#include "src/nn/execution_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/nn/batchnorm.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/dropout.h"
+#include "src/nn/flatten.h"
+#include "src/nn/model.h"
+#include "src/nn/pool2d.h"
+#include "src/nn/residual.h"
+#include "src/nn/softmax_layer.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/workspace.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace dx {
+namespace {
+
+Model MakeConvModel(uint64_t seed) {
+  Model m("conv", {1, 10, 10});
+  Rng rng(seed);
+  auto& c1 = m.Emplace<Conv2D>(1, 4, 3, 3, 1, 0, Activation::kRelu);
+  c1.InitParams(rng);
+  m.Emplace<Pool2D>(PoolMode::kMax, 2);
+  m.Emplace<Flatten>();
+  auto& d1 = m.Emplace<Dense>(4 * 4 * 4, 6, Activation::kTanh);
+  d1.InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+Model MakeResidualModel(uint64_t seed) {
+  Model m("residual", {2, 8, 8});
+  Rng rng(seed);
+  auto& c1 = m.Emplace<Conv2D>(2, 4, 3, 3, 1, 1, Activation::kRelu);
+  c1.InitParams(rng);
+  auto& r1 = m.Emplace<ResidualBlock>(4, 8, 2);
+  r1.InitParams(rng);
+  auto& bn = m.Emplace<BatchNorm>(8);
+  bn.SetStatistics(std::vector<float>(8, 0.1f), std::vector<float>(8, 1.5f));
+  m.Emplace<Pool2D>(PoolMode::kAvg, 2);
+  m.Emplace<Dropout>(0.25f);
+  m.Emplace<Flatten>();
+  auto& d1 = m.Emplace<Dense>(8 * 2 * 2, 5);
+  d1.InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+Tensor RandomBatch(const Model& model, int width, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::RandUniform(BatchedShape(width, model.input_shape()), rng);
+}
+
+void ExpectTracesEqual(const BatchTrace& got, const BatchTrace& want,
+                       const std::string& what) {
+  ASSERT_EQ(got.batch, want.batch) << what;
+  ASSERT_EQ(got.outputs.size(), want.outputs.size()) << what;
+  for (size_t l = 0; l < want.outputs.size(); ++l) {
+    EXPECT_EQ(got.outputs[l].shape(), want.outputs[l].shape()) << what << " layer " << l;
+    EXPECT_EQ(got.outputs[l].values(), want.outputs[l].values()) << what << " layer " << l;
+    EXPECT_EQ(got.aux[l].values(), want.aux[l].values()) << what << " aux " << l;
+  }
+}
+
+TEST(ExecutionPlanTest, ForwardMatchesByValueAcrossWidths) {
+  for (const auto& model : {MakeConvModel(7), MakeResidualModel(8)}) {
+    ExecutionPlan plan = model.Compile(8);
+    // Widths vary across calls: slabs shrink and grow in place.
+    int round = 0;
+    for (const int width : {8, 3, 1, 8, 5}) {
+      const Tensor input = RandomBatch(model, width, 100 + static_cast<uint64_t>(round));
+      const BatchTrace want = model.ForwardBatch(input);
+      const BatchTrace& got = model.ForwardBatch(input, plan);
+      ExpectTracesEqual(got, want,
+                        model.name() + " width " + std::to_string(width));
+      EXPECT_EQ(SliceSample(got.input, width - 1).values(),
+                SliceSample(input, width - 1).values());
+      ++round;
+    }
+  }
+}
+
+TEST(ExecutionPlanTest, ForwardCountsForwardPasses) {
+  const Model model = MakeConvModel(7);
+  ExecutionPlan plan = model.Compile(4);
+  model.ResetForwardPasses();
+  model.ForwardBatch(RandomBatch(model, 3, 1), plan);
+  EXPECT_EQ(model.forward_passes(), 3);
+}
+
+TEST(ExecutionPlanTest, BackwardInputBatchMatchesByValue) {
+  for (const auto& model : {MakeConvModel(9), MakeResidualModel(10)}) {
+    ExecutionPlan plan = model.Compile(6);
+    for (const int width : {6, 2, 6}) {
+      const Tensor input = RandomBatch(model, width, 55 + static_cast<uint64_t>(width));
+      const BatchTrace want_trace = model.ForwardBatch(input);
+      model.ForwardBatch(input, plan);
+      for (const int from : {model.num_layers() - 1, 0}) {
+        Rng rng(17);
+        const Tensor seed = Tensor::RandUniform(
+            want_trace.outputs[static_cast<size_t>(from)].shape(), rng, -1.0f, 1.0f);
+        const Tensor want = model.BackwardInputBatch(want_trace, from, seed);
+        const Tensor& got = model.BackwardInputBatch(plan, from, seed);
+        EXPECT_EQ(got.shape(), want.shape()) << model.name();
+        EXPECT_EQ(got.values(), want.values())
+            << model.name() << " width " << width << " from " << from;
+      }
+    }
+  }
+}
+
+TEST(ExecutionPlanTest, BackwardSampleMatchesScalarBackward) {
+  for (const auto& model : {MakeConvModel(11), MakeResidualModel(12)}) {
+    ExecutionPlan plan = model.Compile(4);
+    const Tensor input = RandomBatch(model, 4, 99);
+    const BatchTrace batch_trace = model.ForwardBatch(input);
+    model.ForwardBatch(input, plan);
+    // Seed from the last layer (differential objective) and from an interior
+    // layer (coverage objective picks arbitrary layers).
+    for (const int from : {model.num_layers() - 1, 1, 0}) {
+      for (int pos = 0; pos < 4; ++pos) {
+        Rng rng(200 + static_cast<uint64_t>(from * 4 + pos));
+        const ForwardTrace sample = batch_trace.Sample(pos);
+        const Tensor scalar_seed = Tensor::RandUniform(
+            sample.outputs[static_cast<size_t>(from)].shape(), rng, -1.0f, 1.0f);
+        const Tensor want = model.BackwardInput(sample, from, scalar_seed);
+        // The plan's seed buffer is per-sample-shaped; copy the values in.
+        Tensor& seed = plan.AcquireSeed(from);
+        std::copy(scalar_seed.data(), scalar_seed.data() + scalar_seed.numel(),
+                  seed.data());
+        const Tensor& got = plan.BackwardSample(pos, from, seed);
+        EXPECT_EQ(got.shape(), want.shape());
+        EXPECT_EQ(got.values(), want.values())
+            << model.name() << " pos " << pos << " from " << from;
+      }
+    }
+  }
+}
+
+TEST(ExecutionPlanTest, SampleTraceMatchesSelect) {
+  const Model model = MakeResidualModel(13);
+  ExecutionPlan plan = model.Compile(3);
+  const Tensor input = RandomBatch(model, 3, 42);
+  const BatchTrace want_trace = model.ForwardBatch(input);
+  model.ForwardBatch(input, plan);
+  for (int pos = 0; pos < 3; ++pos) {
+    const BatchTrace want = want_trace.Select({pos});
+    const BatchTrace& got = plan.SampleTrace(pos);
+    ExpectTracesEqual(got, want, "sample " + std::to_string(pos));
+    EXPECT_EQ(got.input.values(), want.input.values());
+  }
+}
+
+TEST(ExecutionPlanTest, AcquireSeedIsZeroed) {
+  const Model model = MakeConvModel(14);
+  ExecutionPlan plan = model.Compile(1);
+  Tensor& seed = plan.AcquireSeed(model.num_layers() - 1);
+  seed.Fill(3.0f);
+  const Tensor& again = plan.AcquireSeed(model.num_layers() - 1);
+  for (int64_t i = 0; i < again.numel(); ++i) {
+    EXPECT_EQ(again[i], 0.0f);
+  }
+}
+
+// Per-layer: the *Into kernels must equal the by-value kernels bit for bit,
+// including accumulated parameter gradients.
+void ExpectIntoMatchesByValue(const Layer& layer, const Shape& in_shape, int batch,
+                              uint64_t seed) {
+  Rng rng(seed);
+  const Tensor input = Tensor::RandUniform(BatchedShape(batch, in_shape), rng, -1.0f, 1.0f);
+  Tensor want_aux;
+  const Tensor want_out = layer.ForwardBatch(input, batch, false, nullptr, &want_aux);
+
+  Workspace ws;
+  Tensor got_out(want_out.shape());
+  Tensor got_aux;
+  layer.ForwardBatchInto(input, batch, false, nullptr, &got_out, &got_aux, &ws);
+  EXPECT_EQ(got_out.values(), want_out.values()) << layer.Describe() << " forward";
+  EXPECT_EQ(got_aux.values(), want_aux.values()) << layer.Describe() << " aux";
+
+  const Tensor grad_out =
+      Tensor::RandUniform(want_out.shape(), rng, -1.0f, 1.0f);
+  const size_t num_params = layer.Params().size();
+  std::vector<Tensor> want_pg;
+  std::vector<Tensor> got_pg;
+  for (const Tensor* p : layer.Params()) {
+    want_pg.emplace_back(p->shape());
+    got_pg.emplace_back(p->shape());
+  }
+  const Tensor want_gin = layer.BackwardBatch(input, want_out, grad_out, want_aux, batch,
+                                              num_params > 0 ? &want_pg : nullptr);
+  Tensor got_gin(input.shape());
+  layer.BackwardBatchInto(input, got_out, grad_out, got_aux, batch, &got_gin, &ws,
+                          num_params > 0 ? &got_pg : nullptr);
+  EXPECT_EQ(got_gin.values(), want_gin.values()) << layer.Describe() << " backward";
+  for (size_t p = 0; p < num_params; ++p) {
+    EXPECT_EQ(got_pg[p].values(), want_pg[p].values())
+        << layer.Describe() << " param grad " << p;
+  }
+}
+
+TEST(LayerIntoTest, AllLayersMatchByValueKernels) {
+  Rng rng(31);
+  for (const int batch : {1, 3, 8, 9}) {
+    {
+      Dense dense(10, 7, Activation::kRelu);
+      dense.InitParams(rng);
+      ExpectIntoMatchesByValue(dense, {10}, batch, 1000 + static_cast<uint64_t>(batch));
+    }
+    {
+      Conv2D conv(2, 3, 3, 3, 1, 1, Activation::kTanh);
+      conv.InitParams(rng);
+      ExpectIntoMatchesByValue(conv, {2, 6, 6}, batch, 2000 + static_cast<uint64_t>(batch));
+    }
+    ExpectIntoMatchesByValue(Pool2D(PoolMode::kMax, 2), {3, 6, 6}, batch,
+                             3000 + static_cast<uint64_t>(batch));
+    ExpectIntoMatchesByValue(Pool2D(PoolMode::kAvg, 2), {3, 6, 6}, batch,
+                             4000 + static_cast<uint64_t>(batch));
+    ExpectIntoMatchesByValue(Flatten(), {2, 4, 4}, batch,
+                             5000 + static_cast<uint64_t>(batch));
+    ExpectIntoMatchesByValue(SoftmaxLayer(), {9}, batch,
+                             6000 + static_cast<uint64_t>(batch));
+    {
+      BatchNorm bn(5);
+      bn.SetStatistics(std::vector<float>(5, 0.2f), std::vector<float>(5, 2.0f));
+      ExpectIntoMatchesByValue(bn, {5, 4, 4}, batch, 7000 + static_cast<uint64_t>(batch));
+    }
+    ExpectIntoMatchesByValue(Dropout(0.4f), {12}, batch,
+                             8000 + static_cast<uint64_t>(batch));
+    {
+      // Input-grad-only path (param_grads == nullptr) is the batched one;
+      // exercised via the model-level tests above. Here: full adapter path.
+      ResidualBlock res(3, 6, 2);
+      Rng r2(77);
+      res.InitParams(r2);
+      ExpectIntoMatchesByValue(res, {3, 8, 8}, batch, 9000 + static_cast<uint64_t>(batch));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dx

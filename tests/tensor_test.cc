@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
+#include "src/tensor/workspace.h"
 #include "src/util/rng.h"
 
 namespace dx {
@@ -261,6 +263,131 @@ TEST(OpsTest, ElementwiseFreeFunctions) {
   EXPECT_FLOAT_EQ(Add(a, b)[1], 6.0f);
   EXPECT_FLOAT_EQ(Sub(a, b)[0], -2.0f);
   EXPECT_FLOAT_EQ(Mul(a, b)[1], 8.0f);
+}
+
+// ---- Reshape rvalue overload -------------------------------------------------------------
+
+TEST(TensorTest, ReshapeRvalueMovesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const float* before = t.data();
+  Tensor flat = std::move(t).Reshape({6});
+  // The data vector moved: same heap buffer, no copy.
+  EXPECT_EQ(flat.data(), before);
+  EXPECT_EQ(flat.shape(), (Shape{6}));
+  EXPECT_FLOAT_EQ(flat[5], 6.0f);
+}
+
+TEST(TensorTest, ReshapeLvalueStillCopies) {
+  const Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor r = t.Reshape({4});
+  EXPECT_NE(r.data(), t.data());
+  EXPECT_EQ(r.values(), t.values());
+  EXPECT_THROW(t.Reshape({3}), std::invalid_argument);
+  EXPECT_FLOAT_EQ(t.Reshape({-1})[3], 4.0f);
+}
+
+// ---- In-place resize / batch-dim ---------------------------------------------------------
+
+TEST(TensorTest, ResizeInPlaceReusesStorage) {
+  Tensor t({4, 3});
+  t.Fill(7.0f);
+  const int64_t cap = t.Capacity();
+  t.ResizeInPlace({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_FLOAT_EQ(t[5], 7.0f);  // Existing elements survive.
+  EXPECT_GE(t.Capacity(), cap);
+  t.ResizeInPlace({4, 3});  // Grow back within capacity; new elements zeroed.
+  EXPECT_EQ(t.numel(), 12);
+}
+
+TEST(TensorTest, SetBatchDimAdjustsLeadingDimension) {
+  Tensor t({4, 5});
+  t.Fill(1.0f);
+  const float* before = t.data();
+  t.SetBatchDim(2);
+  EXPECT_EQ(t.shape(), (Shape{2, 5}));
+  EXPECT_EQ(t.numel(), 10);
+  t.SetBatchDim(4);
+  EXPECT_EQ(t.data(), before);  // Within capacity: storage unchanged.
+  EXPECT_EQ(t.numel(), 20);
+  Tensor scalarish;
+  EXPECT_THROW(scalarish.SetBatchDim(2), std::logic_error);
+}
+
+// ---- TensorView --------------------------------------------------------------------------
+
+TEST(TensorViewTest, ConstViewReadsWithoutOwning) {
+  const Tensor t({2, 3}, std::vector<float>{1, 9, 2, 3, 4, 0});
+  const ConstTensorView v(t);
+  EXPECT_EQ(v.numel(), 6);
+  EXPECT_EQ(&v.shape(), &t.shape());
+  EXPECT_EQ(v.data(), t.data());
+  EXPECT_FLOAT_EQ(v[1], 9.0f);
+  EXPECT_EQ(v.Argmax(), 1);
+  EXPECT_FLOAT_EQ(v.Sum(), t.Sum());
+}
+
+TEST(TensorViewTest, SampleRowView) {
+  // The executor's difference check reads per-sample rows of batched
+  // outputs through views: pointer offset + borrowed sample shape.
+  const Tensor batched({3, 4}, std::vector<float>{0, 1, 2, 3,  //
+                                                  9, 8, 7, 6,  //
+                                                  5, 5, 9, 5});
+  const Shape sample_shape{4};
+  const ConstTensorView row1(batched.data() + 4, &sample_shape, 4);
+  EXPECT_EQ(row1.Argmax(), 0);
+  const ConstTensorView row2(batched.data() + 8, &sample_shape, 4);
+  EXPECT_EQ(row2.Argmax(), 2);
+}
+
+TEST(TensorViewTest, MutableViewWrites) {
+  Tensor t({4});
+  TensorView v(t);
+  v.Fill(2.5f);
+  v[3] = -1.0f;
+  EXPECT_FLOAT_EQ(t[0], 2.5f);
+  EXPECT_FLOAT_EQ(t[3], -1.0f);
+  const ConstTensorView cv = v;  // Mutable view converts to const view.
+  EXPECT_EQ(cv.data(), t.data());
+}
+
+// ---- Workspace ---------------------------------------------------------------------------
+
+TEST(WorkspaceTest, RewindReusesSlotsWithoutReallocating) {
+  Workspace ws;
+  Tensor* a = ws.Acquire({4, 4});
+  Tensor* b = ws.Acquire({2});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ws.slots(), 2u);
+  a->Fill(1.0f);
+  const float* storage = a->data();
+  ws.Rewind();
+  Tensor* a2 = ws.Acquire({4, 4});
+  EXPECT_EQ(a2, a);             // Same slot...
+  EXPECT_EQ(a2->data(), storage);  // ...same storage, no reallocation.
+  EXPECT_EQ(ws.slots(), 2u);
+}
+
+TEST(WorkspaceTest, SlotsShrinkAndGrowWithinCapacity) {
+  Workspace ws;
+  Tensor* big = ws.Acquire({8, 8});
+  const int64_t cap = big->Capacity();
+  ws.Rewind();
+  Tensor* small = ws.Acquire({3});
+  EXPECT_EQ(small->numel(), 3);
+  EXPECT_GE(small->Capacity(), cap);  // Storage retained across reshapes.
+  ws.Rewind();
+  EXPECT_EQ(ws.Acquire({8, 8})->numel(), 64);
+}
+
+TEST(WorkspaceTest, AcquireFlatKeepsElementCount) {
+  Workspace ws;
+  Tensor* t = ws.AcquireFlat(12);
+  EXPECT_EQ(t->numel(), 12);
+  EXPECT_EQ(t->ndim(), 1);
+  ws.Rewind();
+  EXPECT_EQ(ws.AcquireFlat(12), t);
+  EXPECT_EQ(ws.slots(), 1u);
 }
 
 }  // namespace

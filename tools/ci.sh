@@ -12,6 +12,11 @@
 #   shared coverage trackers, which is exactly the surface a data race
 #   would corrupt.
 #
+#   mode "release": build the steady-state execution-plan bench with
+#   CMAKE_BUILD_TYPE=Release and run it once as a smoke test. Asserts vanish
+#   in optimized builds; the bench's inline bit-identity checks (plan vs
+#   by-value execution) keep the zero-allocation path honest there.
+#
 # ctest writes a JUnit report to <build-dir>/ctest-junit.xml and a
 # slowest-first per-test timing table is printed after every run, so slow
 # tests are visible before they become the long pole.
@@ -33,11 +38,23 @@ if [ "$MODE" = "sanitize" ]; then
   CMAKE_EXTRA+=(-DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer")
 elif [ "$MODE" = "tsan" ]; then
   CMAKE_EXTRA+=(-DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer")
+elif [ "$MODE" = "release" ]; then
+  CMAKE_EXTRA+=(-DCMAKE_BUILD_TYPE=Release)
 fi
 
 echo "==> configure ($BUILD_DIR${MODE:+, $MODE})"
 # The guarded expansion keeps bash < 4.4 (set -u) happy when the array is empty.
 cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}
+
+if [ "$MODE" = "release" ]; then
+  echo "==> build (Release: plan bench only)"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_plan_steady_state
+  echo "==> smoke: plan steady-state bench (Release)"
+  DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
+    "$BUILD_DIR/bench_plan_steady_state"
+  echo "==> OK (release)"
+  exit 0
+fi
 
 echo "==> build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -88,6 +105,17 @@ DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
 echo "==> smoke: batched forward bench"
 DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
   "$BUILD_DIR/bench_batch_forward"
+
+echo "==> smoke: plan steady-state bench"
+DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
+  "$BUILD_DIR/bench_plan_steady_state"
+
+echo "==> baseline vs current comparison (informational)"
+if command -v python3 > /dev/null; then
+  python3 tools/compare_baselines.py bench/baselines "$BUILD_DIR/bench_artifacts" || true
+else
+  echo "python3 not found; skipping comparison"
+fi
 
 echo "==> smoke: corpus record + resume + replay"
 CORPUS_DIR="$BUILD_DIR/smoke_corpus"

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare checked-in bench baselines against freshly recorded artifacts.
+
+Usage: compare_baselines.py BASELINE_DIR CURRENT_DIR
+
+For every BASELINE_DIR/*.json with a same-named file in CURRENT_DIR, rows are
+matched positionally (both sides are emitted deterministically by the bench
+binaries) and every throughput field (*_per_sec) is compared. Rows whose
+current throughput is more than 10% below the baseline are flagged.
+
+Informational only: always exits 0. CI hosts vary wildly (the recorded
+baselines name their host_cores), so a flag here is a prompt to look, not a
+failure. Re-record baselines on the reference host with the bench binaries
+(each writes <artifact dir>/<bench>.json; copy into bench/baselines/).
+"""
+
+import json
+import os
+import sys
+
+REGRESSION_THRESHOLD = -0.10
+
+
+MEASUREMENT_FIELDS = ("seconds", "speedup", "mean_coverage", "tests")
+
+
+def row_key(row):
+    return "/".join(
+        str(row[k])
+        for k in sorted(row)
+        if not k.endswith("_per_sec") and k not in MEASUREMENT_FIELDS
+    )
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 0
+    baseline_dir, current_dir = sys.argv[1], sys.argv[2]
+    flagged = 0
+    compared = 0
+    lines = []
+    for name in sorted(os.listdir(baseline_dir)):
+        if not name.endswith(".json"):
+            continue
+        current_path = os.path.join(current_dir, name)
+        if not os.path.exists(current_path):
+            lines.append(f"  {name}: no current artifact (bench not run); skipped")
+            continue
+        try:
+            with open(os.path.join(baseline_dir, name)) as f:
+                base = json.load(f)
+            with open(current_path) as f:
+                cur = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            lines.append(f"  {name}: unreadable ({e}); skipped")
+            continue
+        base_cores = base.get("host_cores", "?")
+        cur_cores = cur.get("host_cores", "?")
+        lines.append(
+            f"  {name} (baseline host_cores={base_cores}, current={cur_cores}):"
+        )
+        # Match rows by key, not position: a bench that adds/reorders rows
+        # must not pair unrelated measurements.
+        current_rows = {row_key(r): r for r in cur.get("rows", [])}
+        for brow in base.get("rows", []):
+            crow = current_rows.get(row_key(brow))
+            if crow is None:
+                lines.append(f"    {row_key(brow):<40} not in current artifact; skipped")
+                continue
+            for field in sorted(brow):
+                if not field.endswith("_per_sec"):
+                    continue
+                bval, cval = brow.get(field), crow.get(field)
+                if not bval or not isinstance(cval, (int, float)):
+                    continue
+                delta = (cval - bval) / bval
+                compared += 1
+                mark = ""
+                if delta < REGRESSION_THRESHOLD:
+                    mark = "  <-- REGRESSION (>10% below baseline)"
+                    flagged += 1
+                lines.append(
+                    f"    {row_key(brow):<40} {field:<28} "
+                    f"{bval:>12.1f} -> {cval:>12.1f}  ({delta:+.1%}){mark}"
+                )
+    print("baseline vs current bench throughput:")
+    for line in lines:
+        print(line)
+    print(
+        f"{compared} measurements compared, {flagged} flagged "
+        f"(informational; hosts differ — see bench/baselines/)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

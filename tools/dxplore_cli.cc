@@ -31,6 +31,7 @@
 #include "src/constraints/constraint.h"
 #include "src/constraints/image_constraints.h"
 #include "src/constraints/malware_constraints.h"
+#include "src/core/executor.h"
 #include "src/core/objective.h"
 #include "src/core/seed_scheduler.h"
 #include "src/core/session.h"
@@ -80,6 +81,8 @@ std::string Join(const std::vector<std::string>& names) {
   --replay        re-execute the campaign in --corpus-dir and verify the
                   recorded results bit for bit (exit 0 ok, 3 diverged)
   --max-batches N stop this leg after N sync batches (resumable later)
+  --profile       print a per-phase wall-time table after the run (stack /
+                  forward / gradient / constraint / coverage)
   --list          print the model zoo and exit
   --list-metrics     print registered coverage metrics and exit
   --list-objectives  print registered objectives and exit
@@ -191,6 +194,7 @@ int Main(int argc, char** argv) {
   bool list = false;
   bool resume = false;
   bool replay = false;
+  bool profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -221,6 +225,7 @@ int Main(int argc, char** argv) {
     else if (arg == "--resume") resume = true;
     else if (arg == "--replay") replay = true;
     else if (arg == "--max-batches") max_batches = std::atoll(next());
+    else if (arg == "--profile") profile = true;
     else if (arg == "--list") list = true;
     else if (arg == "--list-metrics") {
       for (const std::string& name : CoverageMetricNames()) std::cout << name << "\n";
@@ -328,6 +333,7 @@ int Main(int argc, char** argv) {
   config.scheduler = scheduler_name;
   config.workers = workers;
   config.batch_size = batch_size;
+  config.profile_phases = profile;
   std::unique_ptr<Session> engine_ptr;
   try {
     engine_ptr = std::make_unique<Session>(ptrs, constraint.get(), config);
@@ -419,6 +425,24 @@ int Main(int argc, char** argv) {
                    TablePrinter::Percent(engine.metric(k).Coverage())});
   }
   std::cout << report.ToString();
+  if (profile) {
+    // Where the run's wall time went inside the batched executor — makes the
+    // execution plan's effect (and any regression) visible without a profiler.
+    const ExecutorProfile phases = engine.ExecutorPhases();
+    const double total = phases.TotalSeconds();
+    TablePrinter prof_table({"Phase", "Seconds", "Share"});
+    const auto add = [&](const char* name, double seconds) {
+      prof_table.AddRow({name, TablePrinter::Num(seconds, 3),
+                         TablePrinter::Percent(total > 0.0 ? seconds / total : 0.0)});
+    };
+    add("stack", phases.stack_seconds);
+    add("forward", phases.forward_seconds);
+    add("gradient", phases.gradient_seconds);
+    add("constraint", phases.constraint_seconds);
+    add("coverage", phases.coverage_seconds);
+    std::cout << "executor phases (" << phases.iterations << " batched iterations):\n"
+              << prof_table.ToString();
+  }
   if (!out_dir.empty()) {
     std::cout << "images written to " << out_dir << "/\n";
   }
