@@ -1,6 +1,7 @@
 // Batched vs per-sample forward throughput: Model::ForwardBatch against an
 // equivalent loop of Model::Forward calls, across batch sizes, on one
-// conv-heavy model (MNI_C1 / LeNet-1) and one dense-heavy model (PDF_C1).
+// conv-heavy model (MNI_C1 / LeNet-1), one dense-heavy model (PDF_C1), and
+// one out-of-paper registry domain's model (TAB_C1 / tabular fraud MLP).
 //
 // The dense batch kernel streams each weight row once for the whole batch
 // and breaks the per-sample serial accumulation chain into batch lanes, so
@@ -88,7 +89,7 @@ std::string ToJson(const std::vector<Row>& rows) {
   std::ostringstream out;
   out << "{\n"
       << "  \"bench\": \"batch_forward\",\n"
-      << "  \"models\": [\"MNI_C1\", \"PDF_C1\"],\n"
+      << "  \"models\": [\"MNI_C1\", \"PDF_C1\", \"TAB_C1\"],\n"
       << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"rows\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -112,7 +113,9 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   bool meets_target = true;
-  for (const char* name : {"MNI_C1", "PDF_C1"}) {
+  // One conv-heavy paper model, one dense-heavy paper model, and one
+  // out-of-paper registry domain (tabular) to pin the plug-in path's perf.
+  for (const char* name : {"MNI_C1", "PDF_C1", "TAB_C1"}) {
     const Model model = ModelZoo::Build(name, 7);
     for (const int batch : {1, 2, 4, 8, 16, 32}) {
       // Size the rep count so each point runs a few hundred milliseconds.

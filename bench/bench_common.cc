@@ -6,8 +6,7 @@
 #include <filesystem>
 #include <iostream>
 
-#include "src/constraints/image_constraints.h"
-#include "src/constraints/malware_constraints.h"
+#include "src/core/domain.h"
 #include "src/util/timer.h"
 
 namespace dx::bench {
@@ -41,63 +40,31 @@ void PrintHeader(const std::string& experiment, const std::string& description,
 }
 
 std::unique_ptr<Constraint> DefaultConstraint(Domain domain) {
-  switch (domain) {
-    case Domain::kMnist:
-    case Domain::kImageNet:
-    case Domain::kDriving:
-      return std::make_unique<LightingConstraint>();
-    case Domain::kPdf:
-      return std::make_unique<PdfConstraint>();
-    case Domain::kDrebin:
-      return std::make_unique<DrebinConstraint>();
-  }
-  throw std::invalid_argument("unknown domain");
+  return DefaultConstraint(DomainKey(domain));
 }
 
-DeepXploreConfig DefaultConfig(Domain domain) {
-  // Table 2's hyperparameter block, adapted where our substrate differs: the
-  // step for lighting moves every pixel by s/255-like amounts in the paper's
-  // 0-255 space; our pixels live in [0,1], so s scales down by 255.
-  DeepXploreConfig config;
-  // Coverage as in the reference implementation's generation loop: raw
-  // activations against t = 0 (per-layer scaling is used by the measurement
-  // experiments, Tables 5-7 and Figure 9, which set it explicitly).
-  config.coverage.threshold = 0.0f;
-  config.coverage.scale_per_layer = false;
-  switch (domain) {
-    case Domain::kMnist:
-      // The paper notes Table 2's values are "empirically chosen to maximize
-      // the rate of finding difference-inputs"; on our substrate MNIST needs
-      // a stronger push on the deviator (cf. Table 10, where the paper's
-      // MNIST runs are fastest at lambda1 = 3).
-      config.lambda1 = 2.0f;
-      config.lambda2 = 0.1f;
-      config.step = 10.0f / 255.0f;
-      break;
-    case Domain::kImageNet:
-    case Domain::kDriving:
-      config.lambda1 = 1.0f;
-      config.lambda2 = 0.1f;
-      config.step = 10.0f / 255.0f;
-      break;
-    case Domain::kPdf:
-      config.lambda1 = 2.0f;
-      config.lambda2 = 0.1f;
-      config.step = 0.1f;
-      break;
-    case Domain::kDrebin:
-      config.lambda1 = 1.0f;
-      config.lambda2 = 0.5f;
-      config.step = 1.0f;  // Discrete feature flips; Table 2 lists s = N/A.
-      break;
-  }
+std::unique_ptr<Constraint> DefaultConstraint(const std::string& domain_key) {
+  return MakeDomainConstraint(GetDomain(domain_key), "default");
+}
+
+DeepXploreConfig DefaultConfig(Domain domain) { return DefaultConfig(DomainKey(domain)); }
+
+DeepXploreConfig DefaultConfig(const std::string& domain_key) {
+  // The domain's Table 2 row lives in its DomainSpec (engine_defaults);
+  // benches run the paper's longer per-seed budget on top of it.
+  DeepXploreConfig config = GetDomain(domain_key).engine_defaults;
   config.max_iterations_per_seed = 100;
   return config;
 }
 
 SessionConfig DefaultSessionConfig(Domain domain, const std::string& metric, int workers) {
+  return DefaultSessionConfig(DomainKey(domain), metric, workers);
+}
+
+SessionConfig DefaultSessionConfig(const std::string& domain_key, const std::string& metric,
+                                   int workers) {
   SessionConfig config;
-  config.engine = DefaultConfig(domain);
+  config.engine = DefaultConfig(domain_key);
   config.metric = metric;
   config.workers = workers;
   // Fixed (worker-independent, so results stay identical across scaling
@@ -122,8 +89,10 @@ std::string HyperparamString(const DeepXploreConfig& config, Domain domain) {
   return out + " / " + l2 + " / " + s + " / 0";
 }
 
-std::vector<Tensor> SeedPool(Domain domain, int n) {
-  const Dataset& test = ModelZoo::TestSet(domain);
+std::vector<Tensor> SeedPool(Domain domain, int n) { return SeedPool(DomainKey(domain), n); }
+
+std::vector<Tensor> SeedPool(const std::string& domain_key, int n) {
+  const Dataset& test = ModelZoo::TestSet(domain_key);
   std::vector<Tensor> seeds;
   seeds.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {

@@ -32,22 +32,29 @@ BenchArgs ParseArgs(int argc, char** argv);
 void PrintHeader(const std::string& experiment, const std::string& description,
                  const BenchArgs& args);
 
-// Table 2's per-domain default constraint (lighting for the vision domains,
-// the feature rules for the malware domains).
+// The domain's default constraint, from its DomainSpec (lighting for the
+// vision domains, the feature rules for the malware domains, ...). The enum
+// overloads are the deprecated pre-registry spelling; both key any
+// registered domain through src/core/domain.h.
 std::unique_ptr<Constraint> DefaultConstraint(Domain domain);
+std::unique_ptr<Constraint> DefaultConstraint(const std::string& domain_key);
 
-// Table 2's per-domain hyperparameters (λ1, λ2, s, t).
+// Table 2's per-domain hyperparameters (λ1, λ2, s, t), from the DomainSpec.
 DeepXploreConfig DefaultConfig(Domain domain);
+DeepXploreConfig DefaultConfig(const std::string& domain_key);
 
 // Session wiring over the domain's Table 2 defaults: named coverage metric
 // and worker count, joint objective, round-robin scheduling.
 SessionConfig DefaultSessionConfig(Domain domain, const std::string& metric, int workers);
+SessionConfig DefaultSessionConfig(const std::string& domain_key, const std::string& metric,
+                                   int workers);
 
 // Human-readable hyperparameter string for table rows, e.g. "1 / 0.1 / 10 / 0".
 std::string HyperparamString(const DeepXploreConfig& config, Domain domain);
 
 // First n test-set inputs of the domain (deterministic seed pool).
 std::vector<Tensor> SeedPool(Domain domain, int n);
+std::vector<Tensor> SeedPool(const std::string& domain_key, int n);
 
 // Raw pointers into a trained-model vector.
 std::vector<Model*> Pointers(std::vector<Model>& models);

@@ -33,9 +33,13 @@ int Run() {
     const Model model = ModelZoo::Trained(info.name);
     const Dataset& test = ModelZoo::TestSet(info.domain);
     const float acc = Trainer::PaperAccuracy(model, test);
+    // Registered out-of-paper domains (speech, tabular, ...) appear in the
+    // zoo but have no Table-1 counterpart to quote.
+    const auto paper = PaperAccuracies().find(info.name);
     table.AddRow({DomainName(info.domain), info.name, info.arch, info.paper_arch,
                   std::to_string(model.TotalNeurons()), std::to_string(model.NumParams()),
-                  PaperAccuracies().at(info.name), TablePrinter::Percent(acc, 2)});
+                  paper != PaperAccuracies().end() ? paper->second : "n/a (not in paper)",
+                  TablePrinter::Percent(acc, 2)});
   }
   std::cout << table.ToString()
             << "** top-5 accuracy in the paper (pretrained ImageNet nets)\n"

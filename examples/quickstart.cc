@@ -1,10 +1,12 @@
 // Quickstart: the smallest end-to-end test-generation session.
 //
-// Builds/loads three LeNet-family digit classifiers, wires a Session from
-// named plug-ins (coverage metric, objective, seed scheduler), runs the
-// joint optimization under the lighting constraint on the batched executor,
-// and prints the first difference-inducing input it finds, with coverage
-// statistics.
+// Looks up the "mnist" domain in the DomainSpec registry (every domain —
+// dataset, model trio, constraints, Table-2 defaults — is a string-keyed
+// plug-in; `dxplore --list-domains` enumerates them), loads/trains its three
+// models, wires a Session from named plug-ins (coverage metric, objective,
+// seed scheduler), runs the joint optimization under the domain's default
+// constraint on the batched executor, and prints the first
+// difference-inducing input it finds, with coverage statistics.
 //
 //   $ ./quickstart
 //
@@ -14,7 +16,7 @@
 //  code written against the paper-shaped API.)
 #include <iostream>
 
-#include "src/constraints/image_constraints.h"
+#include "src/core/domain.h"
 #include "src/core/session.h"
 #include "src/models/zoo.h"
 #include "src/util/image_io.h"
@@ -22,24 +24,28 @@
 int main() {
   using namespace dx;
 
-  // 1. Three independently trained DNNs for the same task (the oracles).
-  std::vector<Model> models = ModelZoo::TrainedDomain(Domain::kMnist);
+  // 1. The domain bundle: swap "mnist" for any registered key ("speech",
+  //    "tabular", ...) and the rest of the program works unchanged.
+  const DomainSpec& domain = GetDomain("mnist");
+
+  // 2. Three independently trained DNNs for the same task (the oracles).
+  std::vector<Model> models = ModelZoo::TrainedDomain(domain.key);
   std::vector<Model*> ptrs;
   for (Model& m : models) {
     ptrs.push_back(&m);
   }
   std::cout << models[0].Summary();
 
-  // 2. A domain constraint: only brighten/darken the whole image.
-  LightingConstraint constraint;
+  // 3. The domain's default constraint — for MNIST: only brighten/darken the
+  //    whole image. Named variants ("occl", "blackout", ...) come from the
+  //    same spec: MakeDomainConstraint(domain, "occl").
+  const auto constraint = MakeDomainConstraint(domain, "default");
 
-  // 3. The session: Algorithm 1's hyperparameters plus the pluggable
+  // 4. The session: the domain's Table-2 hyperparameters plus the pluggable
   //    components. Swap config.metric to "kmultisection" or "topk", or
   //    config.workers to > 1, without touching the rest of the program.
   SessionConfig config;
-  config.engine.lambda1 = 2.0f;         // Push the deviator's confidence down.
-  config.engine.lambda2 = 0.1f;         // ...while activating uncovered neurons.
-  config.engine.step = 10.0f / 255.0f;  // Gradient-ascent step (paper's s = 10).
+  config.engine = domain.engine_defaults;   // λ1, λ2, s from Table 2.
   config.engine.max_iterations_per_seed = 150;
   config.metric = "neuron";        // or "kmultisection", "topk" (--list-metrics)
   config.objective = "joint";      // or "differential", "fgsm", "random"
@@ -51,12 +57,12 @@ int main() {
   // Seeds scheduled per sync point. The whole sync batch runs before Run
   // checks max_tests, so keep it small when stopping at the first hit.
   config.sync_interval = 8;
-  Session session(ptrs, &constraint, config);
+  Session session(ptrs, constraint.get(), config);
 
-  // 4. Seed it with unlabeled test inputs and collect difference-inducing
+  // 5. Seed it with unlabeled test inputs and collect difference-inducing
   //    inputs — no manual labels anywhere. Run() drives the scheduler's seed
   //    stream through the batched executor until a bound is hit.
-  const Dataset& test = ModelZoo::TestSet(Domain::kMnist);
+  const Dataset& test = ModelZoo::TestSet(domain.key);
   RunOptions options;
   options.max_tests = 1;  // Stop at the first difference-inducing input.
   const RunStats stats = session.Run(test.inputs, options);

@@ -1,0 +1,216 @@
+#include "src/core/domain.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/registry.h"
+
+namespace dx {
+namespace domains {
+
+// Linker anchors for the built-in domain packs (see the header's
+// registration-idiom note): each pack lives with its content and registers
+// its specs through the public RegisterDomain; referencing one named symbol
+// per pack here is what forces the archive member to link. Packs must not
+// perform registry *lookups* during registration (EnsureBuiltins holds the
+// once-flag).
+void RegisterPaperDomains();   // src/models/zoo.cc — the five Table-1 domains.
+void RegisterSpeechDomain();   // src/domains/speech_domain.cc
+void RegisterTabularDomain();  // src/domains/tabular_domain.cc
+
+}  // namespace domains
+
+namespace {
+
+using SpecPtr = std::shared_ptr<const DomainSpec>;
+
+NamedRegistry<SpecPtr>& RawRegistry() {
+  static NamedRegistry<SpecPtr> registry({});
+  return registry;
+}
+
+// True on the thread currently running the built-in pack registrations, so
+// their RegisterDomain calls don't re-enter the call_once below.
+thread_local bool g_registering_builtins = false;
+
+void EnsureBuiltins() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    g_registering_builtins = true;
+    domains::RegisterPaperDomains();
+    domains::RegisterSpeechDomain();
+    domains::RegisterTabularDomain();
+    g_registering_builtins = false;
+  });
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    out += (out.empty() ? "" : " | ") + name;
+  }
+  return out;
+}
+
+const DomainConstraintSpec* FindConstraintSpec(const DomainSpec& spec,
+                                               const std::string& name) {
+  const std::string& wanted =
+      (name.empty() || name == "default") ? spec.default_constraint : name;
+  for (const DomainConstraintSpec& c : spec.constraints) {
+    if (c.name == wanted) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] void ThrowUnknownConstraint(const DomainSpec& spec, const std::string& name) {
+  std::vector<std::string> valid = {"default"};
+  for (const DomainConstraintSpec& c : spec.constraints) {
+    valid.push_back(c.name);
+  }
+  throw std::invalid_argument("unknown constraint '" + name + "' for domain '" +
+                              spec.key + "'; valid: " + JoinNames(valid));
+}
+
+}  // namespace
+
+void RegisterDomain(DomainSpec spec) {
+  // Built-ins register first, so an out-of-tree spec registered under a
+  // built-in key before any lookup replaces the built-in — not the reverse.
+  if (!g_registering_builtins) {
+    EnsureBuiltins();
+  }
+  if (spec.key.empty()) {
+    throw std::invalid_argument("DomainSpec: empty key");
+  }
+  if (!spec.make_dataset) {
+    throw std::invalid_argument("DomainSpec '" + spec.key + "': no dataset builder");
+  }
+  if (spec.models.size() < 2) {
+    throw std::invalid_argument("DomainSpec '" + spec.key +
+                                "': differential testing needs >= 2 models");
+  }
+  for (size_t i = 0; i < spec.models.size(); ++i) {
+    const DomainModelSpec& m = spec.models[i];
+    if (m.name.empty() || !m.build) {
+      throw std::invalid_argument("DomainSpec '" + spec.key +
+                                  "': every model needs a name and a builder");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (spec.models[j].name == m.name) {
+        throw std::invalid_argument("DomainSpec '" + spec.key + "': duplicate model name '" +
+                                    m.name + "'");
+      }
+    }
+  }
+  // Model names resolve across domains (FindModel, ModelZoo::Build/Trained
+  // and its disk-cache keys), so they must be globally unique. Skip the
+  // same-key spec: re-registering a domain replaces its models wholesale.
+  for (const std::string& other_key : RawRegistry().Names()) {
+    if (other_key == spec.key) {
+      continue;
+    }
+    const SpecPtr other = RawRegistry().Get(other_key, "domain");
+    for (const DomainModelSpec& theirs : other->models) {
+      for (const DomainModelSpec& ours : spec.models) {
+        if (ours.name == theirs.name) {
+          throw std::invalid_argument("DomainSpec '" + spec.key + "': model name '" +
+                                      ours.name + "' is already registered by domain '" +
+                                      other_key + "'");
+        }
+      }
+    }
+  }
+  if (FindConstraintSpec(spec, "default") == nullptr) {
+    throw std::invalid_argument("DomainSpec '" + spec.key + "': default constraint '" +
+                                spec.default_constraint +
+                                "' is not among its constraint variants");
+  }
+  if (spec.display_name.empty()) {
+    spec.display_name = spec.key;
+  }
+  // Retired specs are kept alive forever: a reference handed out by
+  // GetDomain must not dangle when a domain is re-registered (tests and
+  // long-lived sessions hold them across registry churn).
+  static std::vector<SpecPtr>* retired = new std::vector<SpecPtr>();
+  static std::mutex retired_mutex;
+  auto ptr = std::make_shared<const DomainSpec>(std::move(spec));
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex);
+    retired->push_back(ptr);
+  }
+  // Read the key before the argument list can move `ptr` away (argument
+  // evaluation order is unspecified).
+  const std::string key = ptr->key;
+  RawRegistry().Register(key, std::move(ptr));
+}
+
+bool DomainRegistered(const std::string& key) {
+  EnsureBuiltins();
+  return RawRegistry().Contains(key);
+}
+
+std::shared_ptr<const DomainSpec> FindDomain(const std::string& key) {
+  EnsureBuiltins();
+  if (!RawRegistry().Contains(key)) {
+    return nullptr;
+  }
+  return RawRegistry().Get(key, "domain");
+}
+
+const DomainSpec& GetDomain(const std::string& key) {
+  EnsureBuiltins();
+  if (!RawRegistry().Contains(key)) {
+    throw std::invalid_argument("unknown domain '" + key +
+                                "'; registered: " + JoinNames(RawRegistry().Names()));
+  }
+  return *RawRegistry().Get(key, "domain");
+}
+
+std::vector<std::string> DomainKeys() {
+  EnsureBuiltins();
+  return RawRegistry().Names();
+}
+
+std::vector<std::string> DomainConstraintNames(const DomainSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(spec.constraints.size());
+  for (const DomainConstraintSpec& c : spec.constraints) {
+    names.push_back(c.name);
+  }
+  return names;
+}
+
+std::unique_ptr<Constraint> MakeDomainConstraint(const DomainSpec& spec,
+                                                 const std::string& name) {
+  const DomainConstraintSpec* c = FindConstraintSpec(spec, name);
+  if (c == nullptr) {
+    ThrowUnknownConstraint(spec, name);
+  }
+  return c->make();
+}
+
+const std::string& ResolveDomainConstraint(const DomainSpec& spec,
+                                           const std::string& name) {
+  const DomainConstraintSpec* c = FindConstraintSpec(spec, name);
+  if (c == nullptr) {
+    ThrowUnknownConstraint(spec, name);
+  }
+  return c->name;
+}
+
+DomainTraining EffectiveTraining(const DomainSpec& spec) {
+  DomainTraining t = spec.training;
+  const char* env = std::getenv("DEEPXPLORE_FAST");
+  if (env != nullptr && env[0] == '1') {
+    t.train_samples /= std::max(1, t.fast_train_divisor);
+    t.test_samples /= std::max(1, t.fast_test_divisor);
+  }
+  return t;
+}
+
+}  // namespace dx

@@ -1,0 +1,135 @@
+// DomainSpec: the fourth string-keyed plug-in axis of the engine.
+//
+// DeepXplore's premise is cross-domain generality: a "domain" bundles a
+// dataset, a trio (or more) of independently trained DNN architectures, the
+// domain's input constraints, and the Table-2 hyperparameter defaults. The
+// paper ships five such bundles (MNIST, ImageNet, Driving, VirusTotal,
+// Drebin); this registry makes the bundle itself pluggable, exactly like
+// coverage metrics / objectives / seed schedulers: new workloads register a
+// DomainSpec and the engine, CLI, corpus, and test harnesses pick them up by
+// key — the engine never enumerates domains.
+//
+// Registration idiom (S2E-style: the workload declares itself):
+//
+//   void RegisterMyDomain() {          // or any code run before first lookup
+//     DomainSpec spec;
+//     spec.key = "mydomain";
+//     ...
+//     RegisterDomain(std::move(spec));
+//   }
+//
+// Built-in domains live with their content (the five paper domains in
+// src/models/zoo.cc, the out-of-paper domains in src/domains/) and are
+// anchored from domain.cc's lazy initializer — a static archive drops
+// registration-only object files whose symbols nobody references, so each
+// linked-in domain pack needs exactly one named anchor there. Out-of-tree
+// code just calls RegisterDomain before its first lookup.
+//
+// tests/domain_conformance_test.cc runs a certification suite over every
+// registered domain (dataset determinism, model forward/backward, constraint
+// idempotence, plan bit-identity) — a new domain that passes it inherits the
+// batched executor, ExecutionPlan, corpus/replay, and the golden scenario
+// matrix for free.
+#ifndef DX_SRC_CORE_DOMAIN_H_
+#define DX_SRC_CORE_DOMAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+#include "src/core/session.h"
+#include "src/data/dataset.h"
+#include "src/nn/model.h"
+
+namespace dx {
+
+// One zoo architecture of a domain (a row of the paper's Table 1).
+struct DomainModelSpec {
+  std::string name;        // Zoo key, e.g. "MNI_C1"; globally unique.
+  std::string arch;        // Human label, e.g. "LeNet-1".
+  std::string paper_arch;  // Provenance, e.g. "LeNet-1, LeCun et al.".
+  // Freshly initialized (untrained) model from a weight seed.
+  std::function<Model(uint64_t seed)> build;
+  // Per-model learning-rate override; 0 uses DomainTraining::learning_rate.
+  float learning_rate = 0.0f;
+};
+
+// How ModelZoo trains and caches this domain's models. The sample counts are
+// full-scale; DEEPXPLORE_FAST=1 divides them by the fast divisors at query
+// time (EffectiveTraining), so fast mode stays a runtime decision.
+struct DomainTraining {
+  int train_samples = 1000;
+  int test_samples = 400;
+  int epochs = 5;
+  float learning_rate = 3e-3f;
+  // Dataset generator seed; the test set uses data_seed + 1 (disjoint draw).
+  uint64_t data_seed = 1;
+  int fast_train_divisor = 4;
+  int fast_test_divisor = 4;
+};
+
+// One named constraint variant of a domain (CLI --constraint values).
+struct DomainConstraintSpec {
+  std::string name;  // e.g. "light", "occl", "box"; "default" is reserved.
+  std::function<std::unique_ptr<Constraint>()> make;
+};
+
+struct DomainSpec {
+  std::string key;           // Registry key and CLI --domain value, e.g. "mnist".
+  std::string display_name;  // Paper-style label, e.g. "MNIST"; also names goldens.
+  std::string description;   // One line for --list-domains.
+  // Deterministic sample generator: (n, seed) -> n labeled samples. Train and
+  // test sets are drawn from it via DomainTraining's counts and seeds.
+  std::function<Dataset(int n, uint64_t seed)> make_dataset;
+  DomainTraining training;
+  std::vector<DomainModelSpec> models;  // >= 2 (differential testing needs a vote).
+  std::vector<DomainConstraintSpec> constraints;
+  std::string default_constraint;  // Must name an entry of `constraints`.
+  // Table-2 row: the domain's λ1 / λ2 / s / coverage defaults.
+  EngineConfig engine_defaults;
+};
+
+// Registers (or replaces) a domain under spec.key. Validates the spec (key,
+// dataset builder, >= 2 models with builders, default constraint resolvable);
+// throws std::invalid_argument on a malformed spec.
+void RegisterDomain(DomainSpec spec);
+
+// True when `key` is registered.
+bool DomainRegistered(const std::string& key);
+
+// Spec registered under `key`, or nullptr. The pointer stays valid for the
+// process lifetime (re-registration retires the old spec without freeing it).
+std::shared_ptr<const DomainSpec> FindDomain(const std::string& key);
+
+// Like FindDomain but throws std::invalid_argument
+// ("unknown domain 'X'; registered: a | b | ...") for unknown keys — the
+// message every lookup path (CLI flags, corpus manifests) surfaces verbatim.
+const DomainSpec& GetDomain(const std::string& key);
+
+// Registered domain keys, sorted.
+std::vector<std::string> DomainKeys();
+
+// The spec's constraint variant names, in registration order.
+std::vector<std::string> DomainConstraintNames(const DomainSpec& spec);
+
+// Builds the named constraint variant; "default" (or "") resolves to
+// spec.default_constraint. Throws std::invalid_argument
+// ("unknown constraint 'X' for domain 'Y'; valid: default | ...") otherwise.
+std::unique_ptr<Constraint> MakeDomainConstraint(const DomainSpec& spec,
+                                                 const std::string& name);
+
+// Canonical registry key of a constraint name ("default"/"" resolve to
+// spec.default_constraint); throws like MakeDomainConstraint. This is what
+// corpus manifests should record, so replay never depends on CLI aliases.
+const std::string& ResolveDomainConstraint(const DomainSpec& spec,
+                                           const std::string& name);
+
+// spec.training with DEEPXPLORE_FAST=1 divisors applied (read at call time).
+DomainTraining EffectiveTraining(const DomainSpec& spec);
+
+}  // namespace dx
+
+#endif  // DX_SRC_CORE_DOMAIN_H_

@@ -1,0 +1,37 @@
+// Keyword-spotting substitute: procedural 1-D audio-like waveforms.
+//
+// An out-of-paper domain (the paper's five are all images or static feature
+// vectors): each of the eight keyword classes is a fixed "formant recipe" —
+// two sinusoid partials with class-specific frequencies and mix, under a
+// class-specific amplitude envelope — rendered with per-sample random phase,
+// pitch jitter, gain, and additive noise. Samples are single-channel
+// waveforms of kSpeechWaveformLength values in [0, 1] (0.5 = silence),
+// shaped {1, 1, T} so the Conv2D/constraint machinery treats them as
+// height-1 images and 1xk kernels act as true 1-D convolutions.
+#ifndef DX_SRC_DATA_SPEECH_COMMANDS_H_
+#define DX_SRC_DATA_SPEECH_COMMANDS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace dx {
+
+class Rng;
+
+inline constexpr int kSpeechWaveformLength = 128;
+inline constexpr int kSpeechKeywords = 8;
+
+// Keyword label of a class ("yes", "no", ...).
+const std::string& SpeechKeywordName(int label);
+
+// n samples with uniformly distributed labels, CHW inputs {1, 1, 128}.
+Dataset MakeSyntheticSpeech(int n, uint64_t seed);
+
+// Renders a single keyword utterance (used by tests and galleries).
+Tensor RenderSpeechWaveform(int label, Rng& rng);
+
+}  // namespace dx
+
+#endif  // DX_SRC_DATA_SPEECH_COMMANDS_H_

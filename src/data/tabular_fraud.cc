@@ -1,0 +1,121 @@
+#include "src/data/tabular_fraud.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace dx {
+namespace {
+
+std::vector<TabularFeatureSpec> BuildSpecs() {
+  std::vector<TabularFeatureSpec> specs;
+  specs.reserve(kTabularFeatureCount);
+  // Transaction descriptors: what / when / where — under attacker control.
+  specs.push_back({"amount", 0.0f, 5000.0f, true});
+  specs.push_back({"hour_of_day", 0.0f, 24.0f, true});
+  specs.push_back({"merchant_risk", 0.0f, 1.0f, true});
+  specs.push_back({"merchant_distance_km", 0.0f, 2000.0f, true});
+  specs.push_back({"is_online", 0.0f, 1.0f, true});
+  specs.push_back({"basket_items", 1.0f, 50.0f, true});
+  specs.push_back({"currency_risk", 0.0f, 1.0f, true});
+  // Short-horizon behavior counters — influenced by the attacker's activity.
+  specs.push_back({"tx_last_1h", 0.0f, 20.0f, true});
+  specs.push_back({"tx_last_24h", 0.0f, 60.0f, true});
+  specs.push_back({"amount_last_24h", 0.0f, 10000.0f, true});
+  specs.push_back({"declined_last_24h", 0.0f, 10.0f, true});
+  specs.push_back({"new_device", 0.0f, 1.0f, true});
+  // Account identity and history — frozen: no transaction changes these.
+  specs.push_back({"account_age_days", 0.0f, 3650.0f, false});
+  specs.push_back({"avg_monthly_spend", 0.0f, 8000.0f, false});
+  specs.push_back({"home_merchant_affinity", 0.0f, 1.0f, false});
+  specs.push_back({"credit_limit", 100.0f, 20000.0f, false});
+  specs.push_back({"chargeback_history", 0.0f, 5.0f, false});
+  // Generic behavioral aggregates fill out the 32-feature vector; every
+  // third one is frozen (bank-side scores the attacker cannot touch).
+  const std::array<const char*, 2> prefixes = {"spend_ratio_", "geo_score_"};
+  int i = 0;
+  while (static_cast<int>(specs.size()) < kTabularFeatureCount) {
+    const char* prefix = prefixes[static_cast<size_t>(i % 2)];
+    const bool modifiable = i % 3 != 2;
+    specs.push_back({std::string(prefix) + std::to_string(i), 0.0f, 10.0f, modifiable});
+    ++i;
+  }
+  return specs;
+}
+
+const TabularFeatureSpec& SpecAt(int feature) {
+  const auto& specs = TabularFeatureSpecs();
+  if (feature < 0 || feature >= kTabularFeatureCount) {
+    throw std::out_of_range("tabular feature index out of range");
+  }
+  return specs[static_cast<size_t>(feature)];
+}
+
+// Truncated-normal raw draw for a feature.
+float DrawRaw(Rng& rng, const TabularFeatureSpec& spec, float mean_frac, float stddev_frac) {
+  const float span = spec.max_value - spec.min_value;
+  float raw = spec.min_value + span * mean_frac +
+              static_cast<float>(rng.Normal(0.0, stddev_frac)) * span;
+  return std::clamp(raw, spec.min_value, spec.max_value);
+}
+
+}  // namespace
+
+const std::vector<TabularFeatureSpec>& TabularFeatureSpecs() {
+  static const std::vector<TabularFeatureSpec> specs = BuildSpecs();
+  return specs;
+}
+
+float TabularNormalize(int feature, float raw) {
+  const TabularFeatureSpec& spec = SpecAt(feature);
+  return (raw - spec.min_value) / (spec.max_value - spec.min_value);
+}
+
+float TabularRawValue(int feature, float normalized) {
+  const TabularFeatureSpec& spec = SpecAt(feature);
+  const float raw = spec.min_value + normalized * (spec.max_value - spec.min_value);
+  return std::clamp(raw, spec.min_value, spec.max_value);
+}
+
+Dataset MakeSyntheticTabular(int n, uint64_t seed, double fraud_fraction) {
+  Rng rng(seed);
+  const auto& specs = TabularFeatureSpecs();
+  Dataset ds{"tabular", {kTabularFeatureCount}, 2, {}, {}};
+  ds.inputs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const bool fraud = rng.NextDouble() < fraud_fraction;
+    Tensor x({kTabularFeatureCount});
+    for (int f = 0; f < kTabularFeatureCount; ++f) {
+      const TabularFeatureSpec& spec = specs[static_cast<size_t>(f)];
+      float mean_frac = 0.35f;
+      float stddev_frac = 0.15f;
+      // Class-separating features, mirroring card-fraud statistics: large
+      // odd-hour transactions through risky distant merchants from fresh
+      // devices on young accounts with thin history.
+      if (spec.name == "amount" || spec.name == "merchant_risk" ||
+          spec.name == "merchant_distance_km" || spec.name == "currency_risk") {
+        mean_frac = fraud ? 0.65f : 0.15f;
+      } else if (spec.name == "hour_of_day") {
+        // Fraud clusters at night (early hours), legit mid-day.
+        mean_frac = fraud ? 0.12f : 0.55f;
+      } else if (spec.name == "tx_last_1h" || spec.name == "declined_last_24h" ||
+                 spec.name == "new_device" || spec.name == "is_online") {
+        mean_frac = fraud ? 0.60f : 0.10f;
+        stddev_frac = 0.12f;
+      } else if (spec.name == "account_age_days" || spec.name == "avg_monthly_spend" ||
+                 spec.name == "home_merchant_affinity") {
+        mean_frac = fraud ? 0.12f : 0.55f;
+      }
+      const float raw = DrawRaw(rng, spec, mean_frac, stddev_frac);
+      x[f] = TabularNormalize(f, raw);
+    }
+    ds.Add(std::move(x), fraud ? static_cast<float>(kTabularFraudClass)
+                               : static_cast<float>(kTabularLegitClass));
+  }
+  return ds;
+}
+
+}  // namespace dx

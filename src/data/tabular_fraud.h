@@ -1,0 +1,49 @@
+// Tabular fraud-detection substitute: per-transaction feature vectors.
+//
+// An out-of-paper domain exercising the dense-stack path: each sample is a
+// card-transaction record of kTabularFeatureCount numeric features (amount,
+// time-of-day, merchant risk, velocity counters, account tenure, ...),
+// normalized to [0, 1] per feature. Fraud and legitimate transactions are
+// drawn from class-conditional distributions (fraud: high amounts at odd
+// hours through risky merchants on young accounts), so small MLPs separate
+// the classes with high accuracy.
+//
+// Each feature carries a box spec — [min, max] bounds plus a mutability
+// flag — consumed by the domain's FeatureBoxConstraint: an attacker can
+// change what they buy, where, and when, but not account identity/tenure.
+#ifndef DX_SRC_DATA_TABULAR_FRAUD_H_
+#define DX_SRC_DATA_TABULAR_FRAUD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace dx {
+
+inline constexpr int kTabularFeatureCount = 32;
+inline constexpr int kTabularLegitClass = 0;
+inline constexpr int kTabularFraudClass = 1;
+
+struct TabularFeatureSpec {
+  std::string name;
+  float min_value;  // Raw units.
+  float max_value;  // Raw units.
+  bool modifiable;  // May the generator change this feature at all?
+};
+
+// The full feature table (stable across calls).
+const std::vector<TabularFeatureSpec>& TabularFeatureSpecs();
+
+// Raw <-> normalized conversions for one feature.
+float TabularNormalize(int feature, float raw);
+float TabularRawValue(int feature, float normalized);
+
+// n samples, inputs {32} normalized to [0, 1], labels 0 = legitimate /
+// 1 = fraud.
+Dataset MakeSyntheticTabular(int n, uint64_t seed, double fraud_fraction = 0.4);
+
+}  // namespace dx
+
+#endif  // DX_SRC_DATA_TABULAR_FRAUD_H_

@@ -1,0 +1,92 @@
+// The "speech" domain: 1-D conv keyword spotting — the first out-of-paper
+// workload, registered purely through the DomainSpec registry
+// (src/core/domain.h). Nothing in the engine knows it exists: the batched
+// executor, ExecutionPlan, corpus/replay, golden scenario matrix, and the
+// conformance suite all pick it up from the registry.
+//
+// Waveforms are {1, 1, T} height-1 images (src/data/speech_commands.h), so
+// Conv2D with 1xk kernels is a true 1-D convolution and the generic image
+// constraints apply: "gain" moves every sample uniformly (volume change),
+// "segment" perturbs one contiguous time window (transient noise burst).
+#include <memory>
+#include <string>
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/image_constraints.h"
+#include "src/core/domain.h"
+#include "src/data/speech_commands.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/flatten.h"
+#include "src/nn/softmax_layer.h"
+#include "src/util/rng.h"
+
+namespace dx::domains {
+namespace {
+
+// Three architecturally distinct conv1d stacks (strided 1xk kernels
+// downsample time; no pooling needed at height 1).
+Model BuildSpeechConv(const std::string& name, int variant, uint64_t seed) {
+  Rng rng(seed);
+  Model m(name, {1, 1, kSpeechWaveformLength});
+  if (variant == 1) {
+    // Small two-stage stack: 128 -> 62 -> 29 frames.
+    m.Emplace<Conv2D>(1, 8, 1, 5, 2, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Conv2D>(8, 16, 1, 5, 2, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Flatten>();
+    m.Emplace<Dense>(16 * 29, 32, Activation::kRelu).InitParams(rng);
+    m.Emplace<Dense>(32, kSpeechKeywords).InitParams(rng);
+  } else if (variant == 2) {
+    // Deeper three-stage stack: 128 -> 61 -> 29 -> 14 frames.
+    m.Emplace<Conv2D>(1, 8, 1, 7, 2, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Conv2D>(8, 16, 1, 5, 2, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Conv2D>(16, 24, 1, 3, 2, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Flatten>();
+    m.Emplace<Dense>(24 * 14, 48, Activation::kRelu).InitParams(rng);
+    m.Emplace<Dense>(48, kSpeechKeywords).InitParams(rng);
+  } else {
+    // Wide coarse-stride stack: 128 -> 40 -> 18 frames.
+    m.Emplace<Conv2D>(1, 12, 1, 9, 3, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Conv2D>(12, 20, 1, 5, 2, 0, Activation::kRelu).InitParams(rng);
+    m.Emplace<Flatten>();
+    m.Emplace<Dense>(20 * 18, 64, Activation::kRelu).InitParams(rng);
+    m.Emplace<Dense>(64, kSpeechKeywords).InitParams(rng);
+  }
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+}  // namespace
+
+void RegisterSpeechDomain() {
+  DomainSpec spec;
+  spec.key = "speech";
+  spec.display_name = "Speech";
+  spec.description = "1-D keyword spotting (synthetic waveforms); conv1d stacks";
+  spec.make_dataset = [](int n, uint64_t seed) { return MakeSyntheticSpeech(n, seed); };
+  spec.training = {1500, 500, 6, 3e-3f, 606, /*fast_train=*/4, /*fast_test=*/4};
+  spec.models = {
+      {"SPC_C1", "Conv1D-S", "2x conv1d + MLP head",
+       [](uint64_t s) { return BuildSpeechConv("SPC_C1", 1, s); }},
+      {"SPC_C2", "Conv1D-D", "3x conv1d + MLP head",
+       [](uint64_t s) { return BuildSpeechConv("SPC_C2", 2, s); }},
+      {"SPC_C3", "Conv1D-W", "wide conv1d + MLP head",
+       [](uint64_t s) { return BuildSpeechConv("SPC_C3", 3, s); }},
+  };
+  spec.constraints = {
+      // Uniform gain change: every sample moves by the same signed amount.
+      {"gain", [] { return std::make_unique<LightingConstraint>(); }},
+      // One contiguous 16-frame window (a transient burst), placed where the
+      // gradient mass is largest — OcclusionConstraint at height 1 is a 1-D
+      // window constraint.
+      {"segment", [] { return std::make_unique<OcclusionConstraint>(1, 16); }},
+      {"none", [] { return std::make_unique<UnconstrainedImage>(); }},
+  };
+  spec.default_constraint = "gain";
+  spec.engine_defaults.coverage.scale_per_layer = false;
+  spec.engine_defaults.lambda1 = 1.0f;
+  spec.engine_defaults.step = 10.0f / 255.0f;
+  RegisterDomain(std::move(spec));
+}
+
+}  // namespace dx::domains

@@ -1,0 +1,75 @@
+// The "tabular" domain: card-fraud detection over flat feature vectors —
+// the second out-of-paper workload, registered purely through the DomainSpec
+// registry (src/core/domain.h). Its default constraint is a per-feature box
+// (src/constraints/tabular_constraints.h) parameterized from the feature
+// table: transaction descriptors may move inside their bounds, account
+// identity/history features are frozen.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/tabular_constraints.h"
+#include "src/core/domain.h"
+#include "src/data/tabular_fraud.h"
+#include "src/nn/dense.h"
+#include "src/nn/softmax_layer.h"
+#include "src/util/rng.h"
+
+namespace dx::domains {
+namespace {
+
+Model BuildTabularMlp(const std::string& name, const std::vector<int>& hidden,
+                      uint64_t seed) {
+  Rng rng(seed);
+  Model m(name, {kTabularFeatureCount});
+  int in = kTabularFeatureCount;
+  for (const int h : hidden) {
+    m.Emplace<Dense>(in, h, Activation::kRelu).InitParams(rng);
+    in = h;
+  }
+  m.Emplace<Dense>(in, 2).InitParams(rng);
+  m.Emplace<SoftmaxLayer>();
+  return m;
+}
+
+// One FeatureBox per feature, from the dataset's feature table: frozen
+// features cannot move, the rest stay inside their normalized [0, 1] box.
+std::unique_ptr<Constraint> MakeTabularBox() {
+  std::vector<FeatureBox> boxes;
+  boxes.reserve(TabularFeatureSpecs().size());
+  for (const TabularFeatureSpec& spec : TabularFeatureSpecs()) {
+    boxes.push_back({0.0f, 1.0f, !spec.modifiable});
+  }
+  return std::make_unique<FeatureBoxConstraint>(std::move(boxes), "tabular-box");
+}
+
+}  // namespace
+
+void RegisterTabularDomain() {
+  DomainSpec spec;
+  spec.key = "tabular";
+  spec.display_name = "Tabular";
+  spec.description = "card-fraud detection (synthetic transactions); dense stacks";
+  spec.make_dataset = [](int n, uint64_t seed) { return MakeSyntheticTabular(n, seed); };
+  spec.training = {2500, 800, 8, 1e-3f, 707, /*fast_train=*/4, /*fast_test=*/4};
+  spec.models = {
+      {"TAB_C1", "<64, 64>", "2x64 MLP",
+       [](uint64_t s) { return BuildTabularMlp("TAB_C1", {64, 64}, s); }},
+      {"TAB_C2", "<32, 32, 32>", "3x32 MLP",
+       [](uint64_t s) { return BuildTabularMlp("TAB_C2", {32, 32, 32}, s); }},
+      {"TAB_C3", "<128, 16>", "128-16 MLP",
+       [](uint64_t s) { return BuildTabularMlp("TAB_C3", {128, 16}, s); }},
+  };
+  spec.constraints = {
+      {"box", MakeTabularBox},
+      {"none", [] { return std::make_unique<UnconstrainedImage>(); }},
+  };
+  spec.default_constraint = "box";
+  spec.engine_defaults.coverage.scale_per_layer = false;
+  spec.engine_defaults.lambda1 = 2.0f;
+  spec.engine_defaults.step = 0.05f;
+  RegisterDomain(std::move(spec));
+}
+
+}  // namespace dx::domains

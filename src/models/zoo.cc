@@ -1,11 +1,14 @@
 #include "src/models/zoo.h"
 
 #include <array>
-#include <cstdlib>
+#include <list>
 #include <map>
 #include <mutex>
 #include <stdexcept>
 
+#include "src/constraints/image_constraints.h"
+#include "src/constraints/malware_constraints.h"
+#include "src/core/domain.h"
 #include "src/data/drebin.h"
 #include "src/data/pdf.h"
 #include "src/data/road.h"
@@ -30,39 +33,6 @@ namespace {
 
 // Bump to invalidate stale cache entries when architectures change.
 constexpr const char* kZooVersion = "v5";
-
-bool FastMode() {
-  const char* env = std::getenv("DEEPXPLORE_FAST");
-  return env != nullptr && env[0] == '1';
-}
-
-struct DomainConfig {
-  int train_samples;
-  int test_samples;
-  int epochs;
-  float learning_rate;
-  uint64_t data_seed;
-};
-
-DomainConfig ConfigFor(Domain domain) {
-  const int divisor = FastMode() ? 4 : 1;
-  // The ImageNet stand-in needs more data per class to train its deeper
-  // models even in fast mode.
-  const int img_divisor = FastMode() ? 2 : 1;
-  switch (domain) {
-    case Domain::kMnist:
-      return {1500 / divisor, 500 / divisor, 8, 3e-3f, 101};
-    case Domain::kImageNet:
-      return {1200 / img_divisor, 400 / divisor, 8, 3e-3f, 202};
-    case Domain::kDriving:
-      return {1500 / divisor, 400 / divisor, 5, 3e-3f, 303};
-    case Domain::kPdf:
-      return {2500 / divisor, 800 / divisor, 8, 1e-3f, 404};
-    case Domain::kDrebin:
-      return {2500 / divisor, 800 / divisor, 8, 1e-3f, 505};
-  }
-  throw std::invalid_argument("unknown domain");
-}
 
 // ---- Architecture builders ---------------------------------------------------------------
 
@@ -183,12 +153,186 @@ Model BuildMlp(const std::string& name, int input_dim, const std::vector<int>& h
 
 uint64_t SeedFor(const std::string& name) { return Fnv1a64("seed:" + name); }
 
+// §6.2's image constraint set, shared by the three vision domains.
+std::vector<DomainConstraintSpec> VisionConstraints() {
+  return {
+      {"light", [] { return std::make_unique<LightingConstraint>(); }},
+      {"occl", [] { return std::make_unique<OcclusionConstraint>(10, 10); }},
+      {"blackout", [] { return std::make_unique<BlackRectsConstraint>(6, 3); }},
+      {"none", [] { return std::make_unique<UnconstrainedImage>(); }},
+  };
+}
+
+// Looks up (domain spec, model spec) for a zoo model name.
+struct ModelLookup {
+  std::shared_ptr<const DomainSpec> domain;
+  const DomainModelSpec* model = nullptr;
+};
+
+ModelLookup FindModelSpec(const std::string& name) {
+  for (const std::string& key : DomainKeys()) {
+    std::shared_ptr<const DomainSpec> spec = FindDomain(key);
+    for (const DomainModelSpec& m : spec->models) {
+      if (m.name == name) {
+        return {std::move(spec), &m};
+      }
+    }
+  }
+  throw std::out_of_range("unknown zoo model: " + name);
+}
+
 }  // namespace
 
-const std::string& DomainName(Domain domain) {
-  static const std::array<std::string, kNumDomains> names = {"MNIST", "ImageNet", "Driving",
-                                                             "VirusTotal", "Drebin"};
-  return names[static_cast<size_t>(domain)];
+namespace domains {
+
+// The five paper domains of Table 1/2 as built-in DomainSpecs (anchored from
+// src/core/domain.cc's lazy initializer).
+void RegisterPaperDomains() {
+  {
+    DomainSpec spec;
+    spec.key = "mnist";
+    spec.display_name = "MNIST";
+    spec.description = "handwritten digits (synthetic substitute); LeNet family";
+    spec.make_dataset = [](int n, uint64_t seed) { return MakeSyntheticDigits(n, seed); };
+    spec.training = {1500, 500, 8, 3e-3f, 101, /*fast_train=*/4, /*fast_test=*/4};
+    spec.models = {
+        {"MNI_C1", "LeNet-1", "LeNet-1, LeCun et al.",
+         [](uint64_t s) { return BuildLenet("MNI_C1", 1, s); }},
+        {"MNI_C2", "LeNet-4", "LeNet-4, LeCun et al.",
+         [](uint64_t s) { return BuildLenet("MNI_C2", 4, s); }},
+        {"MNI_C3", "LeNet-5", "LeNet-5, LeCun et al.",
+         [](uint64_t s) { return BuildLenet("MNI_C3", 5, s); }},
+    };
+    spec.constraints = VisionConstraints();
+    spec.default_constraint = "light";
+    spec.engine_defaults.coverage.scale_per_layer = false;
+    spec.engine_defaults.lambda1 = 2.0f;
+    spec.engine_defaults.step = 10.0f / 255.0f;
+    RegisterDomain(std::move(spec));
+  }
+  {
+    DomainSpec spec;
+    spec.key = "imagenet";
+    spec.display_name = "ImageNet";
+    spec.description = "32x32 texture/shape classes (ImageNet stand-in); VGG/ResNet trio";
+    spec.make_dataset = [](int n, uint64_t seed) {
+      return MakeSyntheticTinyImages(n, seed);
+    };
+    // The ImageNet stand-in needs more data per class to train its deeper
+    // models even in fast mode, hence the gentler fast-mode train divisor.
+    spec.training = {1200, 400, 8, 3e-3f, 202, /*fast_train=*/2, /*fast_test=*/4};
+    spec.models = {
+        {"IMG_C1", "MiniVGG-16", "VGG-16, Simonyan et al.",
+         [](uint64_t s) { return BuildMiniVgg("IMG_C1", 2, s); }},
+        // The deeper VGG variant needs a gentler rate to train stably at this
+        // width (per-model tuning, as the paper does for its pretrained nets).
+        {"IMG_C2", "MiniVGG-19", "VGG-19, Simonyan et al.",
+         [](uint64_t s) { return BuildMiniVgg("IMG_C2", 3, s); }, 1.5e-3f},
+        {"IMG_C3", "MiniResNet", "ResNet50, He et al.",
+         [](uint64_t s) { return BuildMiniResnet("IMG_C3", s); }},
+    };
+    spec.constraints = VisionConstraints();
+    spec.default_constraint = "light";
+    spec.engine_defaults.coverage.scale_per_layer = false;
+    spec.engine_defaults.lambda1 = 1.0f;
+    spec.engine_defaults.step = 10.0f / 255.0f;
+    RegisterDomain(std::move(spec));
+  }
+  {
+    DomainSpec spec;
+    spec.key = "driving";
+    spec.display_name = "Driving";
+    spec.description = "dashcam steering regression (Udacity stand-in); DAVE variants";
+    spec.make_dataset = [](int n, uint64_t seed) { return MakeSyntheticRoad(n, seed); };
+    spec.training = {1500, 400, 5, 3e-3f, 303, /*fast_train=*/4, /*fast_test=*/4};
+    spec.models = {
+        {"DRV_C1", "Dave-orig", "Dave-orig, Bojarski et al.",
+         [](uint64_t s) { return BuildDave("DRV_C1", 1, s); }},
+        {"DRV_C2", "Dave-norminit", "Dave-norminit",
+         [](uint64_t s) { return BuildDave("DRV_C2", 2, s); }},
+        {"DRV_C3", "Dave-dropout", "Dave-dropout",
+         [](uint64_t s) { return BuildDave("DRV_C3", 3, s); }},
+    };
+    spec.constraints = VisionConstraints();
+    spec.default_constraint = "light";
+    spec.engine_defaults.coverage.scale_per_layer = false;
+    spec.engine_defaults.lambda1 = 1.0f;
+    spec.engine_defaults.step = 10.0f / 255.0f;
+    RegisterDomain(std::move(spec));
+  }
+  {
+    DomainSpec spec;
+    spec.key = "pdf";
+    spec.display_name = "VirusTotal";
+    spec.description = "PDF malware static features (Contagio stand-in); MLP trio";
+    spec.make_dataset = [](int n, uint64_t seed) { return MakeSyntheticPdf(n, seed); };
+    spec.training = {2500, 800, 8, 1e-3f, 404, /*fast_train=*/4, /*fast_test=*/4};
+    spec.models = {
+        {"PDF_C1", "<200, 200>", "<200, 200>",
+         [](uint64_t s) { return BuildMlp("PDF_C1", kPdfFeatureCount, {200, 200}, 2, s); }},
+        {"PDF_C2", "<200, 200, 200>", "<200, 200, 200>",
+         [](uint64_t s) {
+           return BuildMlp("PDF_C2", kPdfFeatureCount, {200, 200, 200}, 2, s);
+         }},
+        {"PDF_C3", "<200, 200, 200, 200>", "<200, 200, 200, 200>",
+         [](uint64_t s) {
+           return BuildMlp("PDF_C3", kPdfFeatureCount, {200, 200, 200, 200}, 2, s);
+         }},
+    };
+    spec.constraints = {
+        {"pdf", [] { return std::make_unique<PdfConstraint>(); }},
+        {"none", [] { return std::make_unique<UnconstrainedImage>(); }},
+    };
+    spec.default_constraint = "pdf";
+    spec.engine_defaults.coverage.scale_per_layer = false;
+    spec.engine_defaults.lambda1 = 2.0f;
+    spec.engine_defaults.step = 0.1f;
+    RegisterDomain(std::move(spec));
+  }
+  {
+    DomainSpec spec;
+    spec.key = "drebin";
+    spec.display_name = "Drebin";
+    spec.description = "Android-app binary features (Drebin stand-in); MLP trio";
+    spec.make_dataset = [](int n, uint64_t seed) { return MakeSyntheticDrebin(n, seed); };
+    spec.training = {2500, 800, 8, 1e-3f, 505, /*fast_train=*/4, /*fast_test=*/4};
+    spec.models = {
+        {"APP_C1", "<200, 200>", "<200, 200>, Grosse et al.",
+         [](uint64_t s) {
+           return BuildMlp("APP_C1", kDrebinFeatureCount, {200, 200}, 2, s);
+         }},
+        {"APP_C2", "<50, 50>", "<50, 50>, Grosse et al.",
+         [](uint64_t s) { return BuildMlp("APP_C2", kDrebinFeatureCount, {50, 50}, 2, s); }},
+        {"APP_C3", "<200, 10>", "<200, 10>, Grosse et al.",
+         [](uint64_t s) {
+           return BuildMlp("APP_C3", kDrebinFeatureCount, {200, 10}, 2, s);
+         }},
+    };
+    spec.constraints = {
+        {"drebin", [] { return std::make_unique<DrebinConstraint>(); }},
+        {"none", [] { return std::make_unique<UnconstrainedImage>(); }},
+    };
+    spec.default_constraint = "drebin";
+    spec.engine_defaults.coverage.scale_per_layer = false;
+    spec.engine_defaults.lambda1 = 1.0f;
+    spec.engine_defaults.lambda2 = 0.5f;
+    spec.engine_defaults.step = 1.0f;  // Discrete feature flips (Table 2: s = N/A).
+    RegisterDomain(std::move(spec));
+  }
+}
+
+}  // namespace domains
+
+const std::string& DomainKey(Domain domain) {
+  static const std::array<std::string, kNumDomains> keys = {"mnist", "imagenet", "driving",
+                                                            "pdf", "drebin"};
+  return keys[static_cast<size_t>(domain)];
+}
+
+const std::string& DomainName(Domain domain) { return DomainName(DomainKey(domain)); }
+
+const std::string& DomainName(const std::string& domain_key) {
+  return GetDomain(domain_key).display_name;
 }
 
 std::vector<Domain> AllDomains() {
@@ -196,161 +340,121 @@ std::vector<Domain> AllDomains() {
           Domain::kDrebin};
 }
 
-const std::vector<ModelInfo>& ZooModels() {
-  static const std::vector<ModelInfo> models = {
-      {"MNI_C1", Domain::kMnist, "LeNet-1", "LeNet-1, LeCun et al."},
-      {"MNI_C2", Domain::kMnist, "LeNet-4", "LeNet-4, LeCun et al."},
-      {"MNI_C3", Domain::kMnist, "LeNet-5", "LeNet-5, LeCun et al."},
-      {"IMG_C1", Domain::kImageNet, "MiniVGG-16", "VGG-16, Simonyan et al."},
-      {"IMG_C2", Domain::kImageNet, "MiniVGG-19", "VGG-19, Simonyan et al."},
-      {"IMG_C3", Domain::kImageNet, "MiniResNet", "ResNet50, He et al."},
-      {"DRV_C1", Domain::kDriving, "Dave-orig", "Dave-orig, Bojarski et al."},
-      {"DRV_C2", Domain::kDriving, "Dave-norminit", "Dave-norminit"},
-      {"DRV_C3", Domain::kDriving, "Dave-dropout", "Dave-dropout"},
-      {"PDF_C1", Domain::kPdf, "<200, 200>", "<200, 200>"},
-      {"PDF_C2", Domain::kPdf, "<200, 200, 200>", "<200, 200, 200>"},
-      {"PDF_C3", Domain::kPdf, "<200, 200, 200, 200>", "<200, 200, 200, 200>"},
-      {"APP_C1", Domain::kDrebin, "<200, 200>", "<200, 200>, Grosse et al."},
-      {"APP_C2", Domain::kDrebin, "<50, 50>", "<50, 50>, Grosse et al."},
-      {"APP_C3", Domain::kDrebin, "<200, 10>", "<200, 10>, Grosse et al."},
-  };
+std::vector<ModelInfo> ZooModels() {
+  std::vector<ModelInfo> models;
+  for (const std::string& key : DomainKeys()) {
+    const DomainSpec& spec = GetDomain(key);
+    for (const DomainModelSpec& m : spec.models) {
+      models.push_back({m.name, spec.key, m.arch, m.paper_arch});
+    }
+  }
   return models;
 }
 
-std::vector<std::string> DomainModelNames(Domain domain) {
+std::vector<std::string> DomainModelNames(const std::string& domain_key) {
   std::vector<std::string> names;
-  for (const ModelInfo& info : ZooModels()) {
-    if (info.domain == domain) {
-      names.push_back(info.name);
-    }
+  for (const DomainModelSpec& m : GetDomain(domain_key).models) {
+    names.push_back(m.name);
   }
   return names;
 }
 
-const ModelInfo& FindModel(const std::string& name) {
-  for (const ModelInfo& info : ZooModels()) {
-    if (info.name == name) {
-      return info;
-    }
-  }
-  throw std::out_of_range("unknown zoo model: " + name);
+std::vector<std::string> DomainModelNames(Domain domain) {
+  return DomainModelNames(DomainKey(domain));
 }
 
-const Dataset& ModelZoo::TrainSet(Domain domain) {
-  static std::map<Domain, Dataset> cache;
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(domain);
-  if (it != cache.end()) {
-    return it->second;
-  }
-  const DomainConfig cfg = ConfigFor(domain);
-  Dataset ds;
-  switch (domain) {
-    case Domain::kMnist:
-      ds = MakeSyntheticDigits(cfg.train_samples, cfg.data_seed);
-      break;
-    case Domain::kImageNet:
-      ds = MakeSyntheticTinyImages(cfg.train_samples, cfg.data_seed);
-      break;
-    case Domain::kDriving:
-      ds = MakeSyntheticRoad(cfg.train_samples, cfg.data_seed);
-      break;
-    case Domain::kPdf:
-      ds = MakeSyntheticPdf(cfg.train_samples, cfg.data_seed);
-      break;
-    case Domain::kDrebin:
-      ds = MakeSyntheticDrebin(cfg.train_samples, cfg.data_seed);
-      break;
-  }
-  return cache.emplace(domain, std::move(ds)).first->second;
+ModelInfo FindModel(const std::string& name) {
+  const ModelLookup found = FindModelSpec(name);
+  return {found.model->name, found.domain->key, found.model->arch,
+          found.model->paper_arch};
 }
 
-const Dataset& ModelZoo::TestSet(Domain domain) {
-  static std::map<Domain, Dataset> cache;
+namespace {
+
+// Per-process dataset cache. Entries remember which spec instance generated
+// them: re-registering a domain (RegisterDomain replaces by key, retiring —
+// not freeing — the old spec) must not serve the retired spec's data.
+struct CachedDataset {
+  const DomainSpec* spec = nullptr;
+  Dataset data;
+};
+
+const Dataset& CachedDomainSet(const std::string& domain_key, uint64_t seed_offset,
+                               int DomainTraining::*samples) {
+  // A std::list owns the datasets so handed-out references survive a slot
+  // being superseded (stale entries are retired in place, never destroyed).
+  static std::list<CachedDataset>* entries = new std::list<CachedDataset>();
+  static std::map<std::string, CachedDataset*>* cache =
+      new std::map<std::string, CachedDataset*>();
   static std::mutex mutex;
+  const DomainSpec& spec = GetDomain(domain_key);
+  const std::string slot = spec.key + (seed_offset == 0 ? "/train" : "/test");
   std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(domain);
-  if (it != cache.end()) {
-    return it->second;
+  auto it = cache->find(slot);
+  if (it != cache->end() && it->second->spec == &spec) {
+    return it->second->data;
   }
-  const DomainConfig cfg = ConfigFor(domain);
-  // Disjoint from the train set via a distinct seed stream.
-  Dataset ds;
-  switch (domain) {
-    case Domain::kMnist:
-      ds = MakeSyntheticDigits(cfg.test_samples, cfg.data_seed + 1);
-      break;
-    case Domain::kImageNet:
-      ds = MakeSyntheticTinyImages(cfg.test_samples, cfg.data_seed + 1);
-      break;
-    case Domain::kDriving:
-      ds = MakeSyntheticRoad(cfg.test_samples, cfg.data_seed + 1);
-      break;
-    case Domain::kPdf:
-      ds = MakeSyntheticPdf(cfg.test_samples, cfg.data_seed + 1);
-      break;
-    case Domain::kDrebin:
-      ds = MakeSyntheticDrebin(cfg.test_samples, cfg.data_seed + 1);
-      break;
-  }
-  return cache.emplace(domain, std::move(ds)).first->second;
+  const DomainTraining cfg = EffectiveTraining(spec);
+  CachedDataset& entry = entries->emplace_back();
+  entry.spec = &spec;
+  entry.data = spec.make_dataset(cfg.*samples, cfg.data_seed + seed_offset);
+  (*cache)[slot] = &entry;
+  return entry.data;
 }
+
+}  // namespace
+
+const Dataset& ModelZoo::TrainSet(const std::string& domain_key) {
+  return CachedDomainSet(domain_key, 0, &DomainTraining::train_samples);
+}
+
+const Dataset& ModelZoo::TestSet(const std::string& domain_key) {
+  // Disjoint from the train set via a distinct seed stream (data_seed + 1).
+  return CachedDomainSet(domain_key, 1, &DomainTraining::test_samples);
+}
+
+const Dataset& ModelZoo::TrainSet(Domain domain) { return TrainSet(DomainKey(domain)); }
+const Dataset& ModelZoo::TestSet(Domain domain) { return TestSet(DomainKey(domain)); }
 
 Model ModelZoo::Build(const std::string& name, uint64_t seed) {
-  if (name == "MNI_C1") return BuildLenet(name, 1, seed);
-  if (name == "MNI_C2") return BuildLenet(name, 4, seed);
-  if (name == "MNI_C3") return BuildLenet(name, 5, seed);
-  if (name == "IMG_C1") return BuildMiniVgg(name, 2, seed);
-  if (name == "IMG_C2") return BuildMiniVgg(name, 3, seed);
-  if (name == "IMG_C3") return BuildMiniResnet(name, seed);
-  if (name == "DRV_C1") return BuildDave(name, 1, seed);
-  if (name == "DRV_C2") return BuildDave(name, 2, seed);
-  if (name == "DRV_C3") return BuildDave(name, 3, seed);
-  if (name == "PDF_C1") return BuildMlp(name, kPdfFeatureCount, {200, 200}, 2, seed);
-  if (name == "PDF_C2") return BuildMlp(name, kPdfFeatureCount, {200, 200, 200}, 2, seed);
-  if (name == "PDF_C3") {
-    return BuildMlp(name, kPdfFeatureCount, {200, 200, 200, 200}, 2, seed);
-  }
-  if (name == "APP_C1") return BuildMlp(name, kDrebinFeatureCount, {200, 200}, 2, seed);
-  if (name == "APP_C2") return BuildMlp(name, kDrebinFeatureCount, {50, 50}, 2, seed);
-  if (name == "APP_C3") return BuildMlp(name, kDrebinFeatureCount, {200, 10}, 2, seed);
-  throw std::out_of_range("unknown zoo model: " + name);
+  return FindModelSpec(name).model->build(seed);
 }
 
 Model ModelZoo::Trained(const std::string& name) {
-  const ModelInfo& info = FindModel(name);
-  const DomainConfig cfg = ConfigFor(info.domain);
+  const ModelLookup found = FindModelSpec(name);
+  const DomainSpec& spec = *found.domain;
+  const DomainTraining cfg = EffectiveTraining(spec);
   const std::string key = std::string("zoo/") + kZooVersion + "/" + name + "/" +
                           std::to_string(cfg.train_samples) + "/" +
                           std::to_string(cfg.epochs) + "/" + std::to_string(cfg.data_seed);
   if (const auto blob = FileCache::Global().Get(key)) {
     return Model::Deserialize(*blob);
   }
-  Model model = Build(name, SeedFor(name));
+  Model model = found.model->build(SeedFor(name));
   TrainConfig train_cfg;
   train_cfg.epochs = cfg.epochs;
-  train_cfg.learning_rate = cfg.learning_rate;
-  if (name == "IMG_C2") {
-    // The deeper VGG variant needs a gentler rate to train stably at this
-    // width (per-model tuning, as the paper does for its pretrained nets).
-    train_cfg.learning_rate = 1.5e-3f;
-  }
+  train_cfg.learning_rate = found.model->learning_rate > 0.0f
+                                ? found.model->learning_rate
+                                : cfg.learning_rate;
   train_cfg.seed = SeedFor(name) ^ 0xabcdef;
   Timer timer;
-  Trainer::Fit(&model, TrainSet(info.domain), train_cfg);
+  Trainer::Fit(&model, TrainSet(spec.key), train_cfg);
   DX_LOG(Info) << "trained " << name << " in " << timer.ElapsedSeconds() << "s, paper-acc "
-               << Trainer::PaperAccuracy(model, TestSet(info.domain));
+               << Trainer::PaperAccuracy(model, TestSet(spec.key));
   FileCache::Global().Put(key, model.Serialize());
   return model;
 }
 
-std::vector<Model> ModelZoo::TrainedDomain(Domain domain) {
+std::vector<Model> ModelZoo::TrainedDomain(const std::string& domain_key) {
   std::vector<Model> models;
-  for (const std::string& name : DomainModelNames(domain)) {
-    models.push_back(Trained(name));
+  for (const DomainModelSpec& m : GetDomain(domain_key).models) {
+    models.push_back(Trained(m.name));
   }
   return models;
+}
+
+std::vector<Model> ModelZoo::TrainedDomain(Domain domain) {
+  return TrainedDomain(DomainKey(domain));
 }
 
 Model ModelZoo::BuildCustomLenet1(int conv1_filters, int conv2_filters, uint64_t seed) {

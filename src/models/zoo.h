@@ -1,14 +1,22 @@
-// The 15-model zoo of Table 1: three independently trained DNNs per domain.
+// The model zoo: trained models and shared datasets for every registered
+// domain (src/core/domain.h), with a per-machine disk cache.
 //
-//   MNIST      MNI_C1..C3  LeNet-1 / LeNet-4 / LeNet-5
-//   ImageNet   IMG_C1..C3  MiniVGG16 / MiniVGG19 / MiniResNet (scaled-down)
-//   Driving    DRV_C1..C3  DAVE-orig / DAVE-norminit / DAVE-dropout
-//   VirusTotal PDF_C1..C3  <200,200> / <200,200,200> / <200,200,200,200>
-//   Drebin     APP_C1..C3  <200,200> / <50,50> / <200,10>
+// The five paper domains of Table 1 are built-in DomainSpecs (registered by
+// this translation unit):
+//
+//   mnist      MNI_C1..C3  LeNet-1 / LeNet-4 / LeNet-5
+//   imagenet   IMG_C1..C3  MiniVGG16 / MiniVGG19 / MiniResNet (scaled-down)
+//   driving    DRV_C1..C3  DAVE-orig / DAVE-norminit / DAVE-dropout
+//   pdf        PDF_C1..C3  <200,200> / <200,200,200> / <200,200,200,200>
+//   drebin     APP_C1..C3  <200,200> / <50,50> / <200,10>
+//
+// Out-of-paper domains (src/domains/) and out-of-tree RegisterDomain calls
+// appear here automatically: ModelZoo is a thin cache keyed by DomainSpec —
+// it never enumerates domains itself.
 //
 // Trained models are cached on disk (see util/cache.h) keyed by architecture,
 // dataset configuration, and seed, so the zoo trains once per machine.
-// DEEPXPLORE_FAST=1 shrinks dataset sizes and epochs for quick test runs.
+// DEEPXPLORE_FAST=1 shrinks dataset sizes for quick test runs.
 #ifndef DX_SRC_MODELS_ZOO_H_
 #define DX_SRC_MODELS_ZOO_H_
 
@@ -20,32 +28,49 @@
 
 namespace dx {
 
+// DEPRECATED alias layer: the closed enum the registry replaced. It still
+// names the five paper domains so pre-registry call sites (examples/,
+// bench/table*.cc) compile unchanged; new code should use registry keys
+// ("mnist", ...) and src/core/domain.h directly.
 enum class Domain : int { kMnist = 0, kImageNet = 1, kDriving = 2, kPdf = 3, kDrebin = 4 };
 
+// The paper domains only — the registry may hold more (DomainKeys()).
 inline constexpr int kNumDomains = 5;
 
-// Paper-style dataset label ("MNIST", "ImageNet", "Driving", "VirusTotal",
-// "Drebin").
+// Registry key of a legacy enum value ("mnist", "imagenet", "driving",
+// "pdf", "drebin").
+const std::string& DomainKey(Domain domain);
+
+// Paper-style dataset label: "MNIST", "ImageNet", "Driving", "VirusTotal",
+// "Drebin" for the enum; any registered domain's display name by key.
 const std::string& DomainName(Domain domain);
+const std::string& DomainName(const std::string& domain_key);
+
+// The five paper domains, Table 1 order (deprecated; registry holds more).
 std::vector<Domain> AllDomains();
 
 struct ModelInfo {
   std::string name;        // e.g. "MNI_C1"
-  Domain domain;
+  std::string domain;      // registry key, e.g. "mnist"
   std::string arch;        // e.g. "LeNet-1"
   std::string paper_arch;  // what the paper used, e.g. "LeNet-1, LeCun et al."
 };
 
-// All 15 zoo entries in Table 1 order.
-const std::vector<ModelInfo>& ZooModels();
-// The three model names of one domain.
+// Every registered domain's zoo entries (registry key order; the paper's 15
+// models plus any registered out-of-paper domains).
+std::vector<ModelInfo> ZooModels();
+// The model names of one domain.
+std::vector<std::string> DomainModelNames(const std::string& domain_key);
 std::vector<std::string> DomainModelNames(Domain domain);
-// Info lookup; throws std::out_of_range for unknown names.
-const ModelInfo& FindModel(const std::string& name);
+// Info lookup across all registered domains; throws std::out_of_range for
+// unknown names.
+ModelInfo FindModel(const std::string& name);
 
 class ModelZoo {
  public:
-  // Deterministic shared datasets (generated once per process).
+  // Deterministic shared datasets (generated once per process per domain).
+  static const Dataset& TrainSet(const std::string& domain_key);
+  static const Dataset& TestSet(const std::string& domain_key);
   static const Dataset& TrainSet(Domain domain);
   static const Dataset& TestSet(Domain domain);
 
@@ -55,7 +80,8 @@ class ModelZoo {
   // Trained model, from the disk cache when available.
   static Model Trained(const std::string& name);
 
-  // All three trained models of a domain.
+  // All trained models of a domain.
+  static std::vector<Model> TrainedDomain(const std::string& domain_key);
   static std::vector<Model> TrainedDomain(Domain domain);
 
   // LeNet-1 with custom conv filter counts / training-set size / epochs —

@@ -1,7 +1,12 @@
 // Trainer + zoo tests: calibration, learning on small datasets, and the
-// 15-model registry's architecture metadata.
+// registry-backed zoo's architecture metadata (the paper's 15 models plus
+// every registered out-of-paper domain).
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+
+#include "src/core/domain.h"
 #include "src/data/drebin.h"
 #include "src/data/pdf.h"
 #include "src/data/road.h"
@@ -18,66 +23,79 @@ namespace {
 
 // ---- Registry ----------------------------------------------------------------------------
 
-TEST(ZooRegistryTest, FifteenModelsThreePerDomain) {
-  EXPECT_EQ(ZooModels().size(), 15u);
+TEST(ZooRegistryTest, ThreeModelsPerBuiltinDomain) {
+  // Every built-in domain ships the paper-style trio; a registered domain in
+  // general only promises >= 2 (the differential-testing minimum).
+  EXPECT_GE(ZooModels().size(), 21u);
+  for (const std::string& key : DomainKeys()) {
+    EXPECT_GE(DomainModelNames(key).size(), 2u) << key;
+  }
+  for (const char* key :
+       {"mnist", "imagenet", "driving", "pdf", "drebin", "speech", "tabular"}) {
+    EXPECT_EQ(DomainModelNames(key).size(), 3u) << key;
+  }
+  // The deprecated enum overloads keep answering for the paper domains.
   for (const Domain d : AllDomains()) {
-    EXPECT_EQ(DomainModelNames(d).size(), 3u) << DomainName(d);
+    EXPECT_EQ(DomainModelNames(d), DomainModelNames(DomainKey(d)));
   }
 }
 
 TEST(ZooRegistryTest, FindModelResolvesAndThrows) {
   EXPECT_EQ(FindModel("MNI_C1").arch, "LeNet-1");
+  EXPECT_EQ(FindModel("MNI_C1").domain, "mnist");
   EXPECT_EQ(FindModel("IMG_C3").arch, "MiniResNet");
+  EXPECT_EQ(FindModel("SPC_C1").domain, "speech");
+  EXPECT_EQ(FindModel("TAB_C3").domain, "tabular");
   EXPECT_THROW(FindModel("NOPE"), std::out_of_range);
 }
 
 TEST(ZooRegistryTest, DomainNames) {
   EXPECT_EQ(DomainName(Domain::kMnist), "MNIST");
   EXPECT_EQ(DomainName(Domain::kPdf), "VirusTotal");
+  EXPECT_EQ(DomainName("speech"), "Speech");
+  EXPECT_EQ(DomainKey(Domain::kPdf), "pdf");
   EXPECT_EQ(AllDomains().size(), static_cast<size_t>(kNumDomains));
+  // The registry holds the paper domains plus the out-of-paper ones.
+  EXPECT_GE(DomainKeys().size(), AllDomains().size() + 2);
 }
 
 // ---- Builders ----------------------------------------------------------------------------
 
 TEST(ZooBuildTest, AllModelsBuildWithCorrectInterfaces) {
+  // Paper-pinned shapes for the five Table-1 domains.
+  const std::map<std::string, std::pair<Shape, Shape>> paper_shapes = {
+      {"mnist", {{1, 28, 28}, {10}}},
+      {"imagenet", {{3, 32, 32}, {10}}},
+      {"driving", {{3, 32, 64}, {1}}},
+      {"pdf", {{kPdfFeatureCount}, {2}}},
+      {"drebin", {{kDrebinFeatureCount}, {2}}},
+  };
   for (const ModelInfo& info : ZooModels()) {
     const Model m = ModelZoo::Build(info.name, 1);
     EXPECT_EQ(m.name(), info.name);
     EXPECT_GT(m.TotalNeurons(), 0) << info.name;
-    switch (info.domain) {
-      case Domain::kMnist:
-        EXPECT_EQ(m.input_shape(), (Shape{1, 28, 28}));
-        EXPECT_EQ(m.output_shape(), (Shape{10}));
-        break;
-      case Domain::kImageNet:
-        EXPECT_EQ(m.input_shape(), (Shape{3, 32, 32}));
-        EXPECT_EQ(m.output_shape(), (Shape{10}));
-        break;
-      case Domain::kDriving:
-        EXPECT_EQ(m.input_shape(), (Shape{3, 32, 64}));
-        EXPECT_EQ(m.output_shape(), (Shape{1}));
-        break;
-      case Domain::kPdf:
-        EXPECT_EQ(m.input_shape(), (Shape{kPdfFeatureCount}));
-        EXPECT_EQ(m.output_shape(), (Shape{2}));
-        break;
-      case Domain::kDrebin:
-        EXPECT_EQ(m.input_shape(), (Shape{kDrebinFeatureCount}));
-        EXPECT_EQ(m.output_shape(), (Shape{2}));
-        break;
+    // Every model must accept its domain's dataset samples.
+    const Dataset probe = GetDomain(info.domain).make_dataset(1, 1);
+    EXPECT_EQ(m.input_shape(), probe.input_shape) << info.name;
+    const auto pinned = paper_shapes.find(info.domain);
+    if (pinned != paper_shapes.end()) {
+      EXPECT_EQ(m.input_shape(), pinned->second.first) << info.name;
+      EXPECT_EQ(m.output_shape(), pinned->second.second) << info.name;
     }
   }
 }
 
 TEST(ZooBuildTest, VariantsWithinDomainDiffer) {
-  // The three models per domain must be architecturally distinct.
-  for (const Domain d : AllDomains()) {
-    const auto names = DomainModelNames(d);
-    const Model a = ModelZoo::Build(names[0], 1);
-    const Model b = ModelZoo::Build(names[1], 1);
-    const Model c = ModelZoo::Build(names[2], 1);
-    EXPECT_TRUE(a.NumParams() != b.NumParams() || a.num_layers() != b.num_layers());
-    EXPECT_TRUE(b.NumParams() != c.NumParams() || b.num_layers() != c.num_layers());
+  // The models of one domain must be architecturally distinct, pairwise.
+  for (const std::string& key : DomainKeys()) {
+    const auto names = DomainModelNames(key);
+    ASSERT_GE(names.size(), 2u) << key;
+    for (size_t i = 1; i < names.size(); ++i) {
+      const Model a = ModelZoo::Build(names[i - 1], 1);
+      const Model b = ModelZoo::Build(names[i], 1);
+      EXPECT_TRUE(a.NumParams() != b.NumParams() || a.num_layers() != b.num_layers())
+          << key << ": " << names[i - 1] << " vs " << names[i];
+    }
   }
 }
 

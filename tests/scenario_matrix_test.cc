@@ -21,13 +21,13 @@
 #include <vector>
 
 #include "src/constraints/constraint.h"
-#include "src/constraints/image_constraints.h"
-#include "src/constraints/malware_constraints.h"
+#include "src/core/domain.h"
 #include "src/core/objective.h"
 #include "src/core/seed_scheduler.h"
 #include "src/core/session.h"
 #include "src/coverage/coverage_metric.h"
 #include "src/models/zoo.h"
+#include "tests/test_util.h"
 
 namespace dx {
 namespace {
@@ -38,9 +38,10 @@ struct FastModeEnv {
 };
 const FastModeEnv fast_mode_env;
 
-// Scenario-matrix run shape: small enough that the full 5x3x4x2 cross
-// product at four batch/worker combos stays CI-sized, large enough that
-// schedulers recycle seeds (two passes) and coverage accumulates.
+// Scenario-matrix run shape: small enough that the full domains x metrics x
+// objectives x schedulers cross product at four batch/worker combos stays
+// CI-sized, large enough that schedulers recycle seeds (two passes) and
+// coverage accumulates.
 constexpr int kSeeds = 6;
 constexpr int kIters = 6;
 constexpr int kPasses = 2;
@@ -57,57 +58,31 @@ struct ScenarioResult {
   std::vector<int> total;
 };
 
-std::string GoldenPath(Domain domain) {
+// Display names are free-form (third-party domains may use spaces or
+// slashes); keep file names and gtest identifiers to [A-Za-z0-9_].
+std::string SanitizedName(const DomainSpec& spec) {
+  return testing::SanitizeTestName(spec.display_name);
+}
+
+std::string GoldenPath(const DomainSpec& spec) {
   return std::string(DX_SOURCE_DIR) + "/tests/goldens/scenario_matrix_" +
-         DomainName(domain) + ".json";
+         SanitizedName(spec) + ".json";
 }
 
-std::unique_ptr<Constraint> DomainConstraint(Domain domain) {
-  switch (domain) {
-    case Domain::kPdf:
-      return std::make_unique<PdfConstraint>();
-    case Domain::kDrebin:
-      return std::make_unique<DrebinConstraint>();
-    default:
-      return std::make_unique<LightingConstraint>();
-  }
-}
-
-// Table 2-flavored per-domain hyperparameters, scaled to the short run.
-EngineConfig DomainEngine(Domain domain) {
-  EngineConfig config;
-  config.coverage.scale_per_layer = false;
+// The domain's Table 2-flavored hyperparameters, scaled to the short run.
+EngineConfig DomainEngine(const DomainSpec& spec) {
+  EngineConfig config = spec.engine_defaults;
   config.max_iterations_per_seed = kIters;
   config.rng_seed = kRngSeed;
-  switch (domain) {
-    case Domain::kMnist:
-      config.lambda1 = 2.0f;
-      config.step = 10.0f / 255.0f;
-      break;
-    case Domain::kImageNet:
-    case Domain::kDriving:
-      config.lambda1 = 1.0f;
-      config.step = 10.0f / 255.0f;
-      break;
-    case Domain::kPdf:
-      config.lambda1 = 2.0f;
-      config.step = 0.1f;
-      break;
-    case Domain::kDrebin:
-      config.lambda1 = 1.0f;
-      config.lambda2 = 0.5f;
-      config.step = 1.0f;
-      break;
-  }
   return config;
 }
 
 ScenarioResult RunScenario(std::vector<Model*> models, const Constraint* constraint,
-                           Domain domain, const std::string& metric,
+                           const DomainSpec& spec, const std::string& metric,
                            const std::string& objective, const std::string& scheduler,
                            int batch_size, int workers) {
   SessionConfig config;
-  config.engine = DomainEngine(domain);
+  config.engine = DomainEngine(spec);
   config.metric = metric;
   config.objective = objective;
   config.scheduler = scheduler;
@@ -116,7 +91,7 @@ ScenarioResult RunScenario(std::vector<Model*> models, const Constraint* constra
   Session session(models, constraint, config);
   RunOptions options;
   options.max_seed_passes = kPasses;
-  const Dataset& test = ModelZoo::TestSet(domain);
+  const Dataset& test = ModelZoo::TestSet(spec.key);
   std::vector<Tensor> seeds;
   for (int i = 0; i < kSeeds; ++i) {
     seeds.push_back(test.inputs[static_cast<size_t>(i % test.size())]);
@@ -147,11 +122,11 @@ std::string IntListToJson(const std::vector<int>& v) {
   return out + "]";
 }
 
-void WriteGoldens(Domain domain, const std::vector<ScenarioResult>& results) {
-  std::ofstream out(GoldenPath(domain));
-  ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath(domain);
+void WriteGoldens(const DomainSpec& spec, const std::vector<ScenarioResult>& results) {
+  std::ofstream out(GoldenPath(spec));
+  ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath(spec);
   out << "{\n";
-  out << "  \"domain\": \"" << DomainName(domain) << "\",\n";
+  out << "  \"domain\": \"" << spec.display_name << "\",\n";
   out << "  \"config\": {\"seeds\": " << kSeeds << ", \"iters\": " << kIters
       << ", \"passes\": " << kPasses << ", \"rng_seed\": " << kRngSeed << "},\n";
   out << "  \"scenarios\": [\n";
@@ -212,10 +187,10 @@ bool ExtractIntList(const std::string& line, const std::string& field,
   return true;
 }
 
-std::map<std::string, ScenarioResult> LoadGoldens(Domain domain) {
+std::map<std::string, ScenarioResult> LoadGoldens(const DomainSpec& spec) {
   std::map<std::string, ScenarioResult> goldens;
-  std::ifstream in(GoldenPath(domain));
-  EXPECT_TRUE(in.good()) << "missing golden file " << GoldenPath(domain)
+  std::ifstream in(GoldenPath(spec));
+  EXPECT_TRUE(in.good()) << "missing golden file " << GoldenPath(spec)
                          << " — record it with tools/record_goldens.sh";
   std::string line;
   while (std::getline(in, line)) {
@@ -252,24 +227,24 @@ void ExpectSameScenario(const ScenarioResult& got, const ScenarioResult& want,
 
 // ---- The matrix --------------------------------------------------------------------------
 
-class ScenarioMatrixTest : public ::testing::TestWithParam<Domain> {};
+class ScenarioMatrixTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(ScenarioMatrixTest, FullRegistryCrossProductMatchesGoldens) {
-  const Domain domain = GetParam();
+  const DomainSpec& spec = GetDomain(GetParam());
   const bool recording = std::getenv("DX_RECORD_GOLDENS") != nullptr;
-  std::vector<Model> models = ModelZoo::TrainedDomain(domain);
+  std::vector<Model> models = ModelZoo::TrainedDomain(spec.key);
   std::vector<Model*> ptrs;
   for (Model& m : models) {
     ptrs.push_back(&m);
   }
-  const auto constraint = DomainConstraint(domain);
+  const auto constraint = MakeDomainConstraint(spec, "default");
 
   std::vector<ScenarioResult> results;
   for (const std::string& metric : CoverageMetricNames()) {
     for (const std::string& objective : ObjectiveNames()) {
       for (const std::string& scheduler : SeedSchedulerNames()) {
         const ScenarioResult canonical = RunScenario(
-            ptrs, constraint.get(), domain, metric, objective, scheduler,
+            ptrs, constraint.get(), spec, metric, objective, scheduler,
             /*batch_size=*/1, /*workers=*/1);
         // Batch/worker invariance across the whole configuration space: all
         // four combos must reproduce the canonical result exactly.
@@ -279,10 +254,10 @@ TEST_P(ScenarioMatrixTest, FullRegistryCrossProductMatchesGoldens) {
               continue;
             }
             const ScenarioResult variant =
-                RunScenario(ptrs, constraint.get(), domain, metric, objective, scheduler,
+                RunScenario(ptrs, constraint.get(), spec, metric, objective, scheduler,
                             batch_size, workers);
             ExpectSameScenario(variant, canonical,
-                               DomainName(domain) + "/" + canonical.key + " batch=" +
+                               spec.display_name + "/" + canonical.key + " batch=" +
                                    std::to_string(batch_size) + " workers=" +
                                    std::to_string(workers));
           }
@@ -293,30 +268,32 @@ TEST_P(ScenarioMatrixTest, FullRegistryCrossProductMatchesGoldens) {
   }
 
   if (recording) {
-    WriteGoldens(domain, results);
+    WriteGoldens(spec, results);
     return;
   }
-  const std::map<std::string, ScenarioResult> goldens = LoadGoldens(domain);
+  const std::map<std::string, ScenarioResult> goldens = LoadGoldens(spec);
   EXPECT_EQ(goldens.size(), results.size())
       << "golden file and registry cross-product disagree — re-record with "
          "tools/record_goldens.sh";
   for (const ScenarioResult& result : results) {
     const auto it = goldens.find(result.key);
     if (it == goldens.end()) {
-      ADD_FAILURE() << DomainName(domain) << "/" << result.key
+      ADD_FAILURE() << spec.display_name << "/" << result.key
                     << " has no golden — re-record with tools/record_goldens.sh";
       continue;
     }
-    ExpectSameScenario(result, it->second, DomainName(domain) + "/" + result.key);
+    ExpectSameScenario(result, it->second, spec.display_name + "/" + result.key);
   }
 }
 
-std::string DomainTestName(const ::testing::TestParamInfo<Domain>& info) {
-  return DomainName(info.param);
+std::string DomainTestName(const ::testing::TestParamInfo<std::string>& info) {
+  return SanitizedName(GetDomain(info.param));
 }
 
+// Every registered domain — the five paper domains plus any registered
+// out-of-paper domain — is pinned by the golden matrix automatically.
 INSTANTIATE_TEST_SUITE_P(AllDomains, ScenarioMatrixTest,
-                         ::testing::ValuesIn(AllDomains()), DomainTestName);
+                         ::testing::ValuesIn(DomainKeys()), DomainTestName);
 
 }  // namespace
 }  // namespace dx

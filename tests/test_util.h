@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/nn/layer.h"
@@ -16,6 +18,18 @@
 #include "src/util/rng.h"
 
 namespace dx::testing {
+
+// Maps a free-form label (e.g. a DomainSpec display name) to [A-Za-z0-9_],
+// as gtest parameterized-test names and golden file names require.
+inline std::string SanitizeTestName(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return out;
+}
 
 // Central-difference numerical gradient of a scalar function of a tensor.
 inline Tensor NumericalGradient(const std::function<double(const Tensor&)>& f, Tensor x,

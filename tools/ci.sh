@@ -91,6 +91,18 @@ if [ "$MODE" = "sanitize" ] || [ "$MODE" = "tsan" ]; then
   exit 0
 fi
 
+echo "==> smoke: domain registry (--list-domains must include the out-of-paper domains)"
+"$BUILD_DIR/dxplore" --list-domains
+for domain in speech tabular; do
+  if ! "$BUILD_DIR/dxplore" --list-domains | grep -q "^| $domain"; then
+    echo "==> FAILED (--list-domains does not list '$domain')"
+    exit 1
+  fi
+done
+# The domain-conformance certification suite already ran under ctest above
+# (domain_conformance_test covers every registered domain); the greps here
+# only guard the CLI registry surface.
+
 echo "==> smoke: micro_nn"
 if [ -x "$BUILD_DIR/micro_nn" ]; then
   "$BUILD_DIR/micro_nn" --benchmark_min_time=0.01s
@@ -117,12 +129,19 @@ else
   echo "python3 not found; skipping comparison"
 fi
 
-echo "==> smoke: corpus record + resume + replay"
+echo "==> smoke: corpus record + resume + replay (paper domain: pdf)"
 CORPUS_DIR="$BUILD_DIR/smoke_corpus"
 rm -rf "$CORPUS_DIR"
 "$BUILD_DIR/dxplore" --domain pdf --seeds 60 --iters 20 \
   --corpus-dir "$CORPUS_DIR" --max-batches 1 > /dev/null
 "$BUILD_DIR/dxplore" --resume --corpus-dir "$CORPUS_DIR" --workers 2 > /dev/null
 "$BUILD_DIR/dxplore" --replay --corpus-dir "$CORPUS_DIR"
+
+echo "==> smoke: corpus record + replay on an out-of-paper registry domain (speech)"
+SPEECH_CORPUS_DIR="$BUILD_DIR/smoke_corpus_speech"
+rm -rf "$SPEECH_CORPUS_DIR"
+"$BUILD_DIR/dxplore" --domain speech --seeds 40 --iters 20 \
+  --corpus-dir "$SPEECH_CORPUS_DIR" > /dev/null
+"$BUILD_DIR/dxplore" --replay --corpus-dir "$SPEECH_CORPUS_DIR"
 
 echo "==> OK"

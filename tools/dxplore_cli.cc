@@ -1,15 +1,21 @@
 // dxplore: command-line driver for the test-generation Session engine.
 //
-//   dxplore --domain mnist|imagenet|driving|pdf|drebin
+//   dxplore --domain KEY   (any registered domain; see --list-domains)
 //           [--metric neuron|kmultisection|topk] [--objective joint|...]
 //           [--scheduler roundrobin|coverage-gain] [--workers N]
-//           [--constraint light|occl|blackout|none|default]
+//           [--constraint NAME]  (per-domain; "default" = domain default)
 //           [--seeds N] [--max-tests N] [--lambda1 F] [--lambda2 F]
 //           [--step F] [--threshold F] [--iters N] [--target MODEL_IDX]
 //           [--rng-seed N] [--out DIR] [--list]
 //
-// Loads (or trains+caches) the domain's three models, wires a Session from
-// the selected coverage metric / objective / seed scheduler, runs it over N
+// Every axis is a string-keyed registry: domains (src/core/domain.h) bundle
+// the dataset, the model trio, the constraint variants, and the Table-2
+// defaults; metrics/objectives/schedulers plug into the Session. The CLI
+// performs registry lookups only — registering a new domain makes it
+// available here with no CLI change.
+//
+// Loads (or trains+caches) the domain's models, wires a Session from the
+// selected coverage metric / objective / seed scheduler, runs it over N
 // test-set seeds on the requested number of parallel workers, prints a run
 // report, and optionally dumps every difference-inducing image to DIR as
 // PGM/PPM.
@@ -19,7 +25,12 @@
 // checkpoints; --resume continues an interrupted campaign from its last
 // checkpoint (config and seeds come from the corpus manifest, so only
 // --corpus-dir is needed); --replay re-executes the recorded campaign and
-// verifies bit-identical results (exit 0 verified, 3 diverged).
+// verifies bit-identical results (exit 0 verified, 3 diverged). The corpus
+// manifest records the domain and constraint *registry keys*, so resume and
+// replay reconstruct models and constraints through the registry — a
+// manifest whose keys are no longer registered fails with a clear
+// "unknown domain 'X'; registered: ..." error (exit 2), never a crash or a
+// silent default.
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -29,8 +40,7 @@
 #include <string>
 
 #include "src/constraints/constraint.h"
-#include "src/constraints/image_constraints.h"
-#include "src/constraints/malware_constraints.h"
+#include "src/core/domain.h"
 #include "src/core/executor.h"
 #include "src/core/objective.h"
 #include "src/core/seed_scheduler.h"
@@ -58,13 +68,14 @@ std::string Join(const std::vector<std::string>& names) {
   std::cout <<
       R"(dxplore - whitebox differential testing of the built-in model zoo
 
-  --domain D      mnist | imagenet | driving | pdf | drebin   (required)
+  --domain D      )" << Join(DomainKeys()) << R"(  (required)
   --metric M      )" << Join(CoverageMetricNames()) << R"(  (default: neuron)
   --objective O   )" << Join(ObjectiveNames()) << R"(  (default: joint)
   --scheduler S   )" << Join(SeedSchedulerNames()) << R"(  (default: roundrobin)
   --workers N     parallel seed workers; 0 = all cores        (default: 1)
   --batch-size N  seeds per batched-executor chunk            (default: 8)
-  --constraint C  light | occl | blackout | none | default    (default: default)
+  --constraint C  per-domain constraint variant; "default" picks the
+                  domain's default (--list-domains enumerates them)
   --seeds N       seed inputs drawn from the domain test set  (default: 100)
   --max-tests N   stop after N difference-inducing inputs     (default: all)
   --lambda1 F     Equation 2 balance                          (default: Table 2)
@@ -84,6 +95,7 @@ std::string Join(const std::vector<std::string>& names) {
   --profile       print a per-phase wall-time table after the run (stack /
                   forward / gradient / constraint / coverage)
   --list          print the model zoo and exit
+  --list-domains     print registered domains (models, constraints) and exit
   --list-metrics     print registered coverage metrics and exit
   --list-objectives  print registered objectives and exit
   --list-schedulers  print registered seed schedulers and exit
@@ -92,61 +104,6 @@ Results are deterministic for a fixed --rng-seed, whatever --workers or
 --batch-size is.
 )";
   std::exit(code);
-}
-
-std::optional<Domain> ParseDomain(const std::string& name) {
-  if (name == "mnist") return Domain::kMnist;
-  if (name == "imagenet") return Domain::kImageNet;
-  if (name == "driving") return Domain::kDriving;
-  if (name == "pdf") return Domain::kPdf;
-  if (name == "drebin") return Domain::kDrebin;
-  return std::nullopt;
-}
-
-std::unique_ptr<Constraint> MakeConstraint(const std::string& name, Domain domain) {
-  const bool vision = domain == Domain::kMnist || domain == Domain::kImageNet ||
-                      domain == Domain::kDriving;
-  if (name == "default") {
-    if (domain == Domain::kPdf) return std::make_unique<PdfConstraint>();
-    if (domain == Domain::kDrebin) return std::make_unique<DrebinConstraint>();
-    return std::make_unique<LightingConstraint>();
-  }
-  if (!vision && name != "none") {
-    std::cerr << "image constraints only apply to vision domains\n";
-    std::exit(2);
-  }
-  if (name == "light") return std::make_unique<LightingConstraint>();
-  if (name == "occl") return std::make_unique<OcclusionConstraint>(10, 10);
-  if (name == "blackout") return std::make_unique<BlackRectsConstraint>(6, 3);
-  if (name == "none") return std::make_unique<UnconstrainedImage>();
-  std::cerr << "unknown constraint: " << name << "\n";
-  std::exit(2);
-}
-
-DeepXploreConfig TableTwoDefaults(Domain domain) {
-  DeepXploreConfig config;
-  config.coverage.scale_per_layer = false;
-  switch (domain) {
-    case Domain::kMnist:
-      config.lambda1 = 2.0f;
-      config.step = 10.0f / 255.0f;
-      break;
-    case Domain::kImageNet:
-    case Domain::kDriving:
-      config.lambda1 = 1.0f;
-      config.step = 10.0f / 255.0f;
-      break;
-    case Domain::kPdf:
-      config.lambda1 = 2.0f;
-      config.step = 0.1f;
-      break;
-    case Domain::kDrebin:
-      config.lambda1 = 1.0f;
-      config.lambda2 = 0.5f;
-      config.step = 1.0f;
-      break;
-  }
-  return config;
 }
 
 void DumpImage(const std::string& path, const Tensor& img) {
@@ -227,6 +184,21 @@ int Main(int argc, char** argv) {
     else if (arg == "--max-batches") max_batches = std::atoll(next());
     else if (arg == "--profile") profile = true;
     else if (arg == "--list") list = true;
+    else if (arg == "--list-domains") {
+      TablePrinter table({"Key", "Dataset", "Models", "Constraints", "Description"});
+      for (const std::string& key : DomainKeys()) {
+        const DomainSpec& spec = GetDomain(key);
+        std::vector<std::string> constraints;
+        for (const std::string& name : DomainConstraintNames(spec)) {
+          constraints.push_back(name == spec.default_constraint ? name + "*" : name);
+        }
+        table.AddRow({spec.key, spec.display_name,
+                      std::to_string(spec.models.size()), Join(constraints),
+                      spec.description});
+      }
+      std::cout << table.ToString() << "(* = the domain's default constraint)\n";
+      return 0;
+    }
     else if (arg == "--list-metrics") {
       for (const std::string& name : CoverageMetricNames()) std::cout << name << "\n";
       return 0;
@@ -284,7 +256,8 @@ int Main(int argc, char** argv) {
   if (resume || replay) {
     // The corpus manifest is the source of truth for everything that affects
     // results; only --workers / --batch-size / --max-batches apply (results
-    // are invariant to them).
+    // are invariant to them). The stored domain/constraint registry keys are
+    // resolved below — through the same registry lookups as fresh runs.
     const CorpusMeta& meta = corpus->meta();
     const std::string* stored_domain = meta.FindMetadata("domain");
     const std::string* stored_constraint = meta.FindMetadata("constraint");
@@ -299,19 +272,32 @@ int Main(int argc, char** argv) {
     scheduler_name = meta.scheduler;
   }
 
-  const auto domain = ParseDomain(domain_name);
-  if (!domain.has_value()) {
-    std::cerr << "missing or unknown --domain\n";
-    Usage(2);
+  if (domain_name.empty()) {
+    std::cerr << "missing --domain (registered: " << Join(DomainKeys()) << ")\n";
+    return 2;
   }
+  const DomainSpec* domain_ptr = nullptr;
+  std::unique_ptr<Constraint> constraint;
+  std::string constraint_key;
+  try {
+    // GetDomain's reference is process-lifetime stable; unknown keys throw
+    // the "unknown domain ...; registered: ..." listing, unknown constraint
+    // names the per-domain "valid: ..." listing.
+    domain_ptr = &GetDomain(domain_name);
+    constraint_key = ResolveDomainConstraint(*domain_ptr, constraint_name);
+    constraint = MakeDomainConstraint(*domain_ptr, constraint_key);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  const DomainSpec& domain = *domain_ptr;
 
   std::cerr << "loading models (trains and caches on first use)...\n";
-  std::vector<Model> models = ModelZoo::TrainedDomain(*domain);
+  std::vector<Model> models = ModelZoo::TrainedDomain(domain.key);
   std::vector<Model*> ptrs;
   for (Model& m : models) {
     ptrs.push_back(&m);
   }
-  const auto constraint = MakeConstraint(constraint_name, *domain);
 
   SessionConfig config;
   if (resume || replay) {
@@ -319,7 +305,7 @@ int Main(int argc, char** argv) {
     config.sync_interval = corpus->meta().sync_interval;
     config.profile_from_seeds = corpus->meta().profile_from_seeds;
   } else {
-    config.engine = TableTwoDefaults(*domain);
+    config.engine = domain.engine_defaults;
     if (lambda1) config.engine.lambda1 = *lambda1;
     if (lambda2) config.engine.lambda2 = *lambda2;
     if (step) config.engine.step = *step;
@@ -348,7 +334,7 @@ int Main(int argc, char** argv) {
   // reads them itself; --max-batches was rejected for --replay above).
   std::vector<Tensor> flag_pool;
   if (!resume && !replay) {
-    const Dataset& test = ModelZoo::TestSet(*domain);
+    const Dataset& test = ModelZoo::TestSet(domain.key);
     for (int i = 0; i < seeds; ++i) {
       flag_pool.push_back(test.inputs[static_cast<size_t>(i % test.size())]);
     }
@@ -381,8 +367,10 @@ int Main(int argc, char** argv) {
     }
   } else if (corpus != nullptr) {
     if (!corpus->initialized()) {
-      corpus->SetMetadata("domain", domain_name);
-      corpus->SetMetadata("constraint", constraint_name);
+      // Registry keys, not CLI aliases: "default" was resolved above, so a
+      // later resume/replay rebuilds the exact same constraint by key.
+      corpus->SetMetadata("domain", domain.key);
+      corpus->SetMetadata("constraint", constraint_key);
     }
     stats = engine.Run(pool, opts, corpus.get());
   } else {
@@ -401,8 +389,10 @@ int Main(int argc, char** argv) {
   }
 
   TablePrinter report({"Metric", "Value"});
-  report.AddRow({"domain", DomainName(*domain)});
-  report.AddRow({"constraint", constraint->name()});
+  report.AddRow({"domain", domain.display_name + " (" + domain.key + ")"});
+  report.AddRow({"constraint", constraint_key == constraint->name()
+                                   ? constraint_key
+                                   : constraint_key + " (" + constraint->name() + ")"});
   report.AddRow({"coverage metric", metric_name});
   report.AddRow({"objective", objective_name});
   report.AddRow({"scheduler", scheduler_name});
