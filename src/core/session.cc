@@ -441,62 +441,31 @@ RunStats Session::RunImpl(const std::vector<Tensor>& seeds, const RunOptions& op
     throw std::invalid_argument(
         "Session: corpus recording requires sync batches (sync_interval > 0)");
   }
+  if (config_.sync_interval > 0) {
+    // The batched path: all run state lives in a SessionRun, and this loop
+    // (like any other SessionRun driver) just applies the per-leg bounds.
+    SessionRun run(this, &seeds, options, corpus, replay);
+    int64_t leg_batches = 0;
+    while (!run.done() && run.active_seconds() <= options.max_seconds &&
+           leg_batches < options.max_sync_batches && run.Step()) {
+      ++leg_batches;
+    }
+    return run.Snapshot();
+  }
+
   RunStats stats;
   Timer timer;
   int64_t forward_base = 0;
   for (const Model* m : models_) {
     forward_base += m->forward_passes();
   }
-  // Forward passes accumulated by earlier legs of a resumed campaign.
-  int64_t forward_offset = 0;
 
-  uint64_t task_counter = 0;
-  bool resumed = false;
-  if (corpus != nullptr) {
-    if (corpus->initialized()) {
-      ValidateCorpus(*corpus, seeds, options);
-    } else {
-      CorpusMeta meta;
-      meta.metric = config_.metric;
-      meta.objective = config_.objective;
-      meta.scheduler = config_.scheduler;
-      meta.constraint = constraint_->name();
-      meta.engine = config_.engine;
-      meta.sync_interval = config_.sync_interval;
-      meta.profile_from_seeds = config_.profile_from_seeds;
-      meta.max_tests = options.max_tests;
-      meta.max_seed_passes = options.max_seed_passes;
-      meta.coverage_goal = options.coverage_goal;
-      for (const Model* m : models_) {
-        meta.model_names.push_back(m->name());
-      }
-      meta.seeds = seeds;
-      corpus->Initialize(std::move(meta));
-    }
-    if (corpus->has_checkpoint()) {
-      RestoreFromCheckpoint(*corpus, seeds, options, &stats);
-      const CorpusCheckpoint& cp = corpus->checkpoint();
-      task_counter = cp.task_counter;
-      forward_offset = cp.forward_passes;
-      resumed = true;
-      if (cp.complete) {
-        // Nothing left to run: report the recorded campaign as-is.
-        stats.seconds = timer.ElapsedSeconds();
-        stats.mean_coverage = MeanCoverage();
-        stats.forward_passes = cp.forward_passes;
-        return stats;
-      }
-    }
+  if (config_.profile_from_seeds && !profiled_) {
+    ProfileSeeds(seeds);
   }
+  scheduler_->Reset(static_cast<int>(seeds.size()), options.max_seed_passes);
 
-  if (!resumed) {
-    if (config_.profile_from_seeds && !profiled_) {
-      ProfileSeeds(seeds);
-    }
-    scheduler_->Reset(static_cast<int>(seeds.size()), options.max_seed_passes);
-  }
-
-  if (config_.sync_interval <= 0) {
+  {
     // Legacy serial mode: the session RNG is threaded through the whole seed
     // stream and the global trackers are updated in place — the exact
     // pre-Session DeepXplore behavior, preserved for the facade.
@@ -539,178 +508,295 @@ RunStats Session::RunImpl(const std::vector<Tensor>& seeds, const RunOptions& op
     return stats;
   }
 
-  const int workers = EffectiveWorkers();
-  if (workers > 1 && (pool_ == nullptr || pool_->num_threads() != workers - 1)) {
-    // ParallelFor runs on the pool's threads plus the calling thread, so a
-    // session with W workers owns W-1 pool threads.
-    pool_ = std::make_unique<ThreadPool>(workers - 1);
+}
+
+std::unique_ptr<SessionRun> Session::BeginRun(const std::vector<Tensor>& seeds,
+                                              const RunOptions& options,
+                                              Corpus* corpus) {
+  return std::unique_ptr<SessionRun>(
+      new SessionRun(this, &seeds, options, corpus, nullptr));
+}
+
+SessionRun::SessionRun(Session* session, const std::vector<Tensor>* seeds,
+                       RunOptions options, Corpus* corpus,
+                       Session::ReplayCursor* replay)
+    : session_(session),
+      seeds_(seeds),
+      options_(std::move(options)),
+      corpus_(corpus),
+      replay_(replay) {
+  Session& s = *session_;
+  if (s.config_.sync_interval <= 0) {
+    throw std::invalid_argument(
+        "SessionRun: stepping requires sync batches (sync_interval > 0)");
   }
-  const int batch_size = std::max(1, config_.sync_interval);
+  Timer timer;
+  for (const Model* m : s.models_) {
+    forward_base_ += m->forward_passes();
+  }
+
+  bool resumed = false;
+  if (corpus_ != nullptr) {
+    if (corpus_->initialized()) {
+      s.ValidateCorpus(*corpus_, *seeds_, options_);
+    } else {
+      CorpusMeta meta;
+      meta.metric = s.config_.metric;
+      meta.objective = s.config_.objective;
+      meta.scheduler = s.config_.scheduler;
+      meta.constraint = s.constraint_->name();
+      meta.engine = s.config_.engine;
+      meta.sync_interval = s.config_.sync_interval;
+      meta.profile_from_seeds = s.config_.profile_from_seeds;
+      meta.max_tests = options_.max_tests;
+      meta.max_seed_passes = options_.max_seed_passes;
+      meta.coverage_goal = options_.coverage_goal;
+      for (const Model* m : s.models_) {
+        meta.model_names.push_back(m->name());
+      }
+      meta.seeds = *seeds_;
+      corpus_->Initialize(std::move(meta));
+    }
+    if (corpus_->has_checkpoint()) {
+      s.RestoreFromCheckpoint(*corpus_, *seeds_, options_, &stats_);
+      const CorpusCheckpoint& cp = corpus_->checkpoint();
+      task_counter_ = cp.task_counter;
+      forward_offset_ = cp.forward_passes;
+      batches_ = corpus_->journal().size();
+      resumed = true;
+      if (cp.complete) {
+        // Nothing left to run: the recorded campaign is reported as-is.
+        done_ = true;
+      }
+    }
+  }
+
+  if (!resumed) {
+    if (s.config_.profile_from_seeds && !s.profiled_) {
+      s.ProfileSeeds(*seeds_);
+    }
+    s.scheduler_->Reset(static_cast<int>(seeds_->size()), options_.max_seed_passes);
+  }
+  active_seconds_ += timer.ElapsedSeconds();
+}
+
+SessionRun::~SessionRun() = default;
+
+bool SessionRun::Step() {
+  if (done_) {
+    return false;
+  }
+  Session& s = *session_;
+  const std::vector<Tensor>& seeds = *seeds_;
+  Timer timer;
+
+  ThreadPool* pool = s.external_pool_;
+  int workers;
+  if (pool != nullptr) {
+    // Shared-pool mode: the pool's size, not config().workers, is the
+    // parallelism (ParallelFor adds the calling thread as one worker).
+    workers = pool->num_threads() + 1;
+  } else {
+    workers = s.EffectiveWorkers();
+    if (workers > 1 &&
+        (s.pool_ == nullptr || s.pool_->num_threads() != workers - 1)) {
+      // ParallelFor runs on the pool's threads plus the calling thread, so a
+      // session with W workers owns W-1 pool threads.
+      s.pool_ = std::make_unique<ThreadPool>(workers - 1);
+    }
+    pool = s.pool_.get();
+  }
+  const int batch_size = std::max(1, s.config_.sync_interval);
+
+  std::vector<int> batch;
+  batch.reserve(static_cast<size_t>(batch_size));
+  while (static_cast<int>(batch.size()) < batch_size) {
+    const int index = s.scheduler_->Next();
+    if (index < 0) {
+      break;
+    }
+    batch.push_back(index);
+    // Sync at pass boundaries so the scheduler has every outcome of the
+    // finished pass reported before it orders the next one. The cut
+    // depends only on counts, so worker-count invariance is preserved.
+    if ((task_counter_ + batch.size()) % seeds.size() == 0) {
+      break;
+    }
+  }
+  if (batch.empty()) {
+    // Scheduler ran dry: the campaign is complete — re-stamp the last
+    // checkpoint so a later resume is a no-op instead of spinning the
+    // scheduler again.
+    done_ = true;
+    if (corpus_ != nullptr && corpus_->has_checkpoint() &&
+        !corpus_->checkpoint().complete) {
+      CorpusCheckpoint cp = corpus_->checkpoint();
+      cp.complete = true;
+      corpus_->WriteCheckpoint(cp);
+    }
+    active_seconds_ += timer.ElapsedSeconds();
+    // Final notification: every run's last on_batch reports done == true,
+    // whichever way the campaign terminated.
+    if (options_.on_batch) {
+      options_.on_batch(Progress());
+    }
+    return false;
+  }
 
   struct TaskResult {
     std::optional<GeneratedTest> test;
     std::vector<std::unique_ptr<CoverageMetric>> metrics;
   };
 
-  int64_t leg_batches = 0;  // Sync batches processed by THIS run call.
-  bool done = false;
-  while (!done && timer.ElapsedSeconds() <= options.max_seconds &&
-         leg_batches < options.max_sync_batches) {
-    std::vector<int> batch;
-    batch.reserve(static_cast<size_t>(batch_size));
-    while (static_cast<int>(batch.size()) < batch_size) {
-      const int index = scheduler_->Next();
-      if (index < 0) {
-        break;
-      }
-      batch.push_back(index);
-      // Sync at pass boundaries so the scheduler has every outcome of the
-      // finished pass reported before it orders the next one. The cut
-      // depends only on counts, so worker-count invariance is preserved.
-      if ((task_counter + batch.size()) % seeds.size() == 0) {
-        break;
-      }
+  // Every task keeps its own RNG stream and tracker clones (exactly as in
+  // the per-seed path), then contiguous runs of `batch_size` tasks ascend
+  // in lockstep on the executor. Chunk boundaries depend only on
+  // batch_size — never on the worker count — and chunk composition cannot
+  // change any task's values, so results stay invariant to both knobs.
+  std::vector<TaskResult> results(batch.size());
+  std::vector<Rng> task_rngs;
+  task_rngs.reserve(batch.size());
+  for (size_t t = 0; t < batch.size(); ++t) {
+    task_rngs.emplace_back(TaskSeed(s.config_.engine.rng_seed,
+                                    task_counter_ + static_cast<uint64_t>(t)));
+    results[t].metrics = s.CloneMetrics();
+  }
+  const size_t chunk_width = static_cast<size_t>(std::max(1, s.config_.batch_size));
+  const int64_t num_chunks =
+      static_cast<int64_t>((batch.size() + chunk_width - 1) / chunk_width);
+  const auto run_chunk = [&](int64_t c) {
+    const size_t begin = static_cast<size_t>(c) * chunk_width;
+    const size_t end = std::min(batch.size(), begin + chunk_width);
+    std::vector<Executor::SeedTask> tasks;
+    tasks.reserve(end - begin);
+    for (size_t t = begin; t < end; ++t) {
+      Executor::SeedTask task;
+      task.seed = &seeds[static_cast<size_t>(batch[t])];
+      task.seed_index = batch[t];
+      task.ordinal = task_counter_ + static_cast<uint64_t>(t);
+      task.rng = &task_rngs[t];
+      task.metrics = &results[t].metrics;
+      tasks.push_back(task);
     }
-    if (batch.empty()) {
+    auto outcomes = s.executor_->Run(tasks, *s.objective_);
+    for (size_t t = begin; t < end; ++t) {
+      results[t].test = std::move(outcomes[t - begin]);
+    }
+  };
+  if (workers > 1 && num_chunks > 1) {
+    pool->ParallelFor(num_chunks, run_chunk);
+  } else {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      run_chunk(c);
+    }
+  }
+  task_counter_ += batch.size();
+
+  // Merge + report in schedule order: deterministic for any worker count.
+  // The journal mirrors the Report stream so a resumed (or replayed)
+  // campaign can reconstruct the scheduler exactly.
+  std::vector<CorpusCheckpoint::JournalRecord> journal_batch;
+  journal_batch.reserve(batch.size());
+  const size_t tests_before = stats_.tests.size();
+  for (size_t t = 0; t < batch.size() && !done_; ++t) {
+    TaskResult& result = results[t];
+    ++stats_.seeds_tried;
+    if (!result.test.has_value()) {
+      ++stats_.seeds_skipped;
+      s.scheduler_->Report(batch[t], false, 0.0f);
+      journal_batch.push_back({batch[t], false, 0.0f});
+      continue;
+    }
+    if (replay_ != nullptr && !replay_->Check(*result.test, stats_.tests.size())) {
+      --stats_.seeds_tried;  // Divergence: abort before counting this task.
+      done_ = true;
       break;
     }
-
-    // Every task keeps its own RNG stream and tracker clones (exactly as in
-    // the per-seed path), then contiguous runs of `batch_size` tasks ascend
-    // in lockstep on the executor. Chunk boundaries depend only on
-    // batch_size — never on the worker count — and chunk composition cannot
-    // change any task's values, so results stay invariant to both knobs.
-    std::vector<TaskResult> results(batch.size());
-    std::vector<Rng> task_rngs;
-    task_rngs.reserve(batch.size());
-    for (size_t t = 0; t < batch.size(); ++t) {
-      task_rngs.emplace_back(TaskSeed(config_.engine.rng_seed,
-                                      task_counter + static_cast<uint64_t>(t)));
-      results[t].metrics = CloneMetrics();
+    const float before = s.MeanCoverage();
+    for (int k = 0; k < s.num_models(); ++k) {
+      s.metrics_[static_cast<size_t>(k)]->Merge(
+          *result.metrics[static_cast<size_t>(k)]);
     }
-    const size_t chunk_width = static_cast<size_t>(std::max(1, config_.batch_size));
-    const int64_t num_chunks =
-        static_cast<int64_t>((batch.size() + chunk_width - 1) / chunk_width);
-    const auto run_chunk = [&](int64_t c) {
-      const size_t begin = static_cast<size_t>(c) * chunk_width;
-      const size_t end = std::min(batch.size(), begin + chunk_width);
-      std::vector<Executor::SeedTask> tasks;
-      tasks.reserve(end - begin);
-      for (size_t t = begin; t < end; ++t) {
-        Executor::SeedTask task;
-        task.seed = &seeds[static_cast<size_t>(batch[t])];
-        task.seed_index = batch[t];
-        task.ordinal = task_counter + static_cast<uint64_t>(t);
-        task.rng = &task_rngs[t];
-        task.metrics = &results[t].metrics;
-        tasks.push_back(task);
-      }
-      auto outcomes = executor_->Run(tasks, *objective_);
-      for (size_t t = begin; t < end; ++t) {
-        results[t].test = std::move(outcomes[t - begin]);
-      }
-    };
-    if (workers > 1 && num_chunks > 1) {
-      pool_->ParallelFor(num_chunks, run_chunk);
-    } else {
-      for (int64_t c = 0; c < num_chunks; ++c) {
-        run_chunk(c);
-      }
+    const float gain = s.MeanCoverage() - before;
+    s.scheduler_->Report(batch[t], true, gain);
+    journal_batch.push_back({batch[t], true, gain});
+    stats_.total_iterations += result.test->iterations;
+    stats_.tests.push_back(std::move(*result.test));
+    if (static_cast<int>(stats_.tests.size()) >= options_.max_tests) {
+      done_ = true;
+      break;
     }
-    task_counter += batch.size();
-
-    // Merge + report in schedule order: deterministic for any worker count.
-    // The journal mirrors the Report stream so a resumed (or replayed)
-    // campaign can reconstruct the scheduler exactly.
-    std::vector<CorpusCheckpoint::JournalRecord> journal_batch;
-    journal_batch.reserve(batch.size());
-    const size_t tests_before = stats.tests.size();
-    for (size_t t = 0; t < batch.size() && !done; ++t) {
-      TaskResult& result = results[t];
-      ++stats.seeds_tried;
-      if (!result.test.has_value()) {
-        ++stats.seeds_skipped;
-        scheduler_->Report(batch[t], false, 0.0f);
-        journal_batch.push_back({batch[t], false, 0.0f});
-        continue;
+    if (options_.coverage_goal <= 1.0f) {
+      bool all_reached = true;
+      for (const auto& metric : s.metrics_) {
+        all_reached = all_reached && metric->Coverage() >= options_.coverage_goal;
       }
-      if (replay != nullptr && !replay->Check(*result.test, stats.tests.size())) {
-        --stats.seeds_tried;  // Divergence: abort before counting this task.
-        done = true;
-        break;
+      if (all_reached) {
+        done_ = true;
       }
-      const float before = MeanCoverage();
-      for (int k = 0; k < num_models(); ++k) {
-        metrics_[static_cast<size_t>(k)]->Merge(*result.metrics[static_cast<size_t>(k)]);
-      }
-      const float gain = MeanCoverage() - before;
-      scheduler_->Report(batch[t], true, gain);
-      journal_batch.push_back({batch[t], true, gain});
-      stats.total_iterations += result.test->iterations;
-      stats.tests.push_back(std::move(*result.test));
-      if (static_cast<int>(stats.tests.size()) >= options.max_tests) {
-        done = true;
-        break;
-      }
-      if (options.coverage_goal <= 1.0f) {
-        bool all_reached = true;
-        for (const auto& metric : metrics_) {
-          all_reached = all_reached && metric->Coverage() >= options.coverage_goal;
-        }
-        if (all_reached) {
-          done = true;
-        }
-      }
-    }
-    ++leg_batches;
-
-    if (corpus != nullptr) {
-      for (size_t i = tests_before; i < stats.tests.size(); ++i) {
-        corpus->AppendEntry(stats.tests[i]);
-      }
-      corpus->AppendJournalBatch(journal_batch);
-      CorpusCheckpoint cp;
-      cp.complete = done;
-      cp.task_counter = task_counter;
-      cp.seeds_tried = stats.seeds_tried;
-      cp.seeds_skipped = stats.seeds_skipped;
-      cp.total_iterations = stats.total_iterations;
-      int64_t forwards = forward_offset - forward_base;
-      for (const Model* m : models_) {
-        forwards += m->forward_passes();
-      }
-      cp.forward_passes = forwards;
-      cp.num_tests = stats.tests.size();
-      cp.num_batches = corpus->journal().size();
-      cp.mean_coverage = MeanCoverage();
-      for (const auto& metric : metrics_) {
-        std::ostringstream blob;
-        BinaryWriter writer(blob);
-        metric->Serialize(writer);
-        cp.metric_blobs.push_back(blob.str());
-      }
-      corpus->WriteCheckpoint(cp);
     }
   }
+  ++batches_;
 
-  if (corpus != nullptr && !done && corpus->has_checkpoint() &&
-      !corpus->checkpoint().complete && leg_batches < options.max_sync_batches &&
-      timer.ElapsedSeconds() <= options.max_seconds) {
-    // The scheduler ran dry (the loop exited on an empty batch): the
-    // campaign is complete — re-stamp the last checkpoint so a later
-    // --resume is a no-op instead of spinning the scheduler again.
-    CorpusCheckpoint cp = corpus->checkpoint();
-    cp.complete = true;
-    corpus->WriteCheckpoint(cp);
+  if (corpus_ != nullptr) {
+    for (size_t i = tests_before; i < stats_.tests.size(); ++i) {
+      corpus_->AppendEntry(stats_.tests[i]);
+    }
+    corpus_->AppendJournalBatch(journal_batch);
+    CorpusCheckpoint cp;
+    cp.complete = done_;
+    cp.task_counter = task_counter_;
+    cp.seeds_tried = stats_.seeds_tried;
+    cp.seeds_skipped = stats_.seeds_skipped;
+    cp.total_iterations = stats_.total_iterations;
+    cp.forward_passes = CumulativeForwardPasses();
+    cp.num_tests = stats_.tests.size();
+    cp.num_batches = corpus_->journal().size();
+    cp.mean_coverage = s.MeanCoverage();
+    for (const auto& metric : s.metrics_) {
+      std::ostringstream blob;
+      BinaryWriter writer(blob);
+      metric->Serialize(writer);
+      cp.metric_blobs.push_back(blob.str());
+    }
+    corpus_->WriteCheckpoint(cp);
   }
 
-  stats.seconds = timer.ElapsedSeconds();
-  stats.mean_coverage = MeanCoverage();
-  for (const Model* m : models_) {
-    stats.forward_passes += m->forward_passes();
+  active_seconds_ += timer.ElapsedSeconds();
+  if (options_.on_batch) {
+    options_.on_batch(Progress());
   }
-  stats.forward_passes += forward_offset - forward_base;
+  return true;
+}
+
+int64_t SessionRun::CumulativeForwardPasses() const {
+  int64_t forwards = forward_offset_ - forward_base_;
+  for (const Model* m : session_->models_) {
+    forwards += m->forward_passes();
+  }
+  return forwards;
+}
+
+RunStats SessionRun::Snapshot() const {
+  RunStats stats = stats_;
+  stats.seconds = active_seconds_;
+  stats.mean_coverage = session_->MeanCoverage();
+  stats.forward_passes = CumulativeForwardPasses();
   return stats;
+}
+
+RunProgress SessionRun::Progress() const {
+  RunProgress progress;
+  progress.batches = batches_;
+  progress.seeds_tried = stats_.seeds_tried;
+  progress.seeds_skipped = stats_.seeds_skipped;
+  progress.tests_found = static_cast<int>(stats_.tests.size());
+  progress.total_iterations = stats_.total_iterations;
+  progress.forward_passes = CumulativeForwardPasses();
+  progress.mean_coverage = session_->MeanCoverage();
+  progress.seconds = active_seconds_;
+  progress.done = done_;
+  return progress;
 }
 
 ExecutorProfile Session::ExecutorPhases() const { return executor_->profile(); }

@@ -27,6 +27,7 @@
 #define DX_SRC_CORE_SESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -131,6 +132,24 @@ struct GeneratedTest {
   double seconds = 0.0;
 };
 
+// Progress snapshot handed to RunOptions::on_batch after every completed
+// sync batch (checkpoint boundary). Counters are campaign-cumulative: a
+// resumed run reports the totals an uninterrupted run would, so consumers
+// (daemon status endpoints, the CLI --progress line) never need to poll the
+// corpus.
+struct RunProgress {
+  uint64_t batches = 0;  // Sync batches completed, including restored legs.
+  int seeds_tried = 0;
+  int seeds_skipped = 0;
+  int tests_found = 0;
+  int64_t total_iterations = 0;
+  int64_t forward_passes = 0;
+  float mean_coverage = 0.0f;
+  // Active stepping wall time (excludes time a paused campaign sat idle).
+  double seconds = 0.0;
+  bool done = false;  // A terminal condition (not a leg bound) was hit.
+};
+
 struct RunOptions {
   int max_tests = 1 << 30;
   // How many times to cycle through the seed list (Algorithm 1 cycles
@@ -144,6 +163,11 @@ struct RunOptions {
   // run cut here resumes exactly where it stopped, which is how interrupted
   // or sharded campaign legs are modeled. Per-leg, not stored in the corpus.
   int64_t max_sync_batches = int64_t{1} << 60;
+  // Called after every completed sync batch with a progress snapshot. Purely
+  // observational — never affects results and is not part of the corpus
+  // manifest (requires sync_interval > 0; the legacy serial mode has no
+  // batch boundaries to report).
+  std::function<void(const RunProgress&)> on_batch;
 };
 
 struct RunStats {
@@ -173,6 +197,8 @@ struct ReplayResult {
   // campaign when ok).
   RunStats stats;
 };
+
+class SessionRun;
 
 class Session {
  public:
@@ -250,6 +276,22 @@ class Session {
   RunStats Run(const std::vector<Tensor>& seeds, const RunOptions& options,
                Corpus* corpus);
 
+  // Opens an incrementally steppable run (see SessionRun below): the same
+  // semantics as Run(seeds, options, corpus) but the caller drives the sync
+  // batches one Step() at a time and may pause indefinitely between them.
+  // `seeds` must outlive the returned run. Requires sync_interval > 0 (the
+  // legacy serial mode has no batch boundaries to step at); throws
+  // std::invalid_argument otherwise, or on a corpus/config mismatch.
+  std::unique_ptr<SessionRun> BeginRun(const std::vector<Tensor>& seeds,
+                                       const RunOptions& options, Corpus* corpus);
+
+  // Borrows an external thread pool for parallel sync batches instead of the
+  // session-owned pool sized from config().workers — how a service
+  // multiplexes many concurrent sessions over one shared pool. Non-owning;
+  // pass nullptr to return to the config-sized pool. Never affects results
+  // (they are worker-count invariant), only where the work runs.
+  void SetWorkerPool(ThreadPool* pool) { external_pool_ = pool; }
+
   // Deterministic replay: re-executes the recorded campaign from scratch
   // (corpus-stored seeds, options, and leg boundary) through the batched
   // Executor and verifies bit-identical results — every generated test is
@@ -274,6 +316,8 @@ class Session {
   ExecutorProfile ExecutorPhases() const;
 
  private:
+  friend class SessionRun;  // The lifted run state drives the private parts.
+
   struct ReplayCursor;  // Entry-by-entry verifier state (session.cc).
 
   std::vector<std::unique_ptr<CoverageMetric>> CloneMetrics() const;
@@ -304,7 +348,82 @@ class Session {
   std::unique_ptr<Executor> executor_;  // Batched execution engine (default path).
   Rng rng_;  // Serial-path RNG (facade compatibility).
   std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* external_pool_ = nullptr;  // Borrowed via SetWorkerPool.
   bool profiled_ = false;
+};
+
+// The state of one in-flight Session run, lifted out of the run loop's stack
+// frame into an addressable object: scheduler position (held by the session's
+// scheduler), global task counter, cumulative RunStats, forward-pass
+// accounting, and the corpus/replay cursors. Session::Run is now a loop over
+// Step(); a service holds one SessionRun per campaign and interleaves Step()
+// calls from a shared worker pool. Step boundaries are exactly the sync-batch
+// boundaries results are already deterministic at, so a run paused between
+// steps — for seconds or across a daemon restart via its corpus checkpoint —
+// finishes bit-identical to an uninterrupted Session::Run at any worker
+// count.
+//
+// Not thread-safe: Step/Snapshot/stats must be externally serialized (they
+// may run from different threads over time — a mutex or queue handoff
+// provides the needed ordering). Progress() is safe to call concurrently
+// with nothing; callers wanting lock-free status should cache the snapshots
+// on_batch hands out. The Session, seed vector, and corpus must outlive the
+// run, and at most one SessionRun per Session may be live.
+class SessionRun {
+ public:
+  ~SessionRun();
+  SessionRun(const SessionRun&) = delete;
+  SessionRun& operator=(const SessionRun&) = delete;
+
+  // Executes one sync batch (scheduling, lockstep chunks, merge/report,
+  // corpus append + checkpoint, on_batch callback). Returns true when the
+  // batch ran, false when the campaign is complete (scheduler exhausted or a
+  // terminal bound was already hit) — after false, done() is true and the
+  // corpus checkpoint (if any) is stamped complete.
+  bool Step();
+
+  // True once a terminal condition was hit: max_tests, coverage goal,
+  // scheduler exhausted, or replay divergence. Leg bounds (max_sync_batches,
+  // max_seconds) never set this — they are the caller's loop conditions.
+  bool done() const { return done_; }
+
+  // Live view of the accumulated stats (seconds/mean_coverage/forward_passes
+  // are only stamped by Snapshot).
+  const RunStats& stats() const { return stats_; }
+
+  // The stats a completed Run call would return right now: counters plus the
+  // freshly stamped seconds, mean coverage, and cumulative forward passes.
+  RunStats Snapshot() const;
+
+  // Lightweight counters-only snapshot (what on_batch receives).
+  RunProgress Progress() const;
+
+  // Active stepping wall time so far (the max_seconds bound is enforced
+  // against this, so paused time never counts against a campaign).
+  double active_seconds() const { return active_seconds_; }
+
+ private:
+  friend class Session;
+
+  SessionRun(Session* session, const std::vector<Tensor>* seeds, RunOptions options,
+             Corpus* corpus, Session::ReplayCursor* replay);
+
+  // forward_offset_ - forward_base_ + live model counters: the campaign-total
+  // forward pass count across resume legs.
+  int64_t CumulativeForwardPasses() const;
+
+  Session* session_;
+  const std::vector<Tensor>* seeds_;
+  RunOptions options_;
+  Corpus* corpus_;
+  Session::ReplayCursor* replay_;
+  RunStats stats_;
+  uint64_t task_counter_ = 0;
+  uint64_t batches_ = 0;        // Campaign-total sync batches (incl. restored).
+  int64_t forward_base_ = 0;    // Model counters at construction.
+  int64_t forward_offset_ = 0;  // Passes accumulated by earlier legs.
+  double active_seconds_ = 0.0;
+  bool done_ = false;
 };
 
 }  // namespace dx

@@ -1,0 +1,79 @@
+#ifndef DX_SERVICE_DAEMON_H_
+#define DX_SERVICE_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/service/campaign_manager.h"
+#include "src/service/http.h"
+#include "src/service/net.h"
+#include "src/util/json.h"
+#include "src/util/timer.h"
+
+namespace dx {
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  int port = 7077;       // ctl socket (newline-delimited JSON); 0 = ephemeral
+  int http_port = 7078;  // /health + /metrics; 0 = ephemeral
+  ManagerOptions manager;
+};
+
+// The dxplored service: a CampaignManager fronted by two loopback listeners —
+// a line-oriented JSON ctl socket (submit/status/pause/resume/cancel/list/
+// results/drain) and an HTTP introspection plane (/health, /metrics in
+// Prometheus text format). Each ctl connection carries exactly one request
+// line and one response line; clients reconnect per request.
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options = {});
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Binds both listeners and starts serving. Throws on bind failure.
+  void Start();
+  // Stops listeners and the manager's workers. Campaigns keep their last
+  // checkpoint; call manager().Drain() first for a graceful shutdown.
+  void Stop();
+
+  int port() const { return port_; }
+  int http_port() const { return http_server_.port(); }
+
+  CampaignManager& manager() { return *manager_; }
+
+  // Blocks until a `drain` request (or RequestDrain) arrives, then drains
+  // the manager and returns. The caller should then Stop() and exit 0.
+  void WaitForShutdown();
+  // Signal-safe shutdown trigger (sets an atomic flag WaitForShutdown polls).
+  void RequestDrain() { drain_requested_.store(true); }
+
+  // Exposed for tests (the HTTP handlers serve exactly these).
+  std::string MetricsText();
+  Json HealthJson();
+
+  // Handles one parsed ctl request (exposed for tests).
+  Json Handle(const Json& request);
+
+ private:
+  void ServeCtl();
+  HttpServer::Response HandleHttp(const std::string& path);
+
+  DaemonOptions options_;
+  std::unique_ptr<CampaignManager> manager_;
+  Socket ctl_listener_;
+  std::thread ctl_thread_;
+  HttpServer http_server_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<uint64_t> requests_total_{0};
+  Timer uptime_;
+  int port_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dx
+
+#endif  // DX_SERVICE_DAEMON_H_

@@ -1,0 +1,99 @@
+#include "src/service/http.h"
+
+#include <sstream>
+
+namespace dx {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+void HttpServer::Start(const std::string& host, int port, Handler handler) {
+  handler_ = std::move(handler);
+  listener_ = TcpListen(host, port, &port_);
+  stopping_.store(false);
+  thread_ = std::thread([this] { Serve(); });
+}
+
+void HttpServer::Stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  stopping_.store(true);
+  // Connecting to ourselves unblocks the accept() so the thread can observe
+  // stopping_ — portable, no signalfd/pipe plumbing needed.
+  try {
+    Socket poke = TcpConnect("127.0.0.1", port_);
+  } catch (const std::exception&) {
+    // Listener already gone; the thread will notice on its own.
+  }
+  thread_.join();
+  listener_.Close();
+}
+
+void HttpServer::Serve() {
+  while (!stopping_.load()) {
+    Socket conn = TcpAccept(listener_);
+    if (!conn.valid()) {
+      if (stopping_.load()) {
+        return;
+      }
+      continue;
+    }
+    if (stopping_.load()) {
+      return;
+    }
+    SetRecvTimeout(conn, 2000);  // a stalled client must not wedge the plane
+    LineReader reader(conn);
+    std::string request_line;
+    if (!reader.ReadLine(&request_line)) {
+      continue;
+    }
+    // "GET /path HTTP/1.1" — method and version are ignored beyond parsing.
+    std::istringstream parts(request_line);
+    std::string method, target, version;
+    parts >> method >> target >> version;
+    // Drain headers so well-behaved clients see a clean close.
+    std::string header;
+    while (reader.ReadLine(&header) && !header.empty()) {
+    }
+    Response response;
+    if (method != "GET") {
+      response.status = 400;
+      response.body = "only GET is supported\n";
+    } else {
+      const size_t query = target.find('?');
+      if (query != std::string::npos) {
+        target.resize(query);
+      }
+      try {
+        response = handler_(target);
+      } catch (const std::exception& e) {
+        response.status = 500;
+        response.body = std::string("internal error: ") + e.what() + "\n";
+      }
+    }
+    std::ostringstream out;
+    out << "HTTP/1.0 " << response.status << " " << StatusText(response.status)
+        << "\r\nContent-Type: " << response.content_type
+        << "\r\nContent-Length: " << response.body.size()
+        << "\r\nConnection: close\r\n\r\n"
+        << response.body;
+    try {
+      WriteAll(conn, out.str());
+    } catch (const std::exception&) {
+      // Peer vanished mid-response; nothing to do.
+    }
+  }
+}
+
+}  // namespace dx

@@ -1,0 +1,50 @@
+#ifndef DX_SERVICE_HTTP_H_
+#define DX_SERVICE_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/service/net.h"
+
+namespace dx {
+
+// Minimal embedded HTTP/1.0-style listener for the introspection plane
+// (/health, /metrics). One accept thread, one request per connection,
+// connection closed after the response — scrapers and curl both cope, and
+// it keeps the server free of keep-alive state.
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  // Handler receives the request path (with query string stripped).
+  using Handler = std::function<Response(const std::string& path)>;
+
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds and starts the accept thread. Throws on bind failure.
+  void Start(const std::string& host, int port, Handler handler);
+  void Stop();
+
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+
+  Socket listener_;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  int port_ = 0;
+};
+
+}  // namespace dx
+
+#endif  // DX_SERVICE_HTTP_H_

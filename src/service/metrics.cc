@@ -1,0 +1,63 @@
+#include "src/service/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dx {
+namespace {
+
+void AppendEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+void AppendValue(double value, std::string* out) {
+  char buf[32];
+  if (std::isnan(value)) {
+    std::snprintf(buf, sizeof(buf), "NaN");
+  } else if (std::isinf(value)) {
+    std::snprintf(buf, sizeof(buf), value > 0 ? "+Inf" : "-Inf");
+  } else if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void PrometheusWriter::Family(const std::string& name, const std::string& help,
+                              const std::string& type) {
+  text_ += "# HELP " + name + " " + help + "\n";
+  text_ += "# TYPE " + name + " " + type + "\n";
+}
+
+void PrometheusWriter::Sample(const std::string& name, const Labels& labels,
+                              double value) {
+  text_ += name;
+  if (!labels.empty()) {
+    text_.push_back('{');
+    bool first = true;
+    for (const auto& [key, label_value] : labels) {
+      if (!first) text_.push_back(',');
+      first = false;
+      text_ += key;
+      text_ += "=\"";
+      AppendEscaped(label_value, &text_);
+      text_.push_back('"');
+    }
+    text_.push_back('}');
+  }
+  text_.push_back(' ');
+  AppendValue(value, &text_);
+  text_.push_back('\n');
+}
+
+}  // namespace dx

@@ -1,0 +1,30 @@
+#ifndef DX_SERVICE_METRICS_H_
+#define DX_SERVICE_METRICS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dx {
+
+// Emits the Prometheus text exposition format (version 0.0.4): one
+// `# HELP` / `# TYPE` pair per family, then `name{labels} value` samples.
+// Families must be opened before their samples; label values are escaped
+// per the spec (backslash, double-quote, newline).
+class PrometheusWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  void Family(const std::string& name, const std::string& help,
+              const std::string& type);
+  void Sample(const std::string& name, const Labels& labels, double value);
+
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+}  // namespace dx
+
+#endif  // DX_SERVICE_METRICS_H_

@@ -1,0 +1,168 @@
+#include "src/service/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dx {
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in MakeAddr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: invalid IPv4 address \"" + host + "\"");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Socket TcpListen(const std::string& host, int port, int* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    ThrowErrno("net: socket");
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = MakeAddr(host, port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ThrowErrno("net: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    ThrowErrno("net: listen");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      ThrowErrno("net: getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Socket TcpAccept(const Socket& listener) {
+  int fd = ::accept(listener.fd(), nullptr, nullptr);
+  return Socket(fd);  // invalid (-1) on failure; caller loops or exits
+}
+
+Socket TcpConnect(const std::string& host, int port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    ThrowErrno("net: socket");
+  }
+  sockaddr_in addr = MakeAddr(host, port);
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ThrowErrno("net: connect " + host + ":" + std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+void SetRecvTimeout(const Socket& socket, int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void WriteAll(const Socket& socket, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::send(socket.fd(), data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ThrowErrno("net: send");
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+bool LineReader::ReadLine(std::string* line) {
+  while (true) {
+    size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      *line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line->empty() && line->back() == '\r') {
+        line->pop_back();
+      }
+      return true;
+    }
+    if (eof_) {
+      return false;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      eof_ = true;
+      return false;  // timeout, error, or orderly shutdown all end the stream
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool LineReader::ReadExact(size_t n, std::string* out) {
+  while (buffer_.size() < n) {
+    if (eof_) {
+      return false;
+    }
+    char chunk[4096];
+    ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) {
+      continue;
+    }
+    if (got <= 0) {
+      eof_ = true;
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+  out->append(buffer_, 0, n);
+  buffer_.erase(0, n);
+  return true;
+}
+
+}  // namespace dx

@@ -1,0 +1,70 @@
+#ifndef DX_SERVICE_NET_H_
+#define DX_SERVICE_NET_H_
+
+#include <string>
+
+namespace dx {
+
+// Thin RAII + helper layer over POSIX loopback TCP sockets. Everything the
+// service needs — listen, accept, connect, line-framed reads, full writes —
+// and nothing else; no external networking dependency.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+  // Releases ownership without closing (for handing the fd to a thread).
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds + listens on host:port (port 0 picks an ephemeral port). Throws
+// std::runtime_error with errno text on failure. *bound_port receives the
+// actual port (useful with port 0).
+Socket TcpListen(const std::string& host, int port, int* bound_port);
+
+// Accepts one connection; returns an invalid Socket on transient failure
+// (EINTR / listener closed) instead of throwing.
+Socket TcpAccept(const Socket& listener);
+
+// Connects to host:port; throws std::runtime_error on failure.
+Socket TcpConnect(const std::string& host, int port);
+
+// Optional per-socket receive timeout; 0 disables.
+void SetRecvTimeout(const Socket& socket, int millis);
+
+// Writes the whole buffer, throwing on error (EPIPE included — callers treat
+// a vanished peer as a dropped request).
+void WriteAll(const Socket& socket, const std::string& data);
+
+// Buffered reader that frames a byte stream into '\n'-terminated lines.
+class LineReader {
+ public:
+  explicit LineReader(const Socket& socket) : fd_(socket.fd()) {}
+
+  // Reads the next line (without the trailing newline; a trailing '\r' is
+  // stripped for telnet/HTTP friendliness). Returns false on EOF or timeout.
+  bool ReadLine(std::string* line);
+
+  // Reads exactly n bytes into *out (appending); false on premature EOF.
+  bool ReadExact(size_t n, std::string* out);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace dx
+
+#endif  // DX_SERVICE_NET_H_

@@ -17,6 +17,14 @@
 #   in optimized builds; the bench's inline bit-identity checks (plan vs
 #   by-value execution) keep the zero-allocation path honest there.
 #
+#   mode "service-smoke": build the campaign daemon + client and drive the
+#   full lifecycle end to end over real sockets: start dxplored on ephemeral
+#   ports, submit an mnist campaign via dxplorectl, poll /health and
+#   /metrics, pause/resume mid-flight, drain the daemon mid-campaign
+#   (must exit 0 with every campaign checkpointed), restart, resume the
+#   campaign from its corpus, wait for DONE, then `dxplore --replay` the
+#   corpus to prove the daemon-driven run is bit-identical on re-execution.
+#
 # ctest writes a JUnit report to <build-dir>/ctest-junit.xml and a
 # slowest-first per-test timing table is printed after every run, so slow
 # tests are visible before they become the long pole.
@@ -53,6 +61,136 @@ if [ "$MODE" = "release" ]; then
   DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
     "$BUILD_DIR/bench_plan_steady_state"
   echo "==> OK (release)"
+  exit 0
+fi
+
+if [ "$MODE" = "service-smoke" ]; then
+  echo "==> build (service smoke: daemon + client + CLI)"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target dxplored dxplorectl dxplore
+
+  SVC_DIR="$BUILD_DIR/service_smoke"
+  rm -rf "$SVC_DIR"
+  mkdir -p "$SVC_DIR"
+  SVC_CORPUS="$SVC_DIR/corpus"
+  DAEMON_LOG="$SVC_DIR/dxplored.log"
+  DAEMON_PID=""
+
+  cleanup_daemon() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2> /dev/null; then
+      kill "$DAEMON_PID" 2> /dev/null || true
+      wait "$DAEMON_PID" 2> /dev/null || true
+    fi
+  }
+  trap cleanup_daemon EXIT
+
+  # Start dxplored on ephemeral ports and parse the bound ports from its
+  # "dxplored listening ctl=P http=P" banner (port 0 avoids collisions with
+  # anything else on the CI host).
+  start_daemon() {
+    : > "$DAEMON_LOG"
+    "$BUILD_DIR/dxplored" --port 0 --http-port 0 --campaign-workers 2 \
+      >> "$DAEMON_LOG" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+      grep -q "dxplored listening" "$DAEMON_LOG" && break
+      sleep 0.1
+    done
+    CTL_PORT=$(sed -n 's/.*ctl=\([0-9]*\).*/\1/p' "$DAEMON_LOG" | tail -1)
+    HTTP_PORT=$(sed -n 's/.*http=\([0-9]*\).*/\1/p' "$DAEMON_LOG" | tail -1)
+    if [ -z "$CTL_PORT" ] || [ -z "$HTTP_PORT" ]; then
+      echo "==> FAILED (dxplored did not report its ports)"
+      cat "$DAEMON_LOG"
+      exit 1
+    fi
+  }
+
+  ctl() {
+    "$BUILD_DIR/dxplorectl" --port "$CTL_PORT" --http-port "$HTTP_PORT" "$@"
+  }
+
+  # Poll `status ID` until the campaign reaches STATE (pause/cancel apply at
+  # the next batch boundary, so state changes are asynchronous).
+  wait_state() {
+    local id="$1" state="$2"
+    for _ in $(seq 1 200); do
+      if ctl status "$id" | grep -q "\"state\":\"$state\""; then
+        return 0
+      fi
+      sleep 0.1
+    done
+    echo "==> FAILED (campaign $id never reached $state)"
+    ctl status "$id" || true
+    exit 1
+  }
+
+  echo "==> service smoke: start dxplored"
+  start_daemon
+  echo "    ctl=$CTL_PORT http=$HTTP_PORT"
+  ctl ping > /dev/null
+  ctl get /health | grep -q '"status":"ok"'
+
+  echo "==> service smoke: submit mnist campaign"
+  # Sized so the campaign runs for many sync batches (pause and drain below
+  # must land mid-flight, never racing completion) but still finishes in
+  # seconds once resumed to completion.
+  SUBMIT=$(ctl submit domain=mnist seeds=16 max_seed_passes=12 \
+    max_iterations_per_seed=150 batch_size=4 sync_interval=4 \
+    corpus_dir="$SVC_CORPUS")
+  echo "    $SUBMIT"
+  CAMPAIGN_ID=$(echo "$SUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+  [ -n "$CAMPAIGN_ID" ]
+  wait_state "$CAMPAIGN_ID" RUNNING
+
+  echo "==> service smoke: pause / resume"
+  ctl pause "$CAMPAIGN_ID" > /dev/null
+  wait_state "$CAMPAIGN_ID" PAUSED
+  ctl resume "$CAMPAIGN_ID" > /dev/null
+  wait_state "$CAMPAIGN_ID" RUNNING
+
+  echo "==> service smoke: /health + /metrics while running"
+  ctl get /health | grep -q '"running":'
+  METRICS=$(ctl get /metrics)
+  for family in dxplored_uptime_seconds dxplored_ctl_requests_total \
+    dxplored_campaigns_submitted_total dxplored_campaign_tests_total \
+    dxplored_campaign_coverage_ratio dxplored_executor_phase_seconds; do
+    if ! echo "$METRICS" | grep -q "^$family"; then
+      echo "==> FAILED (/metrics missing family $family)"
+      echo "$METRICS"
+      exit 1
+    fi
+  done
+
+  echo "==> service smoke: drain mid-campaign (checkpoint + exit 0)"
+  "$BUILD_DIR/dxplored" --drain --port "$CTL_PORT" > /dev/null
+  DRAIN_RC=0
+  wait "$DAEMON_PID" || DRAIN_RC=$?
+  DAEMON_PID=""
+  if [ "$DRAIN_RC" -ne 0 ]; then
+    echo "==> FAILED (dxplored exited $DRAIN_RC on drain)"
+    cat "$DAEMON_LOG"
+    exit 1
+  fi
+
+  echo "==> service smoke: restart + resume campaign from its corpus"
+  start_daemon
+  echo "    ctl=$CTL_PORT http=$HTTP_PORT"
+  RESUBMIT=$(ctl submit corpus_dir="$SVC_CORPUS" resume=true)
+  echo "    $RESUBMIT"
+  RESUMED_ID=$(echo "$RESUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+  [ -n "$RESUMED_ID" ]
+  ctl wait "$RESUMED_ID" --timeout-seconds 300 > /dev/null
+  ctl results "$RESUMED_ID" | grep -q '"ok":true'
+  ctl get /metrics | grep -q 'state="DONE"'
+
+  echo "==> service smoke: drain idle daemon"
+  "$BUILD_DIR/dxplored" --drain --port "$CTL_PORT" > /dev/null
+  wait "$DAEMON_PID"
+  DAEMON_PID=""
+
+  echo "==> service smoke: replay the daemon-recorded corpus bit for bit"
+  "$BUILD_DIR/dxplore" --replay --corpus-dir "$SVC_CORPUS"
+
+  echo "==> OK (service-smoke)"
   exit 0
 fi
 

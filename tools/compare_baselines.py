@@ -39,6 +39,7 @@ def main():
     baseline_dir, current_dir = sys.argv[1], sys.argv[2]
     flagged = 0
     compared = 0
+    core_warnings = 0
     lines = []
     for name in sorted(os.listdir(baseline_dir)):
         if not name.endswith(".json"):
@@ -60,6 +61,16 @@ def main():
         lines.append(
             f"  {name} (baseline host_cores={base_cores}, current={cur_cores}):"
         )
+        if base_cores != cur_cores:
+            # Throughput on an N-core host is not comparable to a baseline
+            # recorded on an M-core host; don't let the numbers below read as
+            # apples-to-apples. Warn loudly, never fail (exit stays 0).
+            core_warnings += 1
+            lines.append(
+                f"    WARNING: host core count differs (baseline {base_cores} "
+                f"vs current {cur_cores}); throughput deltas below are not "
+                f"apples-to-apples — re-record on the reference host"
+            )
         # Match rows by key, not position: a bench that adds/reorders rows
         # must not pair unrelated measurements.
         current_rows = {row_key(r): r for r in cur.get("rows", [])}
@@ -88,7 +99,8 @@ def main():
     for line in lines:
         print(line)
     print(
-        f"{compared} measurements compared, {flagged} flagged "
+        f"{compared} measurements compared, {flagged} flagged, "
+        f"{core_warnings} host-core-count warnings "
         f"(informational; hosts differ — see bench/baselines/)"
     )
     return 0

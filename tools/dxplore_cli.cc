@@ -47,6 +47,7 @@
 #include "src/core/session.h"
 #include "src/corpus/corpus.h"
 #include "src/coverage/coverage_metric.h"
+#include "src/service/client.h"
 #include "src/models/trainer.h"
 #include "src/models/zoo.h"
 #include "src/util/image_io.h"
@@ -92,6 +93,7 @@ std::string Join(const std::vector<std::string>& names) {
   --replay        re-execute the campaign in --corpus-dir and verify the
                   recorded results bit for bit (exit 0 ok, 3 diverged)
   --max-batches N stop this leg after N sync batches (resumable later)
+  --progress N    print a progress line every N sync batches (stderr)
   --profile       print a per-phase wall-time table after the run (stack /
                   forward / gradient / constraint / coverage)
   --list          print the model zoo and exit
@@ -102,6 +104,10 @@ std::string Join(const std::vector<std::string>& names) {
 
 Results are deterministic for a fixed --rng-seed, whatever --workers or
 --batch-size is.
+
+`dxplore ctl COMMAND ...` drives a running dxplored campaign daemon
+(submit/status/list/pause/resume/cancel/results/wait/drain/get; see
+`dxplore ctl --help`).
 )";
   std::exit(code);
 }
@@ -143,6 +149,7 @@ int Main(int argc, char** argv) {
   int workers = 1;
   int batch_size = 8;
   int64_t max_batches = -1;
+  int64_t progress_every = 0;
   uint64_t rng_seed = 1234;
   float threshold = 0.0f;
   std::optional<float> lambda1;
@@ -182,6 +189,7 @@ int Main(int argc, char** argv) {
     else if (arg == "--resume") resume = true;
     else if (arg == "--replay") replay = true;
     else if (arg == "--max-batches") max_batches = std::atoll(next());
+    else if (arg == "--progress") progress_every = std::atoll(next());
     else if (arg == "--profile") profile = true;
     else if (arg == "--list") list = true;
     else if (arg == "--list-domains") {
@@ -352,6 +360,17 @@ int Main(int argc, char** argv) {
   if (max_batches >= 0) {
     opts.max_sync_batches = max_batches;
   }
+  if (progress_every > 0) {
+    // Push-based progress (RunOptions::on_batch) — no corpus polling needed.
+    opts.on_batch = [progress_every](const RunProgress& p) {
+      if (p.batches % static_cast<uint64_t>(progress_every) != 0 && !p.done) {
+        return;
+      }
+      std::cerr << "progress: batches=" << p.batches << " tried=" << p.seeds_tried
+                << " tests=" << p.tests_found << " coverage=" << p.mean_coverage
+                << " seconds=" << p.seconds << "\n";
+    };
+  }
 
   RunStats stats;
   bool replay_ok = true;
@@ -451,6 +470,11 @@ int Main(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `dxplore ctl ...` drives a running dxplored daemon (same commands as the
+  // standalone dxplorectl binary).
+  if (argc > 1 && std::string(argv[1]) == "ctl") {
+    return dx::CtlMain(argc - 2, argv + 2);
+  }
   try {
     return Main(argc, argv);
   } catch (const std::exception& e) {

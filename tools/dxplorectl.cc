@@ -1,0 +1,6 @@
+// dxplorectl: client for the dxplored campaign service. All the logic lives
+// in src/service/client.cc (shared with `dxplore_cli ctl`); this is the
+// standalone binary CI and operators script against.
+#include "src/service/client.h"
+
+int main(int argc, char** argv) { return dx::CtlMain(argc - 1, argv + 1); }
