@@ -22,6 +22,9 @@
 
 namespace dx {
 
+class BinaryReader;
+class BinaryWriter;
+
 class SeedScheduler {
  public:
   virtual ~SeedScheduler() = default;
@@ -37,6 +40,19 @@ class SeedScheduler {
 
   // Outcome feedback for a scheduled seed, reported in schedule order.
   virtual void Report(int seed_index, bool found_test, float coverage_gain);
+
+  // ---- Optional state snapshots (O(delta) resume) --------------------------
+  //
+  // A scheduler that can serialize its full decision state lets a resumed
+  // session restore it directly from the corpus checkpoint instead of
+  // replaying the whole journal through Next()/Report() — O(1) in history
+  // length. The contract: LoadState(SaveState()) after Reset(n, p) with the
+  // same (n, p) must leave the scheduler emitting the exact Next() stream the
+  // original would have. Plug-ins that don't override these keep the
+  // journal-replay fallback (SaveState/LoadState then throw std::logic_error).
+  virtual bool SupportsSnapshot() const { return false; }
+  virtual void SaveState(BinaryWriter& writer) const;
+  virtual void LoadState(BinaryReader& reader);
 };
 
 // Algorithm 1: cycle seeds 0..n-1, up to max_passes times.
@@ -45,6 +61,9 @@ class RoundRobinScheduler : public SeedScheduler {
   std::string name() const override { return "roundrobin"; }
   void Reset(int num_seeds, int max_passes) override;
   int Next() override;
+  bool SupportsSnapshot() const override { return true; }
+  void SaveState(BinaryWriter& writer) const override;
+  void LoadState(BinaryReader& reader) override;
 
  private:
   int num_seeds_ = 0;
@@ -65,6 +84,9 @@ class CoverageGainScheduler : public SeedScheduler {
   void Reset(int num_seeds, int max_passes) override;
   int Next() override;
   void Report(int seed_index, bool found_test, float coverage_gain) override;
+  bool SupportsSnapshot() const override { return true; }
+  void SaveState(BinaryWriter& writer) const override;
+  void LoadState(BinaryReader& reader) override;
 
  private:
   float found_bonus_;

@@ -8,6 +8,7 @@
 
 #include "src/core/executor.h"
 #include "src/corpus/corpus.h"
+#include "src/corpus/maintenance.h"
 #include "src/tensor/ops.h"
 #include "src/util/serialize.h"
 #include "src/util/timer.h"
@@ -266,6 +267,12 @@ ReplayResult Session::Replay(const Corpus& corpus) {
   if (!corpus.initialized() || !corpus.has_checkpoint()) {
     throw std::invalid_argument("Session::Replay: corpus has no recorded campaign");
   }
+  if (corpus.meta().FindMetadata("transform") != nullptr) {
+    // A maintenance artifact (distilled/deduped/minimized) has no journal to
+    // re-execute; it verifies by re-predicting every retained entry and
+    // re-deriving the checkpointed coverage state from scratch.
+    return VerifyDerivedCorpus(*this, corpus);
+  }
   const CorpusMeta& meta = corpus.meta();
   RunOptions options;
   options.max_tests = meta.max_tests;
@@ -334,6 +341,10 @@ void Session::ValidateCorpus(const Corpus& corpus, const std::vector<Tensor>& se
     throw std::invalid_argument("Session: corpus " + corpus.dir() +
                                 " does not match this session: " + what);
   };
+  if (const std::string* transform = meta.FindMetadata("transform")) {
+    fail("corpus is a derived maintenance artifact (transform=" + *transform +
+         ") — derived corpora replay for verification but never resume");
+  }
   if (meta.metric != config_.metric || meta.objective != config_.objective ||
       meta.scheduler != config_.scheduler) {
     fail("metric/objective/scheduler wiring differs");
@@ -404,9 +415,23 @@ void Session::RestoreFromCheckpoint(const Corpus& corpus, const std::vector<Tens
   // resumed run must not re-profile, or forward_passes would double-count.
   profiled_ = true;
 
+  scheduler_->Reset(static_cast<int>(seeds.size()), options.max_seed_passes);
+  if (!cp.scheduler_blob.empty() && scheduler_->SupportsSnapshot()) {
+    // The checkpoint carries the scheduler's serialized decision state:
+    // restore it directly — O(1) in history length, bit-equivalent to the
+    // journal replay below (pinned by the corpus tests).
+    std::istringstream blob(cp.scheduler_blob);
+    BinaryReader reader(blob);
+    scheduler_->LoadState(reader);
+    stats->tests = corpus.entries();
+    stats->seeds_tried = cp.seeds_tried;
+    stats->seeds_skipped = cp.seeds_skipped;
+    stats->total_iterations = cp.total_iterations;
+    return;
+  }
+
   // The journal replays the exact Next()/Report() stream the scheduler saw,
   // reconstructing its state without requiring schedulers to serialize.
-  scheduler_->Reset(static_cast<int>(seeds.size()), options.max_seed_passes);
   for (const auto& batch : corpus.journal()) {
     for (const auto& record : batch) {
       const int index = scheduler_->Next();
@@ -580,7 +605,19 @@ SessionRun::SessionRun(Session* session, const std::vector<Tensor>* seeds,
   active_seconds_ += timer.ElapsedSeconds();
 }
 
-SessionRun::~SessionRun() = default;
+SessionRun::~SessionRun() {
+  if (corpus_ != nullptr) {
+    try {
+      // Make the leg's final checkpoint durable as a full snapshot so a
+      // clean shutdown (drain, leg bound, cancel) never loses batches to
+      // the segmented chain's delta window.
+      corpus_->Sync();
+    } catch (...) {
+      // Destructors must not throw; the chain still holds its previous
+      // snapshot, so a resume just re-executes a few more batches.
+    }
+  }
+}
 
 bool SessionRun::Step() {
   if (done_) {
@@ -758,6 +795,12 @@ bool SessionRun::Step() {
       BinaryWriter writer(blob);
       metric->Serialize(writer);
       cp.metric_blobs.push_back(blob.str());
+    }
+    if (s.scheduler_->SupportsSnapshot()) {
+      std::ostringstream blob;
+      BinaryWriter writer(blob);
+      s.scheduler_->SaveState(writer);
+      cp.scheduler_blob = blob.str();
     }
     corpus_->WriteCheckpoint(cp);
   }

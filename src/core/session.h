@@ -217,6 +217,7 @@ class Session {
 
   bool regression() const { return regression_; }
   int num_models() const { return static_cast<int>(models_.size()); }
+  const Model& model(int k) const { return *models_[static_cast<size_t>(k)]; }
   const SessionConfig& config() const { return config_; }
   const Objective& objective() const { return *objective_; }
   const SeedScheduler& scheduler() const { return *scheduler_; }
@@ -315,6 +316,11 @@ class Session {
   // config().profile_phases is set; zeros otherwise).
   ExecutorProfile ExecutorPhases() const;
 
+  // Rebuilds fresh (empty, unprofiled) coverage trackers. Replay and the
+  // corpus maintenance passes (src/corpus/maintenance.h) call this before
+  // re-deriving coverage state from scratch.
+  void ResetRunState();
+
  private:
   friend class SessionRun;  // The lifted run state drives the private parts.
 
@@ -332,11 +338,10 @@ class Session {
   void ValidateCorpus(const Corpus& corpus, const std::vector<Tensor>& seeds,
                       const RunOptions& options) const;
   // Restores coverage state + scheduler position + counters from the corpus
-  // checkpoint (journal replay reconstructs the scheduler exactly).
+  // checkpoint (a scheduler snapshot blob restores the scheduler in O(1);
+  // otherwise journal replay reconstructs it exactly).
   void RestoreFromCheckpoint(const Corpus& corpus, const std::vector<Tensor>& seeds,
                              const RunOptions& options, RunStats* stats);
-  // Rebuilds fresh coverage trackers (used by Replay).
-  void ResetRunState();
 
   std::vector<Model*> models_;
   const Constraint* constraint_;

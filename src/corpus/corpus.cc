@@ -1,5 +1,6 @@
 #include "src/corpus/corpus.h"
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -13,6 +14,39 @@ namespace {
 constexpr uint32_t kManifestMagic = 0x44584d46;    // "DXMF"
 constexpr uint32_t kEntryMagic = 0x44584554;       // "DXET"
 constexpr uint32_t kCheckpointMagic = 0x44584350;  // "DXCP"
+
+// Segmented checkpoint chain (checkpoints.bin).
+constexpr uint32_t kChainMagic = 0x44584343;   // "DXCC"
+constexpr uint32_t kChainVersion = 1;
+constexpr uint32_t kRecordMagic = 0x44584352;  // "DXCR"
+constexpr uint32_t kRecordEndMagic = 0x44584345;  // "DXCE"
+constexpr uint32_t kRecordSnapshot = 1;
+constexpr uint32_t kRecordDelta = 2;
+
+// The scalar counters shared by snapshot and delta records.
+void WriteCheckpointCounters(BinaryWriter& w, const CorpusCheckpoint& cp) {
+  w.WriteU32(cp.complete ? 1 : 0);
+  w.WriteU64(cp.task_counter);
+  w.WriteI64(cp.seeds_tried);
+  w.WriteI64(cp.seeds_skipped);
+  w.WriteI64(cp.total_iterations);
+  w.WriteI64(cp.forward_passes);
+  w.WriteU64(cp.num_tests);
+  w.WriteU64(cp.num_batches);
+  w.WriteF32(cp.mean_coverage);
+}
+
+void ReadCheckpointCounters(BinaryReader& r, CorpusCheckpoint& cp) {
+  cp.complete = r.ReadU32() != 0;
+  cp.task_counter = r.ReadU64();
+  cp.seeds_tried = static_cast<int>(r.ReadI64());
+  cp.seeds_skipped = static_cast<int>(r.ReadI64());
+  cp.total_iterations = r.ReadI64();
+  cp.forward_passes = r.ReadI64();
+  cp.num_tests = r.ReadU64();
+  cp.num_batches = r.ReadU64();
+  cp.mean_coverage = r.ReadF32();
+}
 
 void WriteEngine(BinaryWriter& w, const EngineConfig& e) {
   w.WriteF32(e.lambda1);
@@ -100,6 +134,14 @@ std::string Corpus::ManifestPath() const { return dir_ + "/manifest.bin"; }
 std::string Corpus::EntriesPath() const { return dir_ + "/entries.bin"; }
 std::string Corpus::JournalPath() const { return dir_ + "/journal.bin"; }
 std::string Corpus::CheckpointPath() const { return dir_ + "/checkpoint.bin"; }
+std::string Corpus::ChainPath() const { return dir_ + "/checkpoints.bin"; }
+
+void Corpus::SetSnapshotInterval(int every) {
+  if (every < 1) {
+    throw std::invalid_argument("Corpus: snapshot interval must be >= 1");
+  }
+  snapshot_interval_ = every;
+}
 
 void Corpus::SetMetadata(const std::string& key, const std::string& value) {
   if (initialized_) {
@@ -209,26 +251,26 @@ void Corpus::Load() {
     initialized_ = true;
   }
 
-  if (std::filesystem::exists(CheckpointPath())) {
+  // The segmented chain is authoritative when it holds a valid snapshot
+  // (a crash between "rename chain" and "delete legacy checkpoint.bin" can
+  // leave both; the chain is the newer state). A chain without any valid
+  // snapshot restores nothing and is discarded.
+  if (std::filesystem::exists(ChainPath())) {
+    LoadChain();
+  }
+  if (!has_checkpoint_ && std::filesystem::exists(CheckpointPath())) {
     std::ifstream in(CheckpointPath(), std::ios::binary);
     BinaryReader r(in);
     if (r.ReadU32() != kCheckpointMagic) {
       throw std::runtime_error("Corpus: bad checkpoint magic in " + CheckpointPath());
     }
-    checkpoint_.complete = r.ReadU32() != 0;
-    checkpoint_.task_counter = r.ReadU64();
-    checkpoint_.seeds_tried = static_cast<int>(r.ReadI64());
-    checkpoint_.seeds_skipped = static_cast<int>(r.ReadI64());
-    checkpoint_.total_iterations = r.ReadI64();
-    checkpoint_.forward_passes = r.ReadI64();
-    checkpoint_.num_tests = r.ReadU64();
-    checkpoint_.num_batches = r.ReadU64();
-    checkpoint_.mean_coverage = r.ReadF32();
+    ReadCheckpointCounters(r, checkpoint_);
     const uint64_t num_blobs = r.ReadU64();
     checkpoint_.metric_blobs.clear();
     for (uint64_t i = 0; i < num_blobs; ++i) {
       checkpoint_.metric_blobs.push_back(r.ReadString());
     }
+    checkpoint_.scheduler_blob.clear();  // v1 never carries scheduler state.
     has_checkpoint_ = true;
   }
 
@@ -339,36 +381,205 @@ void Corpus::AppendJournalBatch(
   journal_.push_back(batch);
 }
 
+void Corpus::LoadChain() {
+  // Read the whole chain (one snapshot + a handful of deltas by
+  // construction) and stop at the first truncated or corrupt record: the
+  // valid prefix is the durable state, anything past it is a crash artifact.
+  std::ifstream in(ChainPath(), std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  size_t pos = 0;
+  auto read_u32 = [&](uint32_t* out) {
+    if (pos + sizeof(uint32_t) > data.size()) return false;
+    std::memcpy(out, data.data() + pos, sizeof(uint32_t));
+    pos += sizeof(uint32_t);
+    return true;
+  };
+  auto read_u64 = [&](uint64_t* out) {
+    if (pos + sizeof(uint64_t) > data.size()) return false;
+    std::memcpy(out, data.data() + pos, sizeof(uint64_t));
+    pos += sizeof(uint64_t);
+    return true;
+  };
+
+  uint32_t magic = 0, version = 0;
+  if (!read_u32(&magic) || magic != kChainMagic || !read_u32(&version)) {
+    throw std::runtime_error("Corpus: bad chain header in " + ChainPath());
+  }
+  if (version != kChainVersion) {
+    throw std::runtime_error("Corpus: unsupported chain version " +
+                             std::to_string(version) + " in " + ChainPath());
+  }
+
+  bool have_snapshot = false;
+  CorpusCheckpoint snapshot;
+  uint64_t records_past_snapshot = 0;
+  bool trailing_garbage = false;
+  while (pos < data.size()) {
+    uint32_t rec_magic = 0, kind = 0, end_magic = 0;
+    uint64_t payload_len = 0;
+    if (!read_u32(&rec_magic) || rec_magic != kRecordMagic ||
+        !read_u32(&kind) || !read_u64(&payload_len) ||
+        payload_len > data.size() - pos) {
+      trailing_garbage = true;
+      break;
+    }
+    const size_t payload_pos = pos;
+    pos += payload_len;
+    if (!read_u32(&end_magic) || end_magic != kRecordEndMagic) {
+      trailing_garbage = true;
+      break;
+    }
+    if (kind == kRecordSnapshot) {
+      std::istringstream payload(
+          data.substr(payload_pos, static_cast<size_t>(payload_len)));
+      BinaryReader r(payload);
+      CorpusCheckpoint cp;
+      ReadCheckpointCounters(r, cp);
+      const uint64_t num_blobs = r.ReadU64();
+      for (uint64_t i = 0; i < num_blobs; ++i) {
+        cp.metric_blobs.push_back(r.ReadString());
+      }
+      cp.scheduler_blob = r.ReadString();
+      snapshot = std::move(cp);
+      have_snapshot = true;
+      records_past_snapshot = 0;
+    } else if (kind == kRecordDelta) {
+      // Deltas carry no coverage state, so they are never resume points —
+      // they only exist to make per-batch durability cheap. Count them so
+      // the chain gets compacted below.
+      ++records_past_snapshot;
+    } else {
+      trailing_garbage = true;
+      break;
+    }
+  }
+
+  if (!have_snapshot) {
+    // Nothing restorable (e.g. first snapshot write was interrupted). The
+    // legacy checkpoint.bin — if any — becomes the fallback in Load().
+    std::filesystem::remove(ChainPath());
+    return;
+  }
+  checkpoint_ = snapshot;
+  has_checkpoint_ = true;
+  chain_has_snapshot_ = true;
+  chain_deltas_ = 0;
+  chain_dirty_ = false;
+  if (records_past_snapshot > 0 || trailing_garbage) {
+    // Trim the chain back to its last valid snapshot so the on-disk state
+    // matches what we restored (the entries/journal trim below uses the
+    // snapshot's high-water marks).
+    WriteSnapshot(snapshot);
+  }
+}
+
+void Corpus::WriteSnapshot(const CorpusCheckpoint& checkpoint) {
+  const std::string tmp = ChainPath() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    BinaryWriter w(out);
+    w.WriteU32(kChainMagic);
+    w.WriteU32(kChainVersion);
+    std::ostringstream payload;
+    {
+      BinaryWriter pw(payload);
+      WriteCheckpointCounters(pw, checkpoint);
+      pw.WriteU64(checkpoint.metric_blobs.size());
+      for (const std::string& blob : checkpoint.metric_blobs) {
+        pw.WriteString(blob);
+      }
+      pw.WriteString(checkpoint.scheduler_blob);
+    }
+    const std::string bytes = payload.str();
+    w.WriteU32(kRecordMagic);
+    w.WriteU32(kRecordSnapshot);
+    w.WriteU64(bytes.size());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    w.WriteU32(kRecordEndMagic);
+    if (!out) {
+      throw std::runtime_error("Corpus: failed writing " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, ChainPath());
+  // The chain supersedes the legacy monolithic file (upgrade path).
+  std::filesystem::remove(CheckpointPath());
+  chain_has_snapshot_ = true;
+  chain_deltas_ = 0;
+  chain_dirty_ = false;
+}
+
+void Corpus::AppendDelta(const CorpusCheckpoint& checkpoint) {
+  std::ostringstream payload;
+  {
+    BinaryWriter pw(payload);
+    WriteCheckpointCounters(pw, checkpoint);
+  }
+  const std::string bytes = payload.str();
+  std::ofstream out(ChainPath(), std::ios::binary | std::ios::app);
+  BinaryWriter w(out);
+  w.WriteU32(kRecordMagic);
+  w.WriteU32(kRecordDelta);
+  w.WriteU64(bytes.size());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  w.WriteU32(kRecordEndMagic);
+  if (!out) {
+    throw std::runtime_error("Corpus: failed appending to " + ChainPath());
+  }
+  ++chain_deltas_;
+  chain_dirty_ = true;
+}
+
 void Corpus::WriteCheckpoint(const CorpusCheckpoint& checkpoint) {
   if (checkpoint.num_tests != entries_.size() ||
       checkpoint.num_batches != journal_.size()) {
     throw std::logic_error("Corpus: checkpoint high-water marks disagree with appends");
   }
-  const std::string tmp = CheckpointPath() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    BinaryWriter w(out);
-    w.WriteU32(kCheckpointMagic);
-    w.WriteU32(checkpoint.complete ? 1 : 0);
-    w.WriteU64(checkpoint.task_counter);
-    w.WriteI64(checkpoint.seeds_tried);
-    w.WriteI64(checkpoint.seeds_skipped);
-    w.WriteI64(checkpoint.total_iterations);
-    w.WriteI64(checkpoint.forward_passes);
-    w.WriteU64(checkpoint.num_tests);
-    w.WriteU64(checkpoint.num_batches);
-    w.WriteF32(checkpoint.mean_coverage);
-    w.WriteU64(checkpoint.metric_blobs.size());
-    for (const std::string& blob : checkpoint.metric_blobs) {
-      w.WriteString(blob);
+  if (format_ == CheckpointFormat::kMonolithic) {
+    const std::string tmp = CheckpointPath() + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      BinaryWriter w(out);
+      w.WriteU32(kCheckpointMagic);
+      WriteCheckpointCounters(w, checkpoint);
+      w.WriteU64(checkpoint.metric_blobs.size());
+      for (const std::string& blob : checkpoint.metric_blobs) {
+        w.WriteString(blob);
+      }
+      // The v1 layout ends here: scheduler_blob is a segmented-chain-only
+      // field, so monolithic corpora always resume via journal replay.
+      if (!out) {
+        throw std::runtime_error("Corpus: failed writing " + tmp);
+      }
     }
-    if (!out) {
-      throw std::runtime_error("Corpus: failed writing " + tmp);
+    std::filesystem::rename(tmp, CheckpointPath());
+    // A monolithic write supersedes any segmented chain left by a previous
+    // format choice — a stale chain would win on the next open.
+    std::filesystem::remove(ChainPath());
+    chain_has_snapshot_ = false;
+    chain_deltas_ = 0;
+    chain_dirty_ = false;
+  } else {
+    const bool snapshot = checkpoint.complete || !chain_has_snapshot_ ||
+                          chain_deltas_ + 1 >=
+                              static_cast<uint64_t>(snapshot_interval_);
+    if (snapshot) {
+      WriteSnapshot(checkpoint);
+    } else {
+      AppendDelta(checkpoint);
     }
   }
-  std::filesystem::rename(tmp, CheckpointPath());
   checkpoint_ = checkpoint;
   has_checkpoint_ = true;
+}
+
+void Corpus::Sync() {
+  if (!has_checkpoint_ || format_ == CheckpointFormat::kMonolithic ||
+      !chain_dirty_) {
+    return;
+  }
+  WriteSnapshot(checkpoint_);
 }
 
 const CorpusCheckpoint& Corpus::checkpoint() const {
@@ -376,6 +587,51 @@ const CorpusCheckpoint& Corpus::checkpoint() const {
     throw std::logic_error("Corpus: no checkpoint in " + dir_);
   }
   return checkpoint_;
+}
+
+CorpusStats Corpus::Stats() const {
+  CorpusStats s;
+  if (initialized_) {
+    if (const std::string* domain = meta_.FindMetadata("domain")) {
+      s.domain = *domain;
+    }
+    s.objective = meta_.objective;
+    s.metric = meta_.metric;
+    s.scheduler = meta_.scheduler;
+    s.num_seeds = meta_.seeds.size();
+    s.entries_per_model.assign(meta_.model_names.size(), 0);
+  }
+  s.num_entries = entries_.size();
+  s.journal_batches = journal_.size();
+  for (const GeneratedTest& t : entries_) {
+    if (t.deviating_model >= 0 &&
+        static_cast<size_t>(t.deviating_model) < s.entries_per_model.size()) {
+      ++s.entries_per_model[static_cast<size_t>(t.deviating_model)];
+    }
+  }
+  auto size_of = [](const std::string& path) -> uint64_t {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<uint64_t>(bytes);
+  };
+  s.manifest_bytes = size_of(ManifestPath());
+  s.entries_bytes = size_of(EntriesPath());
+  s.journal_bytes = size_of(JournalPath());
+  s.checkpoint_bytes = size_of(CheckpointPath()) + size_of(ChainPath());
+  s.total_bytes =
+      s.manifest_bytes + s.entries_bytes + s.journal_bytes + s.checkpoint_bytes;
+  s.segmented = chain_has_snapshot_;
+  if (chain_has_snapshot_) {
+    s.chain_snapshots = 1;
+    s.chain_deltas = chain_deltas_;
+  } else if (has_checkpoint_) {
+    s.chain_snapshots = 1;  // Monolithic checkpoint.bin counts as one.
+  }
+  if (has_checkpoint_) {
+    s.complete = checkpoint_.complete;
+    s.mean_coverage = checkpoint_.mean_coverage;
+  }
+  return s;
 }
 
 }  // namespace dx

@@ -19,22 +19,42 @@
 //                   outcomes reported back. Replaying this stream through a
 //                   freshly Reset scheduler reconstructs its exact state
 //                   without requiring schedulers to be serializable.
-//   checkpoint.bin  latest resume point, atomically replaced at every sync
-//                   batch: RunStats counters, entry/journal high-water
-//                   marks, and the serialized per-model coverage state
-//                   (CoverageMetric::Serialize).
+//   checkpoints.bin segmented checkpoint chain (the default since format
+//                   version 2): an append-only sequence of framed records —
+//                   periodic FULL snapshots (RunStats counters, entry/journal
+//                   high-water marks, serialized per-model coverage state via
+//                   CoverageMetric::Serialize, and an optional scheduler
+//                   state blob) interleaved with cheap DELTA records that
+//                   carry only the scalar counters. Writing a snapshot
+//                   atomically rewrites the chain down to that single
+//                   snapshot (tmp + rename), so the chain never grows past
+//                   one snapshot + snapshot_interval deltas. Per-batch
+//                   checkpoint I/O is therefore O(counters), not O(coverage
+//                   state), and resume cost is O(delta since the last
+//                   snapshot) — the resumed run re-executes at most
+//                   snapshot_interval batches deterministically.
+//   checkpoint.bin  the legacy (format v1) monolithic resume point,
+//                   atomically replaced at every sync batch. Still read
+//                   (old corpora open fine) and still written when
+//                   SetCheckpointFormat(kMonolithic) is selected; a corpus
+//                   upgraded to the segmented chain deletes it on the first
+//                   snapshot write.
 //
 // Crash safety (process level): entries and journal batches are appended
-// and flushed BEFORE the checkpoint that covers them is renamed into place,
-// so a killed process leaves at most a trailing suffix not covered by the
-// checkpoint; Open() trims both files back to the checkpoint's high-water
-// marks (and a corpus with no checkpoint is treated as empty). Resumption
-// therefore always restarts at a sync-batch boundary, which is exactly the
-// granularity at which Session results are deterministic. The files are NOT
-// fsync'd, so a power loss / kernel crash can reorder the append and the
-// rename on disk and leave a corpus that fails to open (a clean
-// std::runtime_error, never silent divergence) — acceptable for a
-// per-machine campaign artifact.
+// and flushed BEFORE the checkpoint record that covers them is written, so
+// a killed process leaves at most a trailing suffix not covered by a
+// restorable checkpoint; Open() trims both files back to the restorable
+// checkpoint's high-water marks (and a corpus with no checkpoint is treated
+// as empty). For the segmented chain the restorable checkpoint is the last
+// fully-valid SNAPSHOT record: a chain truncated mid-record is cut back to
+// its last valid snapshot on open (deltas carry no coverage state, so they
+// are progress/stats records, never resume points), and the dropped batches
+// are re-executed deterministically on resume. Resumption therefore always
+// restarts at a sync-batch boundary, which is exactly the granularity at
+// which Session results are deterministic. The files are NOT fsync'd, so a
+// power loss / kernel crash can reorder appends and renames on disk and
+// leave a corpus that fails to open (a clean std::runtime_error, never
+// silent divergence) — acceptable for a per-machine campaign artifact.
 //
 // The files use the util/serialize little-endian POD format: a per-machine
 // artifact, not an interchange format.
@@ -102,6 +122,46 @@ struct CorpusCheckpoint {
   float mean_coverage = 0.0f;
   // One CoverageMetric::Serialize blob per model, session order.
   std::vector<std::string> metric_blobs;
+  // SeedScheduler::SaveState blob (empty when the scheduler doesn't support
+  // snapshots — resume then falls back to replaying the journal). Stored in
+  // segmented-chain snapshots only; the v1 monolithic file never carries it.
+  std::string scheduler_blob;
+};
+
+// How Corpus::WriteCheckpoint persists resume points.
+enum class CheckpointFormat {
+  kMonolithic,  // Format v1: rewrite checkpoint.bin in full every time.
+  kSegmented,   // Format v2 chain: periodic snapshots + cheap deltas.
+};
+
+// A read-only summary of a corpus directory (see Corpus::Stats). The
+// breakdown keys (domain, objective, ...) come from the manifest, so stats
+// from many corpora can be aggregated per domain / per objective.
+struct CorpusStats {
+  std::string domain;  // "" when the manifest carries no domain annotation.
+  std::string objective;
+  std::string metric;
+  std::string scheduler;
+  uint64_t num_entries = 0;
+  uint64_t num_seeds = 0;
+  uint64_t journal_batches = 0;
+  // Difference-inducing entries attributed to each model (deviating_model),
+  // indexed like meta().model_names.
+  std::vector<uint64_t> entries_per_model;
+  // On-disk footprint, bytes.
+  uint64_t manifest_bytes = 0;
+  uint64_t entries_bytes = 0;
+  uint64_t journal_bytes = 0;
+  uint64_t checkpoint_bytes = 0;  // checkpoint.bin + checkpoints.bin.
+  uint64_t total_bytes = 0;
+  // Checkpoint chain shape: snapshots is 0 or 1 (a snapshot write compacts
+  // the chain), deltas counts records appended since. Monolithic corpora
+  // report snapshots=1, deltas=0 when checkpoint.bin exists.
+  bool segmented = false;
+  uint64_t chain_snapshots = 0;
+  uint64_t chain_deltas = 0;
+  bool complete = false;
+  float mean_coverage = 0.0f;
 };
 
 class Corpus {
@@ -139,21 +199,52 @@ class Corpus {
     return journal_;
   }
 
-  // Atomically replaces checkpoint.bin (write temp + rename). The
-  // checkpoint's high-water marks must match the entries/journal already
-  // appended.
+  // Persists a resume point. The checkpoint's high-water marks must match
+  // the entries/journal already appended. In kSegmented mode (the default)
+  // this writes a full snapshot when the checkpoint is complete, when the
+  // chain has no snapshot yet, or every snapshot_interval-th call — and a
+  // cheap counters-only delta otherwise. In kMonolithic mode it atomically
+  // replaces checkpoint.bin (the v1 format) every time. The in-memory
+  // checkpoint() always reflects the full `checkpoint` passed here,
+  // regardless of what was thinned on disk.
   void WriteCheckpoint(const CorpusCheckpoint& checkpoint);
   bool has_checkpoint() const { return has_checkpoint_; }
   const CorpusCheckpoint& checkpoint() const;
 
+  // Forces the current checkpoint state to be durable as a full snapshot
+  // (no-op when there is no checkpoint, in monolithic mode, or when the
+  // chain is already exactly at the latest checkpoint). Sessions call this
+  // at the end of every run leg so a clean shutdown never loses batches to
+  // the delta window.
+  void Sync();
+
+  // Selects the on-disk checkpoint format for subsequent WriteCheckpoint
+  // calls (default kSegmented). Switching to kSegmented on a corpus with a
+  // legacy checkpoint.bin upgrades it at the next snapshot write.
+  void SetCheckpointFormat(CheckpointFormat format) { format_ = format; }
+  CheckpointFormat checkpoint_format() const { return format_; }
+
+  // Every how-many WriteCheckpoint calls a segmented chain takes a full
+  // snapshot (default 8; min 1 = snapshot every time).
+  void SetSnapshotInterval(int every);
+
+  // Summarizes the corpus (entry counts, on-disk bytes, checkpoint chain
+  // shape, manifest breakdown keys). Purely observational — reads file
+  // sizes, never loads models.
+  CorpusStats Stats() const;
+
  private:
   void Load();
+  void LoadChain();
   void RewriteEntries();
   void RewriteJournal();
+  void WriteSnapshot(const CorpusCheckpoint& checkpoint);
+  void AppendDelta(const CorpusCheckpoint& checkpoint);
   std::string ManifestPath() const;
   std::string EntriesPath() const;
   std::string JournalPath() const;
   std::string CheckpointPath() const;
+  std::string ChainPath() const;
 
   std::string dir_;
   bool initialized_ = false;
@@ -163,6 +254,14 @@ class Corpus {
   std::vector<GeneratedTest> entries_;
   std::vector<std::vector<CorpusCheckpoint::JournalRecord>> journal_;
   std::vector<std::pair<std::string, std::string>> pending_metadata_;
+
+  CheckpointFormat format_ = CheckpointFormat::kSegmented;
+  int snapshot_interval_ = 8;
+  bool chain_has_snapshot_ = false;  // checkpoints.bin holds a snapshot.
+  uint64_t chain_deltas_ = 0;        // Delta records since that snapshot.
+  // True when the durable chain state lags the in-memory checkpoint_ (the
+  // latest WriteCheckpoint only produced a delta); Sync() then snapshots.
+  bool chain_dirty_ = false;
 };
 
 }  // namespace dx

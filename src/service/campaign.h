@@ -64,6 +64,10 @@ struct CampaignStatus {
   RunProgress progress;        // campaign-cumulative counters
   ExecutorProfile profile;     // phase timings (observational)
   double tests_per_second = 0.0;
+  // On-disk corpus summary, refreshed at every slice boundary for durable
+  // campaigns (false for ephemeral ones or before the first slice).
+  bool has_corpus_stats = false;
+  CorpusStats corpus_stats;
 };
 
 // One addressable campaign: the run state that used to live in stack
@@ -95,6 +99,8 @@ struct Campaign {
   RunProgress progress;
   ExecutorProfile profile;
   std::unique_ptr<RunStats> final_stats;  // set on kDone
+  bool has_corpus_stats = false;          // corpus_stats below is meaningful
+  CorpusStats corpus_stats;               // refreshed at slice boundaries
 
   // --- asynchronous requests (checked at batch boundaries) ---
   std::atomic<bool> pause_requested{false};

@@ -1,11 +1,17 @@
 #include "src/service/campaign_manager.h"
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
 #include "src/core/domain.h"
+#include "src/corpus/dedup.h"
+#include "src/corpus/distill.h"
+#include "src/corpus/minimize.h"
 #include "src/models/zoo.h"
+#include "src/util/timer.h"
 
 namespace dx {
 
@@ -147,6 +153,8 @@ CampaignStatus CampaignManager::Status(uint64_t id) const {
   status.profile = c.profile;
   status.tests_per_second =
       c.progress.seconds > 0.0 ? c.progress.tests_found / c.progress.seconds : 0.0;
+  status.has_corpus_stats = c.has_corpus_stats;
+  status.corpus_stats = c.corpus_stats;
   return status;
 }
 
@@ -238,6 +246,171 @@ RunStats CampaignManager::Results(uint64_t id) const {
                              CampaignStateName(c.state) + ")");
   }
   return *c.final_stats;
+}
+
+CompactResult CampaignManager::Compact(uint64_t id, const CompactOptions& options) {
+  if (options.out_dir.empty()) {
+    throw std::invalid_argument("compact: out_dir must be set");
+  }
+  if (!options.distill && !options.dedup && !options.minimize) {
+    throw std::invalid_argument("compact: select at least one pass");
+  }
+  std::string corpus_dir;
+  bool was_active = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = campaigns_.find(id);
+    if (it == campaigns_.end()) {
+      throw std::out_of_range("unknown campaign " + std::to_string(id));
+    }
+    Campaign& c = *it->second;
+    corpus_dir = c.spec.corpus_dir;
+    if (corpus_dir.empty()) {
+      throw std::invalid_argument("compact: campaign " + std::to_string(id) +
+                                  " records no durable corpus");
+    }
+    if (c.state == CampaignState::kPending || c.state == CampaignState::kRunning) {
+      // The corpus is only touched between slices; ask for the next
+      // sync-batch boundary and wait for it below.
+      was_active = true;
+      c.pause_requested.store(true);
+    }
+  }
+  if (was_active) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (true) {
+      CampaignState state;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        state = campaigns_.at(id)->state;
+      }
+      if (state != CampaignState::kPending && state != CampaignState::kRunning) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw std::runtime_error(
+            "compact: timed out waiting for campaign " + std::to_string(id) +
+            " to reach a sync-batch boundary");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  CompactResult result;
+  result.out_dir = options.out_dir;
+  Timer timer;
+  try {
+    // A fresh read handle on the corpus: the paused campaign keeps its own
+    // open handle, but no worker writes until it is requeued, and the
+    // maintenance passes never modify the source directory.
+    Corpus source(corpus_dir);
+    if (!source.initialized() || !source.has_checkpoint()) {
+      throw std::invalid_argument("compact: " + corpus_dir +
+                                  " holds no recorded campaign yet");
+    }
+    const CorpusMeta& meta = source.meta();
+    const std::string* domain_key = meta.FindMetadata("domain");
+    const std::string* constraint_key = meta.FindMetadata("constraint");
+    if (domain_key == nullptr || constraint_key == nullptr) {
+      throw std::invalid_argument("compact: " + corpus_dir +
+                                  " manifest lacks domain/constraint metadata");
+    }
+    const DomainSpec& domain = GetDomain(*domain_key);
+    std::unique_ptr<Constraint> constraint = MakeDomainConstraint(
+        domain, ResolveDomainConstraint(domain, *constraint_key));
+    std::vector<Model> models = LoadModels(domain.key);
+    std::vector<Model*> ptrs;
+    ptrs.reserve(models.size());
+    for (Model& m : models) {
+      ptrs.push_back(&m);
+    }
+    SessionConfig config;
+    config.engine = meta.engine;
+    config.metric = meta.metric;
+    config.objective = meta.objective;
+    config.scheduler = meta.scheduler;
+    config.sync_interval = meta.sync_interval;
+    config.profile_from_seeds = meta.profile_from_seeds;
+    config.workers = 1;
+    Session session(ptrs, constraint.get(), config);
+    session.SetWorkerPool(compute_pool_.get());
+
+    std::vector<std::string> passes;
+    if (options.distill) passes.push_back("distill");
+    if (options.dedup) passes.push_back("dedup");
+    if (options.minimize) passes.push_back("minimize");
+    result.entries_before = source.entries().size();
+    std::unique_ptr<Corpus> current = std::make_unique<Corpus>(corpus_dir);
+    std::vector<std::string> intermediates;
+    for (size_t p = 0; p < passes.size(); ++p) {
+      const bool last = p + 1 == passes.size();
+      const std::string dst =
+          last ? options.out_dir : options.out_dir + ".stage-" + passes[p];
+      if (!last) {
+        intermediates.push_back(dst);
+      }
+      MaintenanceReport report;
+      if (passes[p] == "distill") {
+        DistillOptions pass;
+        pass.out_dir = dst;
+        report = DistillCorpus(session, *current, pass);
+      } else if (passes[p] == "dedup") {
+        DedupOptions pass;
+        pass.out_dir = dst;
+        pass.deduper = options.deduper;
+        pass.threshold = options.threshold;
+        report = DedupCorpus(session, *current, pass);
+      } else {
+        MinimizeOptions pass;
+        pass.out_dir = dst;
+        report = MinimizeCorpus(session, *current, pass);
+      }
+      result.reports.push_back(std::move(report));
+      current = std::make_unique<Corpus>(dst);
+    }
+    result.entries_after = current->entries().size();
+
+    const ReplayResult verify = session.Replay(*current);
+    result.verified = verify.ok;
+    if (!verify.ok) {
+      throw std::runtime_error("compact: verification of " + current->dir() +
+                               " failed: " + verify.mismatch);
+    }
+    for (const std::string& dir : intermediates) {
+      std::filesystem::remove_all(dir);
+    }
+  } catch (...) {
+    if (was_active) {
+      Resume(id);
+    }
+    throw;
+  }
+  result.seconds = timer.ElapsedSeconds();
+  if (was_active) {
+    result.resumed = Resume(id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++compactions_total_;
+    last_compaction_ = result;
+    has_compaction_ = true;
+  }
+  return result;
+}
+
+uint64_t CampaignManager::compactions_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_total_;
+}
+
+bool CampaignManager::LastCompaction(CompactResult* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_compaction_) {
+    return false;
+  }
+  *out = last_compaction_;
+  return true;
 }
 
 void CampaignManager::Drain() {
@@ -446,12 +619,20 @@ void CampaignManager::RunSlice(uint64_t id) {
   ExecutorProfile profile;
   std::unique_ptr<RunStats> final_stats;
   bool done = false;
+  bool have_corpus_stats = false;
+  CorpusStats corpus_stats;
   if (!failed && c->run != nullptr) {
     progress = c->run->Progress();
     profile = c->session->ExecutorPhases();
     done = c->run->done();
     if (done) {
       final_stats = std::make_unique<RunStats>(c->run->Snapshot());
+    }
+    if (c->corpus != nullptr && c->corpus->initialized()) {
+      // Cheap in-memory summary, cached for /metrics (which must never touch
+      // a campaign's exec state).
+      corpus_stats = c->corpus->Stats();
+      have_corpus_stats = true;
     }
   }
 
@@ -467,6 +648,10 @@ void CampaignManager::RunSlice(uint64_t id) {
     } else {
       c->progress = progress;
       c->profile = profile;
+      if (have_corpus_stats) {
+        c->corpus_stats = corpus_stats;
+        c->has_corpus_stats = true;
+      }
       if (done) {
         c->state = CampaignState::kDone;
         c->final_stats = std::move(final_stats);

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/corpus/maintenance.h"
 #include "src/service/campaign.h"
 #include "src/util/thread_pool.h"
 
@@ -26,6 +27,27 @@ struct ManagerOptions {
   // Sync batches per scheduling slice: a campaign steps this many batches,
   // then goes back to the queue so concurrent campaigns interleave fairly.
   int slice_batches = 1;
+};
+
+// What a `compact` ctl request carries: which maintenance passes to run over
+// a campaign's recorded corpus and where the derived corpus lands.
+struct CompactOptions {
+  std::string out_dir;       // required; must not already hold a corpus
+  bool distill = true;
+  bool dedup = true;
+  bool minimize = false;     // off by default: the most forward-heavy pass
+  std::string deduper = "auto";
+  float threshold = -1.0f;   // < 0: the deduper's default
+};
+
+struct CompactResult {
+  std::vector<MaintenanceReport> reports;  // one per pass, chain order
+  std::string out_dir;
+  uint64_t entries_before = 0;
+  uint64_t entries_after = 0;
+  bool verified = false;  // Session::Replay passed on the final artifact
+  bool resumed = false;   // the campaign was live and has been requeued
+  double seconds = 0.0;
 };
 
 // Multiplexes many concurrent campaigns over one shared compute pool and one
@@ -67,6 +89,21 @@ class CampaignManager {
   // against standalone Session::Run). Throws unless state == kDone.
   RunStats Results(uint64_t id) const;
 
+  // Runs the corpus-maintenance chain (distill -> dedup -> minimize, per
+  // `options`) over campaign `id`'s recorded corpus and verifies the result
+  // with Session::Replay. A live campaign is paused at its next sync-batch
+  // boundary first (the corpus is only ever read between batches) and
+  // requeued afterwards; paused/terminal campaigns are compacted in place of
+  // wherever they stopped. Blocks the caller for the duration. Throws
+  // std::invalid_argument on bad options / ephemeral campaigns and
+  // std::runtime_error when verification fails or the boundary never comes.
+  CompactResult Compact(uint64_t id, const CompactOptions& options);
+
+  // Compactions completed since the daemon started, and the last one's
+  // result (false when none has run yet) — what /metrics serves.
+  uint64_t compactions_total() const;
+  bool LastCompaction(CompactResult* out) const;
+
   // Stops accepting submissions, pauses every live campaign at its next
   // batch boundary (PENDING ones pause before their first batch), and
   // returns once no worker is executing. Durable campaigns have a fresh
@@ -98,6 +135,9 @@ class CampaignManager {
   std::map<uint64_t, std::unique_ptr<Campaign>> campaigns_;
   uint64_t next_id_ = 1;
   uint64_t submitted_total_ = 0;
+  uint64_t compactions_total_ = 0;
+  bool has_compaction_ = false;
+  CompactResult last_compaction_;
   int executing_count_ = 0;
   bool draining_ = false;
   bool stopping_ = false;

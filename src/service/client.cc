@@ -35,6 +35,12 @@ commands:
   resume ID                     requeue a paused campaign
   cancel ID                     cancel at the next batch boundary
   results ID                    final stats + test digests of a DONE campaign
+  compact ID KEY=VALUE...       run corpus maintenance over a durable
+                                campaign's corpus (pauses a live campaign at
+                                its next batch boundary, resumes it after).
+                                Keys: out_dir (required), distill, dedup,
+                                minimize (true/false; default distill+dedup),
+                                deduper (auto|ssim|l2|feature-box), threshold
   wait ID [--timeout-seconds S] poll until the campaign is terminal
                                 (exit 0 iff DONE; default timeout 300)
   drain                         graceful daemon shutdown (checkpoints all)
@@ -187,6 +193,31 @@ int CtlMain(int argc, char** argv) {
       request["cmd"] = Json(command);
     } else if (command == "submit") {
       request = ParseSubmitArgs(args, pos + 1);
+    } else if (command == "compact") {
+      if (pos + 1 >= args.size()) {
+        std::cerr << "compact needs a campaign ID\n";
+        return 2;
+      }
+      request["cmd"] = Json("compact");
+      request["id"] =
+          Json(static_cast<int64_t>(std::strtoll(args[pos + 1].c_str(), nullptr, 10)));
+      for (size_t i = pos + 2; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          throw std::runtime_error("compact arguments are KEY=VALUE; got \"" +
+                                   arg + "\"");
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string value = arg.substr(eq + 1);
+        if (key == "distill" || key == "dedup" || key == "minimize") {
+          request[key] = Json(value == "true" || value == "1");
+        } else if (key == "threshold") {
+          request[key] = Json(std::strtod(value.c_str(), nullptr));
+        } else {
+          request[key] = Json(value);
+        }
+      }
     } else if (command == "status" || command == "pause" || command == "resume" ||
                command == "cancel" || command == "results") {
       if (pos + 1 >= args.size()) {

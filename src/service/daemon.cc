@@ -236,6 +236,38 @@ Json Daemon::Handle(const Json& request) {
       response["tests"] = std::move(tests);
       return response;
     }
+    if (cmd == "compact") {
+      const uint64_t id = static_cast<uint64_t>(request.At("id").AsInt());
+      CompactOptions opts;
+      opts.out_dir = request.GetString("out_dir", "");
+      opts.distill = request.GetBool("distill", opts.distill);
+      opts.dedup = request.GetBool("dedup", opts.dedup);
+      opts.minimize = request.GetBool("minimize", opts.minimize);
+      opts.deduper = request.GetString("deduper", opts.deduper);
+      opts.threshold = static_cast<float>(
+          request.GetNumber("threshold", static_cast<double>(opts.threshold)));
+      const CompactResult result = manager_->Compact(id, opts);
+      Json response = Ok();
+      response["out_dir"] = Json(result.out_dir);
+      response["entries_before"] = Json(result.entries_before);
+      response["entries_after"] = Json(result.entries_after);
+      response["verified"] = Json(result.verified);
+      response["resumed"] = Json(result.resumed);
+      response["seconds"] = Json(result.seconds);
+      Json reports = Json::Array();
+      for (const MaintenanceReport& report : result.reports) {
+        Json r = Json::Object();
+        r["transform"] = Json(report.transform);
+        r["input_entries"] = Json(static_cast<uint64_t>(report.input_entries));
+        r["retained_entries"] = Json(static_cast<uint64_t>(report.retained_entries));
+        r["modified_entries"] = Json(static_cast<uint64_t>(report.modified_entries));
+        r["reverted_values"] = Json(static_cast<uint64_t>(report.reverted_values));
+        r["seconds"] = Json(report.seconds);
+        reports.Append(std::move(r));
+      }
+      response["reports"] = std::move(reports);
+      return response;
+    }
     if (cmd == "drain") {
       RequestDrain();
       Json response = Ok();
@@ -357,6 +389,53 @@ std::string Daemon::MetricsText() {
                     {{"campaign", std::to_string(c.id)}, {"phase", phase}},
                     seconds);
     }
+  }
+
+  // Corpus plane: on-disk shape of each durable campaign's corpus (cached at
+  // slice boundaries) and the compaction counters.
+  writer.Family("dxplored_corpus_entries",
+                "Recorded difference-inducing entries in a campaign's corpus.",
+                "gauge");
+  writer.Family("dxplored_corpus_bytes",
+                "On-disk corpus footprint in bytes.", "gauge");
+  writer.Family("dxplored_corpus_checkpoint_records",
+                "Checkpoint chain records by kind (snapshot/delta).", "gauge");
+  for (const CampaignStatus& c : campaigns) {
+    if (!c.has_corpus_stats) {
+      continue;
+    }
+    const PrometheusWriter::Labels labels = {
+        {"campaign", std::to_string(c.id)},
+        {"domain", c.domain},
+    };
+    writer.Sample("dxplored_corpus_entries", labels,
+                  static_cast<double>(c.corpus_stats.num_entries));
+    writer.Sample("dxplored_corpus_bytes", labels,
+                  static_cast<double>(c.corpus_stats.total_bytes));
+    writer.Sample("dxplored_corpus_checkpoint_records",
+                  {{"campaign", std::to_string(c.id)}, {"kind", "snapshot"}},
+                  static_cast<double>(c.corpus_stats.chain_snapshots));
+    writer.Sample("dxplored_corpus_checkpoint_records",
+                  {{"campaign", std::to_string(c.id)}, {"kind", "delta"}},
+                  static_cast<double>(c.corpus_stats.chain_deltas));
+  }
+
+  writer.Family("dxplored_compactions_total",
+                "Corpus compactions served via the compact ctl command.",
+                "counter");
+  writer.Sample("dxplored_compactions_total", {},
+                static_cast<double>(manager_->compactions_total()));
+  CompactResult last;
+  if (manager_->LastCompaction(&last)) {
+    writer.Family("dxplored_compaction_entries",
+                  "Corpus entries in/out of the last compaction.", "gauge");
+    writer.Sample("dxplored_compaction_entries", {{"stage", "input"}},
+                  static_cast<double>(last.entries_before));
+    writer.Sample("dxplored_compaction_entries", {{"stage", "output"}},
+                  static_cast<double>(last.entries_after));
+    writer.Family("dxplored_compaction_seconds",
+                  "Wall time of the last compaction.", "gauge");
+    writer.Sample("dxplored_compaction_seconds", {}, last.seconds);
   }
   return writer.text();
 }

@@ -433,6 +433,12 @@ TEST(ServiceTest, DoubleSubmitOnOneCorpusIsRejected) {
   const Json results = CtlRequest("127.0.0.1", daemon.port(), results_request);
   EXPECT_FALSE(results.GetBool("ok", true));
 
+  // Let the campaign finish at least one batch (so its corpus exists on disk
+  // with a checkpoint) before cancelling — a cancel that lands before the
+  // first slice tears the campaign down without ever claiming the dir.
+  WaitFor(daemon.manager(), id, [](const CampaignStatus& s) {
+    return s.progress.batches >= 1 || Terminal(s);
+  });
   ASSERT_TRUE(daemon.manager().Cancel(id));
   const CampaignStatus cancelled = WaitFor(daemon.manager(), id, Terminal);
   EXPECT_EQ(cancelled.state, CampaignState::kCancelled);

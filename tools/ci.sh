@@ -25,6 +25,13 @@
 #   campaign from its corpus, wait for DONE, then `dxplore --replay` the
 #   corpus to prove the daemon-driven run is bit-identical on re-execution.
 #
+#   mode "corpus-maintenance": build the CLI + daemon + client, record a
+#   pdf-domain corpus, run the distill -> dedup -> minimize chain via the
+#   `dxplore corpus` verbs (every stage replay-verifies its derived corpus
+#   or exits nonzero), check `dxplore corpus stats` on both ends, then run
+#   a daemon campaign and compact its corpus through the `compact` ctl
+#   request, asserting the verified result and the /metrics families.
+#
 # ctest writes a JUnit report to <build-dir>/ctest-junit.xml and a
 # slowest-first per-test timing table is printed after every run, so slow
 # tests are visible before they become the long pole.
@@ -66,7 +73,8 @@ fi
 
 if [ "$MODE" = "service-smoke" ]; then
   echo "==> build (service smoke: daemon + client + CLI)"
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target dxplored dxplorectl dxplore
+  # dxplore_cli is the target; `dxplore` is only its OUTPUT_NAME.
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target dxplored dxplorectl dxplore_cli
 
   SVC_DIR="$BUILD_DIR/service_smoke"
   rm -rf "$SVC_DIR"
@@ -194,6 +202,83 @@ if [ "$MODE" = "service-smoke" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "corpus-maintenance" ]; then
+  echo "==> build (corpus maintenance smoke: CLI + daemon + client)"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target dxplore_cli dxplored dxplorectl
+
+  CM_DIR="$BUILD_DIR/corpus_maintenance_smoke"
+  rm -rf "$CM_DIR"
+  mkdir -p "$CM_DIR"
+  SRC_CORPUS="$CM_DIR/corpus"
+
+  echo "==> corpus maintenance: record a pdf campaign"
+  "$BUILD_DIR/dxplore" --domain pdf --seeds 60 --iters 20 \
+    --corpus-dir "$SRC_CORPUS" > /dev/null
+  "$BUILD_DIR/dxplore" corpus stats --corpus-dir "$SRC_CORPUS"
+
+  echo "==> corpus maintenance: distill -> dedup -> minimize (each stage replay-verified)"
+  # Each verb re-verifies its derived corpus via Session::Replay and exits
+  # nonzero on any mismatch, so plain set -e is the assertion here.
+  "$BUILD_DIR/dxplore" corpus distill --corpus-dir "$SRC_CORPUS" \
+    --out "$CM_DIR/distilled"
+  "$BUILD_DIR/dxplore" corpus dedup --corpus-dir "$CM_DIR/distilled" \
+    --out "$CM_DIR/deduped"
+  "$BUILD_DIR/dxplore" corpus minimize --corpus-dir "$CM_DIR/deduped" \
+    --out "$CM_DIR/minimized" --regions 8 --rounds 2
+  "$BUILD_DIR/dxplore" corpus stats --corpus-dir "$CM_DIR/minimized" \
+    | grep -q "distill+dedup+minimize"
+
+  echo "==> corpus maintenance: daemon compact request"
+  DAEMON_LOG="$CM_DIR/dxplored.log"
+  "$BUILD_DIR/dxplored" --port 0 --http-port 0 --campaign-workers 2 \
+    > "$DAEMON_LOG" 2>&1 &
+  DAEMON_PID=$!
+  trap 'kill "$DAEMON_PID" 2> /dev/null || true' EXIT
+  for _ in $(seq 1 100); do
+    grep -q "dxplored listening" "$DAEMON_LOG" && break
+    sleep 0.1
+  done
+  CTL_PORT=$(sed -n 's/.*ctl=\([0-9]*\).*/\1/p' "$DAEMON_LOG" | tail -1)
+  HTTP_PORT=$(sed -n 's/.*http=\([0-9]*\).*/\1/p' "$DAEMON_LOG" | tail -1)
+  if [ -z "$CTL_PORT" ] || [ -z "$HTTP_PORT" ]; then
+    echo "==> FAILED (dxplored did not report its ports)"
+    cat "$DAEMON_LOG"
+    exit 1
+  fi
+  ctl() {
+    "$BUILD_DIR/dxplorectl" --port "$CTL_PORT" --http-port "$HTTP_PORT" "$@"
+  }
+
+  SUBMIT=$(ctl submit domain=pdf seeds=40 max_seed_passes=1 \
+    corpus_dir="$CM_DIR/daemon_corpus")
+  echo "    $SUBMIT"
+  CAMPAIGN_ID=$(echo "$SUBMIT" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+  [ -n "$CAMPAIGN_ID" ]
+  ctl wait "$CAMPAIGN_ID" --timeout-seconds 300 > /dev/null
+
+  COMPACT=$(ctl compact "$CAMPAIGN_ID" out_dir="$CM_DIR/daemon_compacted" \
+    minimize=true)
+  echo "    $COMPACT"
+  echo "$COMPACT" | grep -q '"verified":true'
+  METRICS=$(ctl get /metrics)
+  for family in dxplored_compactions_total dxplored_compaction_seconds \
+    dxplored_corpus_entries dxplored_corpus_checkpoint_records; do
+    if ! echo "$METRICS" | grep -q "^$family"; then
+      echo "==> FAILED (/metrics missing family $family)"
+      echo "$METRICS"
+      exit 1
+    fi
+  done
+  "$BUILD_DIR/dxplore" corpus stats --corpus-dir "$CM_DIR/daemon_compacted"
+
+  "$BUILD_DIR/dxplored" --drain --port "$CTL_PORT" > /dev/null
+  wait "$DAEMON_PID"
+  DAEMON_PID=""
+
+  echo "==> OK (corpus-maintenance)"
+  exit 0
+fi
+
 echo "==> build"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
@@ -204,7 +289,7 @@ fi
 if [ "$MODE" = "tsan" ]; then
   # Multi-worker Sessions + corpus resume are the race-prone surface; the
   # rest of the suite is single-threaded and would only slow TSan down.
-  CTEST_ARGS+=(-R 'session_test|batch_exec_test|corpus_test|util_test')
+  CTEST_ARGS+=(-R 'session_test|batch_exec_test|corpus_test|corpus_maintenance_test|util_test')
 fi
 
 echo "==> ctest"

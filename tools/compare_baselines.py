@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
 """Compare checked-in bench baselines against freshly recorded artifacts.
 
-Usage: compare_baselines.py BASELINE_DIR CURRENT_DIR
+Usage: compare_baselines.py [--strict] BASELINE_DIR CURRENT_DIR
 
 For every BASELINE_DIR/*.json with a same-named file in CURRENT_DIR, rows are
 matched positionally (both sides are emitted deterministically by the bench
 binaries) and every throughput field (*_per_sec) is compared. Rows whose
 current throughput is more than 10% below the baseline are flagged.
 
-Informational only: always exits 0. CI hosts vary wildly (the recorded
-baselines name their host_cores), so a flag here is a prompt to look, not a
-failure. Re-record baselines on the reference host with the bench binaries
-(each writes <artifact dir>/<bench>.json; copy into bench/baselines/).
+By default this is informational only and always exits 0: CI hosts vary
+wildly (the recorded baselines name their host_cores), so a flag here is a
+prompt to look, not a failure. With --strict, flagged regressions make the
+script exit 1 — for reference hosts where the comparison IS
+apples-to-apples. Re-record baselines on the reference host with the bench
+binaries (each writes <artifact dir>/<bench>.json; copy into
+bench/baselines/).
 """
 
 import json
@@ -33,10 +36,14 @@ def row_key(row):
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    strict = "--strict" in args
+    if strict:
+        args = [a for a in args if a != "--strict"]
+    if len(args) != 2:
         print(__doc__)
         return 0
-    baseline_dir, current_dir = sys.argv[1], sys.argv[2]
+    baseline_dir, current_dir = args
     flagged = 0
     compared = 0
     core_warnings = 0
@@ -98,12 +105,16 @@ def main():
     print("baseline vs current bench throughput:")
     for line in lines:
         print(line)
+    mode = (
+        "strict: flagged regressions fail"
+        if strict
+        else "informational; hosts differ — see bench/baselines/"
+    )
     print(
         f"{compared} measurements compared, {flagged} flagged, "
-        f"{core_warnings} host-core-count warnings "
-        f"(informational; hosts differ — see bench/baselines/)"
+        f"{core_warnings} host-core-count warnings ({mode})"
     )
-    return 0
+    return 1 if strict and flagged > 0 else 0
 
 
 if __name__ == "__main__":

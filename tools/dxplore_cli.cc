@@ -46,6 +46,9 @@
 #include "src/core/seed_scheduler.h"
 #include "src/core/session.h"
 #include "src/corpus/corpus.h"
+#include "src/corpus/dedup.h"
+#include "src/corpus/distill.h"
+#include "src/corpus/minimize.h"
 #include "src/coverage/coverage_metric.h"
 #include "src/service/client.h"
 #include "src/models/trainer.h"
@@ -108,8 +111,201 @@ Results are deterministic for a fixed --rng-seed, whatever --workers or
 `dxplore ctl COMMAND ...` drives a running dxplored campaign daemon
 (submit/status/list/pause/resume/cancel/results/wait/drain/get; see
 `dxplore ctl --help`).
+
+`dxplore corpus stats|distill|dedup|minimize ...` maintains recorded
+corpora (see `dxplore corpus --help`).
 )";
   std::exit(code);
+}
+
+[[noreturn]] void CorpusUsage(int code) {
+  std::cout <<
+      R"(dxplore corpus - maintenance passes over a recorded corpus
+
+  dxplore corpus stats    --corpus-dir DIR
+  dxplore corpus distill  --corpus-dir SRC --out DST
+  dxplore corpus dedup    --corpus-dir SRC --out DST [--deduper NAME]
+                          [--dedup-threshold F] [--no-preserve-coverage]
+  dxplore corpus minimize --corpus-dir SRC --out DST [--regions N] [--rounds N]
+
+  --workers N / --batch-size N apply to every transform (results are
+  invariant to both).
+
+stats summarizes the corpus (entries, per-model attribution, on-disk bytes,
+checkpoint chain shape) without loading models.
+
+Transforms write a NEW derived corpus to --out (the source is never modified
+in place), then verify it with Session::Replay: every retained entry must
+re-predict its recorded labels/outputs and still induce disagreement, and
+the checkpoint's merged coverage must re-derive bit-identically (exit 0
+verified, 3 verification failed). Derived corpora replay but never resume.
+
+  distill   drop entries whose coverage is subsumed by the retained set
+            (merged coverage is preserved exactly)
+  dedup     drop near-duplicate inputs with the same disagreement signature;
+            dedupers: )" << Join(CorpusDeduperNames()) << R"(
+            (a duplicate that still covers something new is kept unless
+            --no-preserve-coverage)
+  minimize  walk each entry's input back toward its seed while the
+            disagreement and the corpus' merged coverage survive
+)";
+  std::exit(code);
+}
+
+int CorpusMain(int argc, char** argv) {
+  if (argc < 1) {
+    CorpusUsage(2);
+  }
+  const std::string verb = argv[0];
+  if (verb == "--help" || verb == "-h") {
+    CorpusUsage(0);
+  }
+  if (verb != "stats" && verb != "distill" && verb != "dedup" && verb != "minimize") {
+    std::cerr << "unknown corpus verb \"" << verb << "\"\n";
+    CorpusUsage(2);
+  }
+  std::string corpus_dir;
+  std::string out_dir;
+  std::string deduper = "auto";
+  float dedup_threshold = -1.0f;
+  int regions = 16;
+  int rounds = 4;
+  int workers = 1;
+  int batch_size = 8;
+  bool preserve_coverage = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        CorpusUsage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--corpus-dir") corpus_dir = next();
+    else if (arg == "--out") out_dir = next();
+    else if (arg == "--deduper") deduper = next();
+    else if (arg == "--dedup-threshold") dedup_threshold = static_cast<float>(std::atof(next()));
+    else if (arg == "--regions") regions = std::atoi(next());
+    else if (arg == "--rounds") rounds = std::atoi(next());
+    else if (arg == "--workers") workers = std::atoi(next());
+    else if (arg == "--batch-size") batch_size = std::atoi(next());
+    else if (arg == "--no-preserve-coverage") preserve_coverage = false;
+    else if (arg == "--help" || arg == "-h") CorpusUsage(0);
+    else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      CorpusUsage(2);
+    }
+  }
+  if (corpus_dir.empty()) {
+    std::cerr << "missing --corpus-dir\n";
+    return 2;
+  }
+  Corpus corpus(corpus_dir);
+  if (!corpus.initialized()) {
+    std::cerr << corpus_dir << " holds no recorded campaign\n";
+    return 2;
+  }
+
+  if (verb == "stats") {
+    const CorpusStats s = corpus.Stats();
+    TablePrinter table({"Stat", "Value"});
+    table.AddRow({"directory", corpus_dir});
+    if (!s.domain.empty()) table.AddRow({"domain", s.domain});
+    table.AddRow({"metric", s.metric});
+    table.AddRow({"objective", s.objective});
+    table.AddRow({"scheduler", s.scheduler});
+    if (const std::string* transform = corpus.meta().FindMetadata("transform")) {
+      table.AddRow({"transform", *transform});
+    }
+    table.AddRow({"entries", std::to_string(s.num_entries)});
+    const std::vector<std::string>& names = corpus.meta().model_names;
+    for (size_t k = 0; k < s.entries_per_model.size(); ++k) {
+      table.AddRow({"entries deviating " + (k < names.size() ? names[k] : std::to_string(k)),
+                    std::to_string(s.entries_per_model[k])});
+    }
+    table.AddRow({"seeds", std::to_string(s.num_seeds)});
+    table.AddRow({"journal batches", std::to_string(s.journal_batches)});
+    table.AddRow({"checkpoint format", s.segmented ? "segmented chain" : "monolithic"});
+    table.AddRow({"chain snapshots", std::to_string(s.chain_snapshots)});
+    table.AddRow({"chain deltas", std::to_string(s.chain_deltas)});
+    table.AddRow({"complete", s.complete ? "yes" : "no (resumable)"});
+    table.AddRow({"mean coverage", TablePrinter::Percent(s.mean_coverage)});
+    table.AddRow({"manifest bytes", std::to_string(s.manifest_bytes)});
+    table.AddRow({"entries bytes", std::to_string(s.entries_bytes)});
+    table.AddRow({"journal bytes", std::to_string(s.journal_bytes)});
+    table.AddRow({"checkpoint bytes", std::to_string(s.checkpoint_bytes)});
+    table.AddRow({"total bytes", std::to_string(s.total_bytes)});
+    std::cout << table.ToString();
+    return 0;
+  }
+
+  if (out_dir.empty()) {
+    std::cerr << "missing --out (transforms write a new derived corpus)\n";
+    return 2;
+  }
+  if (!corpus.has_checkpoint()) {
+    std::cerr << corpus_dir << " has no checkpoint to transform\n";
+    return 2;
+  }
+  const CorpusMeta& meta = corpus.meta();
+  const std::string* stored_domain = meta.FindMetadata("domain");
+  const std::string* stored_constraint = meta.FindMetadata("constraint");
+  if (stored_domain == nullptr || stored_constraint == nullptr) {
+    std::cerr << corpus_dir << ": manifest lacks domain/constraint metadata\n";
+    return 2;
+  }
+  // The same registry-keyed reconstruction --resume/--replay use.
+  const DomainSpec& domain = GetDomain(*stored_domain);
+  const std::string constraint_key = ResolveDomainConstraint(domain, *stored_constraint);
+  std::unique_ptr<Constraint> constraint = MakeDomainConstraint(domain, constraint_key);
+  std::cerr << "loading models (trains and caches on first use)...\n";
+  std::vector<Model> models = ModelZoo::TrainedDomain(domain.key);
+  std::vector<Model*> ptrs;
+  for (Model& m : models) {
+    ptrs.push_back(&m);
+  }
+  SessionConfig config;
+  config.engine = meta.engine;
+  config.metric = meta.metric;
+  config.objective = meta.objective;
+  config.scheduler = meta.scheduler;
+  config.sync_interval = meta.sync_interval;
+  config.profile_from_seeds = meta.profile_from_seeds;
+  config.workers = workers;
+  config.batch_size = batch_size;
+  Session session(ptrs, constraint.get(), config);
+
+  MaintenanceReport report;
+  if (verb == "distill") {
+    DistillOptions options;
+    options.out_dir = out_dir;
+    report = DistillCorpus(session, corpus, options);
+  } else if (verb == "dedup") {
+    DedupOptions options;
+    options.out_dir = out_dir;
+    options.deduper = deduper;
+    options.threshold = dedup_threshold;
+    options.preserve_coverage = preserve_coverage;
+    report = DedupCorpus(session, corpus, options);
+  } else {
+    MinimizeOptions options;
+    options.out_dir = out_dir;
+    options.regions = regions;
+    options.max_rounds = rounds;
+    report = MinimizeCorpus(session, corpus, options);
+  }
+  std::cout << report.ToString();
+
+  // Every transform is verified end to end before the CLI calls it done.
+  Corpus derived(out_dir);
+  const ReplayResult verify = session.Replay(derived);
+  if (!verify.ok) {
+    std::cerr << "verification FAILED: " << verify.mismatch << "\n";
+    return 3;
+  }
+  std::cout << "verified: " << derived.entries().size()
+            << " entries replay clean in " << out_dir << "\n";
+  return 0;
 }
 
 void DumpImage(const std::string& path, const Tensor& img) {
@@ -476,6 +672,9 @@ int main(int argc, char** argv) {
     return dx::CtlMain(argc - 2, argv + 2);
   }
   try {
+    if (argc > 1 && std::string(argv[1]) == "corpus") {
+      return CorpusMain(argc - 2, argv + 2);
+    }
     return Main(argc, argv);
   } catch (const std::exception& e) {
     // Corrupt corpora, config mismatches, and I/O failures surface as
