@@ -7,6 +7,7 @@
 #include "src/nn/execution_plan.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace dx {
@@ -207,10 +208,22 @@ std::vector<std::optional<GeneratedTest>> Executor::Run(
       std::copy(x.data(), x.data() + in_stride, dst + static_cast<int64_t>(i) * in_stride);
     }
   };
-  // One batched forward per model through the persistent plans.
+  // One batched forward per model through the persistent plans. The per-model
+  // forwards are independent (each writes only its own plan's slabs), so when
+  // cores are idle — a single-worker Session on a multicore host — they fan
+  // out over the global pool. Inside a multi-worker Session the chunk already
+  // runs on a pool thread, so IntraOpParallelismAvailable() is false and the
+  // loop stays serial instead of oversubscribing; either way each model's
+  // forward is the same operation sequence, so results don't depend on the
+  // choice. Layer kernels apply the same gate one level down (GEMM row
+  // blocks, conv batch samples) via the re-entrancy-safe ParallelFor.
   const auto forward_all = [&](int width) {
-    for (int k = 0; k < num_k; ++k) {
-      cs.plans[k].ForwardBatch(cs.stacked, width);
+    if (num_k > 1 && IntraOpParallelismAvailable()) {
+      ParallelFor(num_k, [&](int64_t k) { cs.plans[k].ForwardBatch(cs.stacked, width); });
+    } else {
+      for (int k = 0; k < num_k; ++k) {
+        cs.plans[k].ForwardBatch(cs.stacked, width);
+      }
     }
   };
   // Final-layer outputs of sample `pos`, read through non-owning views of

@@ -5,8 +5,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/nn/gemm.h"
 #include "src/tensor/workspace.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace dx {
 namespace {
@@ -234,7 +236,7 @@ Tensor Conv2D::ForwardBatch(const Tensor& input, int batch, bool /*training*/,
 
 void Conv2D::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
                               Rng* /*rng*/, Tensor* output, Tensor* /*aux*/,
-                              Workspace* /*ws*/) const {
+                              Workspace* ws) const {
   if (input.ndim() != 4 || input.dim(0) != batch || output->ndim() != 4) {
     throw std::invalid_argument("Conv2D::ForwardBatchInto: expected [B, C, H, W] tensors");
   }
@@ -243,10 +245,45 @@ void Conv2D::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
   const ConvGeom g{in_channels_,    out_channels_,   kernel_h_,    kernel_w_,
                    stride_,         padding_,        input.dim(2), input.dim(3),
                    output->dim(2),  output->dim(3)};
-  for (int b = 0; b < batch; ++b) {
-    ConvForwardKernel(g, input.data() + static_cast<size_t>(b) * g.in_size(),
-                      weight_.data(), bias_.data(),
-                      output->data() + static_cast<size_t>(b) * g.out_size());
+  if (ws == nullptr) {
+    // No arena for the im2col patch matrix (out-of-tree caller): run the
+    // scalar reference kernel rather than allocate in what may be a hot loop.
+    for (int b = 0; b < batch; ++b) {
+      ConvForwardKernel(g, input.data() + static_cast<size_t>(b) * g.in_size(),
+                        weight_.data(), bias_.data(),
+                        output->data() + static_cast<size_t>(b) * g.out_size());
+    }
+    ApplyActivation(act_, output);
+    return;
+  }
+  // im2col + GEMM: weights [OC, IC*KH*KW] are already the A matrix row-major;
+  // each sample's patches unpack into B = [IC*KH*KW, OH*OW] in the arena.
+  // The GEMM contract (ascending-k FMA per element, partitioning only over
+  // rows/samples) keeps results invariant to batch width, SIMD width, and
+  // thread count; they differ from the scalar oracle only by accumulation
+  // order, within test tolerances.
+  const int64_t patch_k = static_cast<int64_t>(g.in_channels) * g.kernel_h * g.kernel_w;
+  const int64_t patch_n = static_cast<int64_t>(g.out_h) * g.out_w;
+  float* col = ws->AcquireFlat(patch_k * patch_n * batch)->data();
+  const auto run_sample = [&](int64_t b) {
+    float* col_b = col + static_cast<size_t>(b) * patch_k * patch_n;
+    Im2Col(input.data() + static_cast<size_t>(b) * g.in_size(), g.in_channels, g.in_h,
+           g.in_w, g.kernel_h, g.kernel_w, g.stride, g.padding, g.out_h, g.out_w, col_b);
+    GemmBias(g.out_channels, static_cast<int>(patch_n), static_cast<int>(patch_k),
+             weight_.data(), static_cast<int>(patch_k), col_b, static_cast<int>(patch_n),
+             bias_.data(), output->data() + static_cast<size_t>(b) * g.out_size(),
+             static_cast<int>(patch_n));
+  };
+  const int64_t work_per_sample = static_cast<int64_t>(g.out_channels) * patch_k * patch_n;
+  if (batch > 1 && work_per_sample * batch >= (int64_t{1} << 20) &&
+      IntraOpParallelismAvailable()) {
+    // Samples are independent; nested GemmBias calls see InParallelRegion()
+    // and stay serial, so parallelism never exceeds the pool size.
+    ParallelFor(batch, run_sample);
+  } else {
+    for (int b = 0; b < batch; ++b) {
+      run_sample(b);
+    }
   }
   ApplyActivation(act_, output);
 }

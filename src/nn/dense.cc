@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/nn/gemm.h"
 #include "src/tensor/workspace.h"
 #include "src/util/rng.h"
 
@@ -216,12 +217,41 @@ void Dense::ForwardBatchInto(const Tensor& input, int batch, bool /*training*/,
   if (input.numel() != static_cast<int64_t>(batch) * in_features_) {
     throw std::invalid_argument("Dense::ForwardBatchInto: bad input size");
   }
-  float* xt = nullptr;
-  if (batch >= kDenseLanes) {
-    xt = ws->AcquireFlat(static_cast<int64_t>(in_features_) * batch)->data();
+  // GEMM path (shared with Conv2D's im2col): C[o, b] = bias[o] +
+  // Σ_i W[o, i]·xt[i, b], an ascending-i FMA chain per element, so results
+  // are invariant to batch width, SIMD width, and thread count. They differ
+  // from the by-value oracle (double accumulation) only within tolerance.
+  if (batch == 1) {
+    // [in, 1] needs no transpose and C == the output row directly.
+    GemmBias(out_features_, 1, in_features_, weight_.data(), in_features_,
+             input.data(), 1, bias_.data(), output->data(), 1);
+  } else if (ws == nullptr) {
+    // No arena for the transpose scratch (out-of-tree caller): scalar path.
+    for (int b = 0; b < batch; ++b) {
+      DenseForwardSample(input.data() + static_cast<size_t>(b) * in_features_,
+                         output->data() + static_cast<size_t>(b) * out_features_,
+                         weight_.data(), bias_.data(), in_features_, out_features_);
+    }
+  } else {
+    // Transpose x to [in, batch] for contiguous column loads, GEMM into
+    // [out, batch] scratch, transpose back into the [batch, out] output.
+    float* xt = ws->AcquireFlat(static_cast<int64_t>(in_features_) * batch)->data();
+    float* ct = ws->AcquireFlat(static_cast<int64_t>(out_features_) * batch)->data();
+    for (int b = 0; b < batch; ++b) {
+      const float* x_row = input.data() + static_cast<size_t>(b) * in_features_;
+      for (int i = 0; i < in_features_; ++i) {
+        xt[static_cast<size_t>(i) * batch + b] = x_row[i];
+      }
+    }
+    GemmBias(out_features_, batch, in_features_, weight_.data(), in_features_, xt,
+             batch, bias_.data(), ct, batch);
+    for (int b = 0; b < batch; ++b) {
+      float* y_row = output->data() + static_cast<size_t>(b) * out_features_;
+      for (int o = 0; o < out_features_; ++o) {
+        y_row[o] = ct[static_cast<size_t>(o) * batch + b];
+      }
+    }
   }
-  DenseForwardBatchKernel(input.data(), output->data(), weight_.data(), bias_.data(),
-                          in_features_, out_features_, batch, xt);
   ApplyActivation(act_, output);
 }
 

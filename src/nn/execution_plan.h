@@ -23,8 +23,18 @@
 // between [width, ...] and [1, ...] and re-allocates Shape storage per flip —
 // steady-state zero-allocation holds for a stable call pattern (the executor
 // hot loop uses BackwardSample only; tests/alloc_test.cc enforces that
-// path). Results are bit-identical to the by-value Model API — the plan runs
-// the exact same layer kernels (Layer::*Into) in the same order.
+// path).
+//
+// Numerics: the plan runs the Layer::*Into kernels, whose hot forward paths
+// (Dense, Conv2D) use im2col/GEMM + SIMD (src/nn/gemm.h, src/tensor/simd.h)
+// and therefore match the by-value scalar oracle within the kernel ULP/abs
+// tolerances of tests/test_util.h rather than bit-for-bit. Plan results ARE
+// bit-identical across SIMD backends, batch widths, worker counts, and
+// thread counts — the batch/worker determinism guarantee is unchanged.
+// Backward kernels are scalar and bit-identical given the same trace, but
+// plan gradients inherit the forward divergence (they backpropagate through
+// the plan's trace), so compare against the by-value API with the backward
+// tolerance.
 //
 // Lifetime & invalidation: the plan borrows the model. Weight *values* may
 // change between calls (kernels read them live), but structural changes
@@ -68,7 +78,8 @@ class ExecutionPlan {
 
   // Batched backward through the current trace: d(seed·out_from)/d(input),
   // seed shaped like trace().outputs[from_layer]. Returns a reused
-  // [width, ...input_shape] buffer, bit-identical to Model::BackwardInputBatch.
+  // [width, ...input_shape] buffer matching Model::BackwardInputBatch within
+  // the kernel backward tolerance (see the numerics note above).
   const Tensor& BackwardInputBatch(int from_layer, const Tensor& seed);
 
   // ---- Per-sample entry points (the objective-gradient hot loop) ---------
@@ -80,8 +91,10 @@ class ExecutionPlan {
   // d(seed·out_from of sample `pos`)/d(input): backpropagates through a
   // width-1 copy of sample `pos` of the current trace (cached across calls
   // for the same pos). `seed` needs out-numel elements (shape free, e.g. an
-  // AcquireSeed buffer). Returns a reused input-shaped buffer whose bits
-  // equal Model::BackwardInput on trace().Sample(pos).
+  // AcquireSeed buffer). Returns a reused input-shaped buffer matching
+  // Model::BackwardInput on trace().Sample(pos) within the kernel backward
+  // tolerance — and bit-identical to BackwardInputBatch's slice for this
+  // sample at any width.
   const Tensor& BackwardSample(int pos, int from_layer, const Tensor& seed);
 
   // Width-1 trace holding sample `pos` of the current trace — the reused

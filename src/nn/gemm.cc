@@ -1,0 +1,182 @@
+#include "src/nn/gemm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/simd.h"
+#include "src/util/thread_pool.h"
+
+namespace dx {
+namespace {
+
+using simd::VecF;
+
+// Register-blocking factors. kMR independent rows give the FMA units
+// independent dependency chains (the k-loop of a single row is serial by
+// contract); kNR = 2 vectors of columns amortizes each A broadcast over two
+// FMAs. With AVX2 (8 lanes) this is the classic 4x16 microkernel holding 8
+// accumulator registers.
+constexpr int kMR = 4;
+constexpr int kNR = 2 * simd::kLanes;
+
+// Work (in FMAs) below which fanning a GEMM out to the pool costs more in
+// wake-up latency than it saves; roughly a few hundred microseconds of
+// scalar work.
+constexpr int64_t kIntraOpMinWork = int64_t{1} << 20;
+
+// Full kMR x kNR tile.
+void MicroKernel(int K, const float* A, int lda, const float* B, int ldb,
+                 const float* bias, float* C, int ldc) {
+  VecF acc[kMR][2];
+  for (int m = 0; m < kMR; ++m) {
+    const float b = bias != nullptr ? bias[m] : 0.0f;
+    acc[m][0] = VecF::Broadcast(b);
+    acc[m][1] = VecF::Broadcast(b);
+  }
+  for (int k = 0; k < K; ++k) {
+    const float* b_row = B + static_cast<size_t>(k) * ldb;
+    const VecF b0 = VecF::Load(b_row);
+    const VecF b1 = VecF::Load(b_row + simd::kLanes);
+    for (int m = 0; m < kMR; ++m) {
+      const VecF a = VecF::Broadcast(A[static_cast<size_t>(m) * lda + k]);
+      acc[m][0] = VecF::Fma(a, b0, acc[m][0]);
+      acc[m][1] = VecF::Fma(a, b1, acc[m][1]);
+    }
+  }
+  for (int m = 0; m < kMR; ++m) {
+    float* c_row = C + static_cast<size_t>(m) * ldc;
+    acc[m][0].Store(c_row);
+    acc[m][1].Store(c_row + simd::kLanes);
+  }
+}
+
+// Any mr x nr remainder (mr <= kMR). Runs whole vectors while they fit,
+// then single columns — every path is the same ascending-k FMA chain per
+// element, so tile shape never changes a result. The rows' chains are
+// interleaved inside one k-loop: each chain is serial by contract, but the
+// (up to kMR) chains are independent, which keeps the FMA unit fed and
+// shares each B load across rows. This matters most for the N == 1 GEMV
+// case (dense forward at batch 1), which never sees the full microkernel.
+void EdgeKernel(int mr, int nr, int K, const float* A, int lda, const float* B,
+                int ldb, const float* bias, float* C, int ldc) {
+  int n = 0;
+  for (; n + simd::kLanes <= nr; n += simd::kLanes) {
+    VecF acc[kMR];
+    for (int m = 0; m < mr; ++m) {
+      acc[m] = VecF::Broadcast(bias != nullptr ? bias[m] : 0.0f);
+    }
+    for (int k = 0; k < K; ++k) {
+      const VecF b = VecF::Load(B + static_cast<size_t>(k) * ldb + n);
+      for (int m = 0; m < mr; ++m) {
+        acc[m] = VecF::Fma(VecF::Broadcast(A[static_cast<size_t>(m) * lda + k]),
+                           b, acc[m]);
+      }
+    }
+    for (int m = 0; m < mr; ++m) {
+      acc[m].Store(C + static_cast<size_t>(m) * ldc + n);
+    }
+  }
+  for (; n < nr; ++n) {
+    float acc[kMR];
+    for (int m = 0; m < mr; ++m) {
+      acc[m] = bias != nullptr ? bias[m] : 0.0f;
+    }
+    const float* b_col = B + n;
+    for (int k = 0; k < K; ++k) {
+      const float b = b_col[static_cast<size_t>(k) * ldb];
+      for (int m = 0; m < mr; ++m) {
+        acc[m] = std::fma(A[static_cast<size_t>(m) * lda + k], b, acc[m]);
+      }
+    }
+    for (int m = 0; m < mr; ++m) {
+      C[static_cast<size_t>(m) * ldc + n] = acc[m];
+    }
+  }
+}
+
+void GemmRows(int m_begin, int m_end, int N, int K, const float* A, int lda,
+              const float* B, int ldb, const float* bias, float* C, int ldc) {
+  for (int m0 = m_begin; m0 < m_end; m0 += kMR) {
+    const int mr = std::min(kMR, m_end - m0);
+    const float* a_blk = A + static_cast<size_t>(m0) * lda;
+    const float* bias_blk = bias != nullptr ? bias + m0 : nullptr;
+    float* c_blk = C + static_cast<size_t>(m0) * ldc;
+    int n0 = 0;
+    if (mr == kMR) {
+      for (; n0 + kNR <= N; n0 += kNR) {
+        MicroKernel(K, a_blk, lda, B + n0, ldb, bias_blk, c_blk + n0, ldc);
+      }
+    }
+    if (n0 < N) {
+      EdgeKernel(mr, N - n0, K, a_blk, lda, B + n0, ldb, bias_blk, c_blk + n0,
+                 ldc);
+    }
+  }
+}
+
+}  // namespace
+
+void GemmBias(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, const float* bias, float* C, int ldc) {
+  if (M <= 0 || N <= 0) {
+    return;
+  }
+  const int64_t work = static_cast<int64_t>(M) * N * K;
+  if (work >= kIntraOpMinWork && M >= 2 * kMR && IntraOpParallelismAvailable()) {
+    // Partition over row blocks only: each output element is still produced
+    // by exactly one ascending-k chain, so the thread count cannot change a
+    // bit of the result.
+    const int threads = ThreadPool::Global().num_threads() + 1;
+    const int max_blocks = (M + kMR - 1) / kMR;
+    const int blocks = std::min(max_blocks, threads);
+    const int rows_per_block = ((M + blocks - 1) / blocks + kMR - 1) / kMR * kMR;
+    const int actual_blocks = (M + rows_per_block - 1) / rows_per_block;
+    ParallelFor(actual_blocks, [&](int64_t blk) {
+      const int m_begin = static_cast<int>(blk) * rows_per_block;
+      const int m_end = std::min(M, m_begin + rows_per_block);
+      GemmRows(m_begin, m_end, N, K, A, lda, B, ldb, bias, C, ldc);
+    });
+  } else {
+    GemmRows(0, M, N, K, A, lda, B, ldb, bias, C, ldc);
+  }
+}
+
+void Im2Col(const float* x, int channels, int in_h, int in_w, int kernel_h,
+            int kernel_w, int stride, int padding, int out_h, int out_w,
+            float* col) {
+  const size_t n = static_cast<size_t>(out_h) * out_w;
+  float* dst = col;  // Row (c, ky, kx) of the [C*KH*KW, OH*OW] matrix.
+  for (int c = 0; c < channels; ++c) {
+    const float* plane = x + static_cast<size_t>(c) * in_h * in_w;
+    for (int ky = 0; ky < kernel_h; ++ky) {
+      for (int kx = 0; kx < kernel_w; ++kx, dst += n) {
+        for (int oy = 0; oy < out_h; ++oy) {
+          float* out_row = dst + static_cast<size_t>(oy) * out_w;
+          const int iy = oy * stride - padding + ky;
+          if (iy < 0 || iy >= in_h) {
+            std::fill(out_row, out_row + out_w, 0.0f);
+            continue;
+          }
+          const float* in_row = plane + static_cast<size_t>(iy) * in_w;
+          const int ix0 = kx - padding;
+          if (stride == 1) {
+            // Contiguous copy with zero borders where ix = ox + ix0 runs
+            // outside [0, in_w).
+            const int lo = std::min(out_w, std::max(0, -ix0));
+            const int hi = std::max(lo, std::min(out_w, in_w - ix0));
+            std::fill(out_row, out_row + lo, 0.0f);
+            std::copy(in_row + ix0 + lo, in_row + ix0 + hi, out_row + lo);
+            std::fill(out_row + hi, out_row + out_w, 0.0f);
+          } else {
+            for (int ox = 0; ox < out_w; ++ox) {
+              const int ix = ox * stride + ix0;
+              out_row[ox] = (ix >= 0 && ix < in_w) ? in_row[ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dx

@@ -1,0 +1,44 @@
+// Tiled float32 GEMM microkernel + im2col, the shared compute core of the
+// Conv2D and Dense ExecutionPlan forward paths.
+//
+// Numerics contract: every output element is computed as
+//
+//   C[m,n] = fma(A[m,K-1], B[K-1,n], ... fma(A[m,1], B[1,n],
+//                fma(A[m,0], B[0,n], bias[m])) ...)
+//
+// i.e. a fused multiply-add chain over ascending k starting from the bias.
+// The microkernel vectorizes over n (independent output columns) and unrolls
+// over m (independent output rows) but NEVER splits or reorders the k
+// accumulation, and intra-op threading partitions only over m — so results
+// are bit-identical at any SIMD width (src/tensor/simd.h), any thread count,
+// and any n (callers may grow or shrink the batch dimension freely). They are
+// NOT bit-identical to the by-value scalar kernels, which accumulate in a
+// different order; tests compare the two within ULP/abs tolerances.
+#ifndef DX_SRC_NN_GEMM_H_
+#define DX_SRC_NN_GEMM_H_
+
+#include <cstdint>
+
+namespace dx {
+
+// C[m, n] = bias[m] + sum_k A[m, k] * B[k, n] for m in [0, M), n in [0, N).
+// A is [M, K] with row stride lda, B is [K, N] with row stride ldb, C is
+// [M, N] with row stride ldc. bias may be null (treated as zeros). When the
+// product is large and the calling thread is not already inside a
+// ParallelFor region, row blocks are fanned out over the global ThreadPool;
+// the call performs no heap allocation either way.
+void GemmBias(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, const float* bias, float* C, int ldc);
+
+// Unpacks one CHW sample into the [channels * kernel_h * kernel_w,
+// out_h * out_w] patch matrix GemmBias consumes as B: row (c, ky, kx),
+// column (oy, ox) holds x[c, oy*stride - padding + ky, ox*stride - padding
+// + kx], or 0 where the index falls in the zero-padding border. `col` must
+// have room for the full matrix.
+void Im2Col(const float* x, int channels, int in_h, int in_w, int kernel_h,
+            int kernel_w, int stride, int padding, int out_h, int out_w,
+            float* col);
+
+}  // namespace dx
+
+#endif  // DX_SRC_NN_GEMM_H_

@@ -73,8 +73,15 @@ class Layer {
   // returning fresh tensors; they are the currency of ExecutionPlan
   // (src/nn/execution_plan.h), whose slabs are reused across gradient-ascent
   // iterations. Contract:
-  //   * Results are bit-identical to the by-value ForwardBatch/BackwardBatch
-  //     (same kernels, same float-operation order).
+  //   * Numerics: the by-value API is the scalar reference oracle. Forward
+  //     `*Into` kernels of hot layers (Dense, Conv2D) run the im2col/GEMM +
+  //     SIMD path (src/nn/gemm.h, src/tensor/simd.h), which accumulates in a
+  //     different order than the oracle — results match within the ULP/abs
+  //     kernel tolerances of tests/test_util.h, not bit-for-bit. They ARE
+  //     bit-identical across SIMD backends, batch widths, and thread counts
+  //     (ascending-k FMA per output element at every width). Backward
+  //     kernels and all other layers remain bit-identical to the by-value
+  //     path.
   //   * `ws` supplies scratch buffers (never null on the plan path; see
   //     src/tensor/workspace.h). Acquire in a deterministic order so the
   //     arena reaches a stable slot layout.

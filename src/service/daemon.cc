@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/service/metrics.h"
+#include "src/tensor/simd.h"
 
 namespace dx {
 namespace {
@@ -303,6 +304,14 @@ std::string Daemon::MetricsText() {
 
   writer.Family("dxplored_uptime_seconds", "Daemon uptime.", "gauge");
   writer.Sample("dxplored_uptime_seconds", {}, uptime_.ElapsedSeconds());
+  // Build provenance: which SIMD backend the layer kernels were compiled
+  // for (info-style gauge, value is the lane width).
+  writer.Family("dxplored_simd_lanes",
+                "Float lanes of the compiled SIMD backend (labelled by "
+                "backend name).",
+                "gauge");
+  writer.Sample("dxplored_simd_lanes", {{"backend", SimdBackendName()}},
+                static_cast<double>(SimdLanes()));
   writer.Family("dxplored_ctl_requests_total",
                 "Ctl socket requests received.", "counter");
   writer.Sample("dxplored_ctl_requests_total", {},

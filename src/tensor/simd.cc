@@ -1,0 +1,9 @@
+#include "src/tensor/simd.h"
+
+namespace dx {
+
+const char* SimdBackendName() { return simd::kBackend; }
+
+int SimdLanes() { return simd::kLanes; }
+
+}  // namespace dx

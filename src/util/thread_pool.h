@@ -1,19 +1,48 @@
-// A small fixed-size thread pool with a blocking ParallelFor.
+// A small fixed-size thread pool with a blocking, allocation-free ParallelFor.
 //
-// Used to parallelize batch forward/backward passes over CPU cores. The pool
-// is deliberately simple: tasks may not spawn nested ParallelFor calls on the
-// same pool (they would deadlock); callers needing nesting should run serial.
+// Used to parallelize batch forward/backward passes over CPU cores and for
+// intra-op parallelism inside large layer kernels. Re-entrant use is safe:
+// a task that calls ParallelFor on the pool it is already running inside
+// degrades to a serial loop on the calling thread instead of deadlocking.
+// Independent ParallelFor calls from different threads may share one pool
+// concurrently (the campaign daemon relies on this).
+//
+// ParallelFor performs no heap allocation: chunk descriptors live on the
+// calling thread's stack and the callable is passed by non-owning reference,
+// so layer kernels may call it from the zero-allocation executor hot path.
 #ifndef DX_SRC_UTIL_THREAD_POOL_H_
 #define DX_SRC_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
-#include <functional>
+#include <cstdint>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace dx {
+
+// Non-owning reference to a callable taking an int64_t index. The referenced
+// callable must outlive the FunctionRef; ParallelFor blocks until all work is
+// done, so passing a temporary lambda at the call site is safe.
+class IndexFnRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, IndexFnRef>>>
+  IndexFnRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, int64_t i) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(i);
+        }) {}
+
+  void operator()(int64_t i) const { call_(obj_, i); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, int64_t);
+};
 
 class ThreadPool {
  public:
@@ -29,24 +58,46 @@ class ThreadPool {
   // Runs fn(i) for i in [0, n), partitioned into contiguous chunks across the
   // pool's workers plus the calling thread. Blocks until all work is done.
   // Exceptions thrown by fn propagate (the first one) to the caller.
-  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+  //
+  // Safe to call from inside a task already running on this pool: such
+  // re-entrant calls are detected per-thread and run serially on the calling
+  // thread (they cannot wait on workers that may themselves be blocked).
+  void ParallelFor(int64_t n, IndexFnRef fn);
+
+  // True iff the calling thread is currently executing inside a ParallelFor
+  // region of ANY pool (as a worker task or as the caller's own chunk). Used
+  // to gate intra-op parallelism so nested kernels do not oversubscribe.
+  static bool InParallelRegion();
 
   // Process-wide shared pool (created on first use; size from
   // DEEPXPLORE_THREADS or hardware concurrency).
   static ThreadPool& Global();
 
  private:
+  struct LoopCtx;   // Per-ParallelFor shared state, on the caller's stack.
+  struct ChunkTask; // Intrusive queue node, on the caller's stack.
+
   void WorkerLoop();
+  // Pops and runs queued chunks belonging to ctx until none remain queued.
+  void HelpWithLoop(LoopCtx* ctx);
+  static void RunChunk(ChunkTask* task);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  ChunkTask* queue_head_ = nullptr;  // Intrusive FIFO of pending chunks.
+  ChunkTask* queue_tail_ = nullptr;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };
 
 // Convenience wrapper over ThreadPool::Global().ParallelFor.
-void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+void ParallelFor(int64_t n, IndexFnRef fn);
+
+// True when a layer kernel may profitably fan work out to the global pool:
+// the pool has at least two workers and the calling thread is not already
+// inside a ParallelFor region (in which case fanning out would oversubscribe
+// the cores the outer region already occupies).
+bool IntraOpParallelismAvailable();
 
 }  // namespace dx
 

@@ -11,8 +11,11 @@
 //   3. every constraint variant is idempotent (Apply(Apply(g)) == Apply(g)
 //      under identical RNG streams) and its projection is a retraction
 //      (Project(Project(x)) == Project(x));
-//   4. the compiled ExecutionPlan path is bit-identical to the by-value
-//      path for every zoo model (forward trace and input gradient).
+//   4. the compiled ExecutionPlan path matches the by-value path for every
+//      zoo model (forward trace and input gradient) within the kernel
+//      tolerances of tests/test_util.h — the plan path runs the SIMD/GEMM
+//      conv2d/dense kernels, whose accumulation order differs from the
+//      by-value scalar oracle.
 //
 // Plus registry-level tests: lookup error messages (the CLI surfaces them
 // verbatim) and the corpus-manifest hardening guarantee — a manifest whose
@@ -171,8 +174,9 @@ TEST_P(DomainConformanceTest, ExecutionPlanMatchesByValuePath) {
     const BatchTrace& planned = m.ForwardBatch(stacked, plan);
     ASSERT_EQ(planned.outputs.size(), by_value.outputs.size()) << mspec.name;
     for (size_t l = 0; l < by_value.outputs.size(); ++l) {
-      EXPECT_EQ(Values(planned.outputs[l]), Values(by_value.outputs[l]))
-          << mspec.name << " layer " << l;
+      dx::testing::ExpectTensorsNear(planned.outputs[l], by_value.outputs[l],
+                                     dx::testing::kKernelForwardTolerance,
+                                     mspec.name + " layer " + std::to_string(l));
     }
 
     Tensor seed(by_value.outputs.back().shape());
@@ -181,7 +185,9 @@ TEST_P(DomainConformanceTest, ExecutionPlanMatchesByValuePath) {
         m.BackwardInputBatch(by_value, m.num_layers() - 1, seed);
     const Tensor& grad_planned =
         m.BackwardInputBatch(plan, m.num_layers() - 1, seed);
-    EXPECT_EQ(Values(grad_planned), Values(grad_by_value)) << mspec.name;
+    dx::testing::ExpectTensorsNear(grad_planned, grad_by_value,
+                                   dx::testing::kKernelBackwardTolerance,
+                                   mspec.name);
   }
 }
 

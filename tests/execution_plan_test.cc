@@ -1,12 +1,22 @@
-// ExecutionPlan equivalence: the compiled zero-allocation path must be
-// bit-identical to the by-value Model API — forward traces (outputs AND
-// aux), batched input gradients, per-sample objective backprop, and the
-// width-1 sample trace — across layer types, widths, and width changes
-// (the plan's buffers are reused in place between calls).
+// ExecutionPlan equivalence: the compiled zero-allocation path must match
+// the by-value Model API — forward traces (outputs AND aux), batched input
+// gradients, per-sample objective backprop, and the width-1 sample trace —
+// across layer types, widths, and width changes (the plan's buffers are
+// reused in place between calls).
+//
+// Since the SIMD/GEMM kernel rewrite the plan path runs conv2d and dense
+// forward through im2col + GemmBias (src/nn/gemm.h), which accumulates in a
+// different order than the by-value scalar kernels — the reference oracle.
+// Comparisons against the oracle are therefore tolerance-checked (ULP + abs
+// floor, tests/test_util.h); layers without SIMD kernels stay bit-exact.
+// The plan path remains bit-identical to ITSELF at any batch width, worker
+// count, and SIMD backend — those invariants are pinned elsewhere
+// (tests/batch_exec_test.cc, tests/gemm_kernel_test.cc).
 #include "src/nn/execution_plan.h"
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "src/nn/batchnorm.h"
@@ -25,6 +35,12 @@
 
 namespace dx {
 namespace {
+
+using testing::ExpectTensorsNear;
+using testing::FloatTolerance;
+using testing::kExactTolerance;
+using testing::kKernelBackwardTolerance;
+using testing::kKernelForwardTolerance;
 
 Model MakeConvModel(uint64_t seed) {
   Model m("conv", {1, 10, 10});
@@ -62,14 +78,15 @@ Tensor RandomBatch(const Model& model, int width, uint64_t seed) {
   return Tensor::RandUniform(BatchedShape(width, model.input_shape()), rng);
 }
 
-void ExpectTracesEqual(const BatchTrace& got, const BatchTrace& want,
-                       const std::string& what) {
+void ExpectTracesNear(const BatchTrace& got, const BatchTrace& want,
+                      const FloatTolerance& tol, const std::string& what) {
   ASSERT_EQ(got.batch, want.batch) << what;
   ASSERT_EQ(got.outputs.size(), want.outputs.size()) << what;
   for (size_t l = 0; l < want.outputs.size(); ++l) {
     EXPECT_EQ(got.outputs[l].shape(), want.outputs[l].shape()) << what << " layer " << l;
-    EXPECT_EQ(got.outputs[l].values(), want.outputs[l].values()) << what << " layer " << l;
-    EXPECT_EQ(got.aux[l].values(), want.aux[l].values()) << what << " aux " << l;
+    ExpectTensorsNear(got.outputs[l], want.outputs[l], tol,
+                      what + " layer " + std::to_string(l));
+    ExpectTensorsNear(got.aux[l], want.aux[l], tol, what + " aux " + std::to_string(l));
   }
 }
 
@@ -82,8 +99,8 @@ TEST(ExecutionPlanTest, ForwardMatchesByValueAcrossWidths) {
       const Tensor input = RandomBatch(model, width, 100 + static_cast<uint64_t>(round));
       const BatchTrace want = model.ForwardBatch(input);
       const BatchTrace& got = model.ForwardBatch(input, plan);
-      ExpectTracesEqual(got, want,
-                        model.name() + " width " + std::to_string(width));
+      ExpectTracesNear(got, want, kKernelForwardTolerance,
+                       model.name() + " width " + std::to_string(width));
       EXPECT_EQ(SliceSample(got.input, width - 1).values(),
                 SliceSample(input, width - 1).values());
       ++round;
@@ -97,6 +114,48 @@ TEST(ExecutionPlanTest, ForwardCountsForwardPasses) {
   model.ResetForwardPasses();
   model.ForwardBatch(RandomBatch(model, 3, 1), plan);
   EXPECT_EQ(model.forward_passes(), 3);
+}
+
+// The plan path must be bit-identical to ITSELF across batch widths: each
+// sample's forward depends only on that sample (GEMM accumulates each output
+// element over a fixed ascending-k chain regardless of the batch dimension).
+// This is the invariant that keeps Session results independent of batch size
+// and worker count now that the plan path is no longer bit-equal to the
+// by-value oracle.
+TEST(ExecutionPlanTest, ForwardBitIdenticalAcrossWidths) {
+  for (const auto& model : {MakeConvModel(21), MakeResidualModel(22)}) {
+    ExecutionPlan plan = model.Compile(8);
+    const Tensor input = RandomBatch(model, 8, 300);
+    // Forward the full batch, snapshot every layer output.
+    const BatchTrace& full = model.ForwardBatch(input, plan);
+    std::vector<std::vector<float>> full_outputs;
+    for (const Tensor& out : full.outputs) {
+      full_outputs.push_back(out.values());
+    }
+    const std::vector<int64_t> strides = [&] {
+      std::vector<int64_t> s;
+      for (const Tensor& out : full.outputs) {
+        s.push_back(out.numel() / 8);
+      }
+      return s;
+    }();
+    // Forward a narrower prefix: every element must match the full batch bit
+    // for bit.
+    ExecutionPlan plan2 = model.Compile(8);
+    for (const int width : {1, 3, 5}) {
+      Tensor prefix(BatchedShape(width, model.input_shape()));
+      std::copy(input.data(), input.data() + prefix.numel(), prefix.data());
+      const BatchTrace& got = model.ForwardBatch(prefix, plan2);
+      for (size_t l = 0; l < got.outputs.size(); ++l) {
+        const std::vector<float> got_vals = got.outputs[l].values();
+        for (size_t i = 0; i < got_vals.size(); ++i) {
+          ASSERT_EQ(got_vals[i], full_outputs[l][i])
+              << model.name() << " width " << width << " layer " << l
+              << " element " << i;
+        }
+      }
+    }
+  }
 }
 
 TEST(ExecutionPlanTest, BackwardInputBatchMatchesByValue) {
@@ -113,8 +172,9 @@ TEST(ExecutionPlanTest, BackwardInputBatchMatchesByValue) {
         const Tensor want = model.BackwardInputBatch(want_trace, from, seed);
         const Tensor& got = model.BackwardInputBatch(plan, from, seed);
         EXPECT_EQ(got.shape(), want.shape()) << model.name();
-        EXPECT_EQ(got.values(), want.values())
-            << model.name() << " width " << width << " from " << from;
+        ExpectTensorsNear(got, want, kKernelBackwardTolerance,
+                          model.name() + " width " + std::to_string(width) +
+                              " from " + std::to_string(from));
       }
     }
   }
@@ -141,8 +201,9 @@ TEST(ExecutionPlanTest, BackwardSampleMatchesScalarBackward) {
                   seed.data());
         const Tensor& got = plan.BackwardSample(pos, from, seed);
         EXPECT_EQ(got.shape(), want.shape());
-        EXPECT_EQ(got.values(), want.values())
-            << model.name() << " pos " << pos << " from " << from;
+        ExpectTensorsNear(got, want, kKernelBackwardTolerance,
+                          model.name() + " pos " + std::to_string(pos) +
+                              " from " + std::to_string(from));
       }
     }
   }
@@ -157,7 +218,8 @@ TEST(ExecutionPlanTest, SampleTraceMatchesSelect) {
   for (int pos = 0; pos < 3; ++pos) {
     const BatchTrace want = want_trace.Select({pos});
     const BatchTrace& got = plan.SampleTrace(pos);
-    ExpectTracesEqual(got, want, "sample " + std::to_string(pos));
+    ExpectTracesNear(got, want, kKernelForwardTolerance,
+                     "sample " + std::to_string(pos));
     EXPECT_EQ(got.input.values(), want.input.values());
   }
 }
@@ -173,10 +235,13 @@ TEST(ExecutionPlanTest, AcquireSeedIsZeroed) {
   }
 }
 
-// Per-layer: the *Into kernels must equal the by-value kernels bit for bit,
-// including accumulated parameter gradients.
+// Per-layer: the *Into kernels must match the by-value kernels — bit for bit
+// for layers without SIMD kernels (tol == kExactTolerance), within ULP/abs
+// tolerance for conv2d/dense/residual, whose Into path runs im2col + GEMM.
 void ExpectIntoMatchesByValue(const Layer& layer, const Shape& in_shape, int batch,
-                              uint64_t seed) {
+                              uint64_t seed,
+                              const FloatTolerance& fwd_tol = kExactTolerance,
+                              const FloatTolerance& bwd_tol = kExactTolerance) {
   Rng rng(seed);
   const Tensor input = Tensor::RandUniform(BatchedShape(batch, in_shape), rng, -1.0f, 1.0f);
   Tensor want_aux;
@@ -186,8 +251,8 @@ void ExpectIntoMatchesByValue(const Layer& layer, const Shape& in_shape, int bat
   Tensor got_out(want_out.shape());
   Tensor got_aux;
   layer.ForwardBatchInto(input, batch, false, nullptr, &got_out, &got_aux, &ws);
-  EXPECT_EQ(got_out.values(), want_out.values()) << layer.Describe() << " forward";
-  EXPECT_EQ(got_aux.values(), want_aux.values()) << layer.Describe() << " aux";
+  ExpectTensorsNear(got_out, want_out, fwd_tol, layer.Describe() + " forward");
+  ExpectTensorsNear(got_aux, want_aux, fwd_tol, layer.Describe() + " aux");
 
   const Tensor grad_out =
       Tensor::RandUniform(want_out.shape(), rng, -1.0f, 1.0f);
@@ -203,10 +268,10 @@ void ExpectIntoMatchesByValue(const Layer& layer, const Shape& in_shape, int bat
   Tensor got_gin(input.shape());
   layer.BackwardBatchInto(input, got_out, grad_out, got_aux, batch, &got_gin, &ws,
                           num_params > 0 ? &got_pg : nullptr);
-  EXPECT_EQ(got_gin.values(), want_gin.values()) << layer.Describe() << " backward";
+  ExpectTensorsNear(got_gin, want_gin, bwd_tol, layer.Describe() + " backward");
   for (size_t p = 0; p < num_params; ++p) {
-    EXPECT_EQ(got_pg[p].values(), want_pg[p].values())
-        << layer.Describe() << " param grad " << p;
+    ExpectTensorsNear(got_pg[p], want_pg[p], bwd_tol,
+                      layer.Describe() + " param grad " + std::to_string(p));
   }
 }
 
@@ -216,12 +281,14 @@ TEST(LayerIntoTest, AllLayersMatchByValueKernels) {
     {
       Dense dense(10, 7, Activation::kRelu);
       dense.InitParams(rng);
-      ExpectIntoMatchesByValue(dense, {10}, batch, 1000 + static_cast<uint64_t>(batch));
+      ExpectIntoMatchesByValue(dense, {10}, batch, 1000 + static_cast<uint64_t>(batch),
+                               kKernelForwardTolerance, kKernelBackwardTolerance);
     }
     {
       Conv2D conv(2, 3, 3, 3, 1, 1, Activation::kTanh);
       conv.InitParams(rng);
-      ExpectIntoMatchesByValue(conv, {2, 6, 6}, batch, 2000 + static_cast<uint64_t>(batch));
+      ExpectIntoMatchesByValue(conv, {2, 6, 6}, batch, 2000 + static_cast<uint64_t>(batch),
+                               kKernelForwardTolerance, kKernelBackwardTolerance);
     }
     ExpectIntoMatchesByValue(Pool2D(PoolMode::kMax, 2), {3, 6, 6}, batch,
                              3000 + static_cast<uint64_t>(batch));
@@ -244,7 +311,59 @@ TEST(LayerIntoTest, AllLayersMatchByValueKernels) {
       ResidualBlock res(3, 6, 2);
       Rng r2(77);
       res.InitParams(r2);
-      ExpectIntoMatchesByValue(res, {3, 8, 8}, batch, 9000 + static_cast<uint64_t>(batch));
+      ExpectIntoMatchesByValue(res, {3, 8, 8}, batch, 9000 + static_cast<uint64_t>(batch),
+                               kKernelForwardTolerance, kKernelBackwardTolerance);
+    }
+  }
+}
+
+// Tolerance-checked SIMD-vs-scalar sweep over every conv2d and dense shape
+// the zoo and the domain registry exercise (plus degenerate extremes): the
+// GEMM path must stay within kernel tolerance of the scalar oracle at every
+// geometry, not just the ones the model-level tests happen to compose.
+TEST(LayerIntoTest, SimdVsScalarSweepAllLayerShapes) {
+  struct ConvCase {
+    int in_c, out_c, kh, kw, stride, padding, in_h, in_w;
+  };
+  const ConvCase conv_cases[] = {
+      {1, 4, 5, 5, 1, 0, 28, 28},   // MNIST LeNet c1
+      {4, 12, 5, 5, 1, 0, 12, 12},  // MNIST LeNet c2
+      {3, 8, 3, 3, 1, 1, 32, 32},   // CIFAR-style same-pad
+      {8, 16, 3, 3, 2, 1, 16, 16},  // strided downsample
+      {1, 2, 1, 8, 1, 0, 1, 64},    // speech 1-D conv (kernel_h == 1)
+      {2, 4, 1, 1, 1, 0, 9, 9},     // 1x1 pointwise
+      {3, 5, 7, 7, 3, 2, 11, 13},   // odd stride, asymmetric input
+      {2, 3, 6, 6, 1, 3, 4, 4},     // kernel > input, padding rescues it
+      {16, 4, 3, 3, 1, 0, 5, 5},    // channel-heavy, tiny spatial
+  };
+  Rng rng(4242);
+  for (const auto& c : conv_cases) {
+    for (const int batch : {1, 8}) {
+      for (const Activation act : {Activation::kRelu, Activation::kNone}) {
+        Conv2D conv(c.in_c, c.out_c, c.kh, c.kw, c.stride, c.padding, act);
+        conv.InitParams(rng);
+        ExpectIntoMatchesByValue(conv, {c.in_c, c.in_h, c.in_w}, batch, rng.NextU64(),
+                                 kKernelForwardTolerance, kKernelBackwardTolerance);
+      }
+    }
+  }
+  struct DenseCase {
+    int in, out;
+  };
+  const DenseCase dense_cases[] = {
+      {784, 128},  // MNIST MLP hidden
+      {128, 10},   // classifier head
+      {1, 1},      // degenerate
+      {3, 257},    // wide output, narrow input
+      {1352, 10},  // LeNet flatten -> logits (longest reduction in the zoo)
+      {135, 64},   // tabular fraud MLP
+  };
+  for (const auto& d : dense_cases) {
+    for (const int batch : {1, 8}) {
+      Dense dense(d.in, d.out, Activation::kRelu);
+      dense.InitParams(rng);
+      ExpectIntoMatchesByValue(dense, {d.in}, batch, rng.NextU64(),
+                               kKernelForwardTolerance, kKernelBackwardTolerance);
     }
   }
 }

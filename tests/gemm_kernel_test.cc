@@ -1,0 +1,223 @@
+// Randomized property tests for the im2col/GEMM kernel layer
+// (src/nn/gemm.h) in the style of tests/batch_property_test.cc: fixed-seed
+// random sweeps over shapes chosen to hit every kernel path — full
+// microkernel tiles, row/column edge tiles, the N == 1 GEMV case, odd
+// strides, asymmetric padding effects, and kernels larger than the padded
+// input. Three properties are checked:
+//
+//   1. GemmBias matches a naive scalar reference within the kernel forward
+//      tolerance (the reference uses separate mul+add, the kernel fused
+//      ascending-k FMA — same contract as the by-value oracle comparison).
+//   2. GemmBias is BIT-identical however the N dimension is partitioned
+//      (whole call vs per-column calls) — the width-invariance guarantee
+//      the executor's batch determinism rests on.
+//   3. Conv2D / Dense ForwardBatchInto (the im2col+GEMM plan path) match
+//      the by-value scalar oracle within tolerance at batch 1 and 8, and
+//      Im2Col itself matches a direct gather exactly (pure data movement).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nn/conv2d.h"
+#include "src/nn/dense.h"
+#include "src/nn/gemm.h"
+#include "src/tensor/tensor.h"
+#include "src/tensor/workspace.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace dx {
+namespace {
+
+using testing::ExpectBuffersNear;
+using testing::ExpectTensorsNear;
+using testing::kKernelForwardTolerance;
+
+constexpr int kTrials = 12;
+
+int RandInt(Rng& rng, int lo, int hi) {
+  return static_cast<int>(rng.UniformInt(lo, hi));
+}
+
+std::vector<float> RandVec(Rng& rng, int64_t n) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) {
+    x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return v;
+}
+
+// Naive reference: separate multiply and add, ascending k (the same
+// per-element order the scalar by-value kernels use).
+std::vector<float> NaiveGemmBias(int M, int N, int K, const float* A, int lda,
+                                 const float* B, int ldb, const float* bias) {
+  std::vector<float> C(static_cast<size_t>(M) * N);
+  for (int m = 0; m < M; ++m) {
+    for (int n = 0; n < N; ++n) {
+      float acc = bias != nullptr ? bias[m] : 0.0f;
+      for (int k = 0; k < K; ++k) {
+        acc += A[static_cast<size_t>(m) * lda + k] * B[static_cast<size_t>(k) * ldb + n];
+      }
+      C[static_cast<size_t>(m) * N + n] = acc;
+    }
+  }
+  return C;
+}
+
+TEST(GemmKernelTest, MatchesNaiveReferenceAcrossRandomShapes) {
+  Rng rng(0x6E);
+  for (int t = 0; t < kTrials; ++t) {
+    // Straddle the 4x16 (AVX2) blocking: M and N cover below-one-tile,
+    // exact-tile, and tile-plus-edge; K covers the length of the chain.
+    const int M = RandInt(rng, 1, 21);
+    const int N = RandInt(rng, 1, 37);
+    const int K = RandInt(rng, 1, 64);
+    const std::vector<float> A = RandVec(rng, static_cast<int64_t>(M) * K);
+    const std::vector<float> B = RandVec(rng, static_cast<int64_t>(K) * N);
+    const std::vector<float> bias = RandVec(rng, M);
+    const bool use_bias = rng.Bernoulli(0.5);
+
+    std::vector<float> C(static_cast<size_t>(M) * N, -999.0f);
+    GemmBias(M, N, K, A.data(), K, B.data(), N, use_bias ? bias.data() : nullptr,
+             C.data(), N);
+    const std::vector<float> want =
+        NaiveGemmBias(M, N, K, A.data(), K, B.data(), N,
+                      use_bias ? bias.data() : nullptr);
+    ExpectBuffersNear(C.data(), want.data(), static_cast<int64_t>(M) * N,
+                      kKernelForwardTolerance,
+                      "gemm M=" + std::to_string(M) + " N=" + std::to_string(N) +
+                          " K=" + std::to_string(K));
+  }
+}
+
+TEST(GemmKernelTest, BitIdenticalUnderColumnPartition) {
+  Rng rng(0x6F);
+  for (int t = 0; t < kTrials; ++t) {
+    const int M = RandInt(rng, 1, 13);
+    const int N = RandInt(rng, 2, 40);
+    const int K = RandInt(rng, 1, 48);
+    const std::vector<float> A = RandVec(rng, static_cast<int64_t>(M) * K);
+    const std::vector<float> B = RandVec(rng, static_cast<int64_t>(K) * N);
+    const std::vector<float> bias = RandVec(rng, M);
+
+    std::vector<float> whole(static_cast<size_t>(M) * N);
+    GemmBias(M, N, K, A.data(), K, B.data(), N, bias.data(), whole.data(), N);
+
+    // Column by column: every output element must come out bit-identical,
+    // because each element is one fixed ascending-k chain regardless of how
+    // many columns share the call (this is what makes plan results
+    // independent of batch width).
+    std::vector<float> cols(static_cast<size_t>(M) * N);
+    for (int n = 0; n < N; ++n) {
+      GemmBias(M, 1, K, A.data(), K, B.data() + n, N, bias.data(), cols.data() + n, N);
+    }
+    for (int64_t i = 0; i < static_cast<int64_t>(M) * N; ++i) {
+      ASSERT_EQ(whole[static_cast<size_t>(i)], cols[static_cast<size_t>(i)])
+          << "element " << i << " (M=" << M << " N=" << N << " K=" << K << ")";
+    }
+  }
+}
+
+TEST(GemmKernelTest, Im2ColMatchesDirectGatherExactly) {
+  Rng rng(0x70);
+  for (int t = 0; t < kTrials; ++t) {
+    const int c = RandInt(rng, 1, 4);
+    const int in_h = RandInt(rng, 1, 9);
+    const int in_w = RandInt(rng, 1, 9);
+    const int kh = RandInt(rng, 1, 5);
+    const int kw = RandInt(rng, 1, 5);
+    const int stride = RandInt(rng, 1, 3);  // Odd and even strides.
+    const int pad = RandInt(rng, 0, 3);     // Includes kernel > padded input.
+    const int out_h = (in_h + 2 * pad - kh) / stride + 1;
+    const int out_w = (in_w + 2 * pad - kw) / stride + 1;
+    if (out_h <= 0 || out_w <= 0) {
+      continue;
+    }
+    const std::vector<float> x = RandVec(rng, static_cast<int64_t>(c) * in_h * in_w);
+
+    const int64_t rows = static_cast<int64_t>(c) * kh * kw;
+    const int64_t cols = static_cast<int64_t>(out_h) * out_w;
+    std::vector<float> got(static_cast<size_t>(rows * cols), -999.0f);
+    Im2Col(x.data(), c, in_h, in_w, kh, kw, stride, pad, out_h, out_w, got.data());
+
+    for (int ch = 0; ch < c; ++ch) {
+      for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx) {
+          for (int oy = 0; oy < out_h; ++oy) {
+            for (int ox = 0; ox < out_w; ++ox) {
+              const int iy = oy * stride - pad + ky;
+              const int ix = ox * stride - pad + kx;
+              const float want =
+                  (iy >= 0 && iy < in_h && ix >= 0 && ix < in_w)
+                      ? x[(static_cast<size_t>(ch) * in_h + iy) * in_w + ix]
+                      : 0.0f;
+              const int64_t row = (static_cast<int64_t>(ch) * kh + ky) * kw + kx;
+              const int64_t col = static_cast<int64_t>(oy) * out_w + ox;
+              ASSERT_EQ(got[static_cast<size_t>(row * cols + col)], want)
+                  << "c=" << ch << " ky=" << ky << " kx=" << kx << " oy=" << oy
+                  << " ox=" << ox << " (stride=" << stride << " pad=" << pad << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The integrated plan path: Conv2D/Dense ForwardBatchInto (im2col + GEMM +
+// SIMD, workspace-backed) against the by-value scalar oracle.
+void ExpectForwardIntoNearByValue(const Layer& layer, const Shape& in_shape, int batch,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  const Tensor input = Tensor::RandUniform(BatchedShape(batch, in_shape), rng, -1.0f, 1.0f);
+  Tensor want_aux;
+  const Tensor want = layer.ForwardBatch(input, batch, false, nullptr, &want_aux);
+  Workspace ws;
+  Tensor got(want.shape());
+  Tensor got_aux;
+  layer.ForwardBatchInto(input, batch, false, nullptr, &got, &got_aux, &ws);
+  ExpectTensorsNear(got, want, kKernelForwardTolerance,
+                    layer.Describe() + " batch=" + std::to_string(batch));
+}
+
+TEST(GemmKernelTest, Conv2DForwardIntoSweepsRandomShapes) {
+  Rng rng(0x71);
+  for (int t = 0; t < kTrials; ++t) {
+    const int in_ch = RandInt(rng, 1, 4);
+    const int kh = RandInt(rng, 1, 5);
+    const int kw = RandInt(rng, 1, 5);
+    const int stride = RandInt(rng, 1, 3);
+    const int pad = RandInt(rng, 0, 3);
+    const int in_h = RandInt(rng, 1, 12);
+    const int in_w = RandInt(rng, 1, 12);
+    // Conv2D rejects kernels larger than the padded input; keep the cases
+    // where the kernel exceeds the RAW input but padding covers it (the
+    // all-border patches are the interesting edge).
+    if (in_h + 2 * pad < kh || in_w + 2 * pad < kw) {
+      continue;
+    }
+    Conv2D layer(in_ch, RandInt(rng, 1, 6), kh, kw, stride, pad,
+                 static_cast<Activation>(RandInt(rng, 0, 3)));
+    layer.InitParams(rng);
+    for (const int batch : {1, 8}) {
+      ExpectForwardIntoNearByValue(layer, {in_ch, in_h, in_w}, batch, rng.NextU64());
+    }
+  }
+}
+
+TEST(GemmKernelTest, DenseForwardIntoSweepsRandomShapes) {
+  Rng rng(0x72);
+  for (int t = 0; t < kTrials; ++t) {
+    Dense layer(RandInt(rng, 1, 300), RandInt(rng, 1, 70),
+                static_cast<Activation>(RandInt(rng, 0, 3)));
+    layer.InitParams(rng);
+    for (const int batch : {1, 8}) {
+      ExpectForwardIntoNearByValue(layer, {layer.in_features()}, batch, rng.NextU64());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dx

@@ -6,15 +6,22 @@
 // {1, 8} x {1, 4}, extending the batch/worker invariance guarantee to the
 // full configuration space.
 //
-// Goldens live in tests/goldens/scenario_matrix_<domain>.json. They are a
-// per-toolchain artifact (bit-exact floating point): after an intentional
-// engine change — or a compiler change that shifts float bits — re-record
-// them with tools/record_goldens.sh and review the diff. Recording mode is
-// selected by the DX_RECORD_GOLDENS=1 environment variable.
+// Goldens live in tests/goldens/scenario_matrix_<domain>.json. Integer
+// metrics (test/seed/iteration/forward-pass counts, covered items) are
+// compared exactly; float metrics are compared under the per-metric ULP/abs
+// tolerances recorded in each golden file's "tolerances" header, so a
+// toolchain change that shifts float bits within tolerance does NOT require
+// a re-record. After an intentional engine change — or a float shift large
+// enough to move the integer metrics — re-record with
+// tools/record_goldens.sh and review the diff. Recording mode is selected by
+// the DX_RECORD_GOLDENS=1 environment variable.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -54,9 +61,23 @@ struct ScenarioResult {
   int skipped = 0;
   int64_t iterations = 0;
   int64_t forward_passes = 0;
-  std::vector<int> covered;  // Per model, session order.
+  float mean_coverage = 0.0f;  // Float metric: golden-compared under tolerance.
+  std::vector<int> covered;    // Per model, session order.
   std::vector<int> total;
 };
+
+// Per-metric golden tolerances: metric name -> ULP/abs bound. Metrics absent
+// from the map are exact (integers always are). The defaults here are also
+// what WriteGoldens records into the file header, so the tolerance that a
+// golden was recorded under travels with the golden.
+using ToleranceMap = std::map<std::string, testing::FloatTolerance>;
+
+ToleranceMap DefaultTolerances() {
+  // mean_coverage is a ratio of integer counts; any drift within one part in
+  // ~1e-4 means the counts themselves moved, which the exact integer metrics
+  // catch first. The ULP term absorbs pure summation-order / libm drift.
+  return {{"mean_coverage", testing::FloatTolerance{64, 1e-4f}}};
+}
 
 // Display names are free-form (third-party domains may use spaces or
 // slashes); keep file names and gtest identifiers to [A-Za-z0-9_].
@@ -105,6 +126,7 @@ ScenarioResult RunScenario(std::vector<Model*> models, const Constraint* constra
   result.skipped = stats.seeds_skipped;
   result.iterations = stats.total_iterations;
   result.forward_passes = stats.forward_passes;
+  result.mean_coverage = stats.mean_coverage;
   for (int k = 0; k < session.num_models(); ++k) {
     result.covered.push_back(session.metric(k).covered_items());
     result.total.push_back(session.metric(k).total_items());
@@ -122,13 +144,30 @@ std::string IntListToJson(const std::vector<int>& v) {
   return out + "]";
 }
 
+// Round-trip float formatting: max_digits10 significant digits guarantee the
+// parsed value is bit-identical to the recorded one, so a 0-ULP tolerance on
+// an unchanged toolchain still passes.
+std::string FloatToJson(float f) {
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<float>::max_digits10) << f;
+  return out.str();
+}
+
 void WriteGoldens(const DomainSpec& spec, const std::vector<ScenarioResult>& results) {
   std::ofstream out(GoldenPath(spec));
   ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath(spec);
+  const ToleranceMap tolerances = DefaultTolerances();
   out << "{\n";
   out << "  \"domain\": \"" << spec.display_name << "\",\n";
   out << "  \"config\": {\"seeds\": " << kSeeds << ", \"iters\": " << kIters
       << ", \"passes\": " << kPasses << ", \"rng_seed\": " << kRngSeed << "},\n";
+  out << "  \"tolerances\": {";
+  size_t t = 0;
+  for (const auto& [metric, tol] : tolerances) {
+    out << (t++ ? ", " : "") << "\"" << metric << "\": {\"ulp\": " << tol.max_ulp
+        << ", \"abs\": " << FloatToJson(tol.max_abs) << "}";
+  }
+  out << "},\n";
   out << "  \"scenarios\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
@@ -136,6 +175,7 @@ void WriteGoldens(const DomainSpec& spec, const std::vector<ScenarioResult>& res
         << ", \"tried\": " << r.tried << ", \"skipped\": " << r.skipped
         << ", \"iterations\": " << r.iterations
         << ", \"forward_passes\": " << r.forward_passes
+        << ", \"mean_coverage\": " << FloatToJson(r.mean_coverage)
         << ", \"covered\": " << IntListToJson(r.covered)
         << ", \"total\": " << IntListToJson(r.total) << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
@@ -167,6 +207,55 @@ bool ExtractInt(const std::string& line, const std::string& field, int64_t* out)
   return true;
 }
 
+bool ExtractFloat(const std::string& line, const std::string& field, float* out) {
+  const std::string needle = "\"" + field + "\": ";
+  const size_t begin = line.find(needle);
+  if (begin == std::string::npos) {
+    return false;
+  }
+  *out = std::strtof(line.c_str() + begin + needle.size(), nullptr);
+  return true;
+}
+
+// Parses the "tolerances" header line: {"metric": {"ulp": N, "abs": X}, ...}.
+// Files recorded before the tolerance header existed simply yield an empty
+// map, which means every metric is compared exactly.
+ToleranceMap ExtractTolerances(const std::string& line) {
+  ToleranceMap tolerances;
+  size_t pos = 0;
+  while (true) {
+    const size_t name_begin = line.find('"', pos);
+    if (name_begin == std::string::npos) {
+      break;
+    }
+    const size_t name_end = line.find('"', name_begin + 1);
+    if (name_end == std::string::npos) {
+      break;
+    }
+    const std::string name = line.substr(name_begin + 1, name_end - name_begin - 1);
+    pos = name_end + 1;
+    if (name == "tolerances" || name == "ulp" || name == "abs") {
+      continue;
+    }
+    testing::FloatTolerance tol;
+    const std::string entry = line.substr(pos, line.find('}', pos) - pos);
+    int64_t ulp = 0;
+    float abs = 0.0f;
+    if (ExtractInt(entry, "ulp", &ulp)) {
+      tol.max_ulp = ulp;
+    }
+    if (ExtractFloat(entry, "abs", &abs)) {
+      tol.max_abs = abs;
+    }
+    tolerances[name] = tol;
+    pos = line.find('}', pos);
+    if (pos == std::string::npos) {
+      break;
+    }
+  }
+  return tolerances;
+}
+
 bool ExtractIntList(const std::string& line, const std::string& field,
                     std::vector<int>* out) {
   const std::string needle = "\"" + field + "\": [";
@@ -187,13 +276,22 @@ bool ExtractIntList(const std::string& line, const std::string& field,
   return true;
 }
 
-std::map<std::string, ScenarioResult> LoadGoldens(const DomainSpec& spec) {
-  std::map<std::string, ScenarioResult> goldens;
+struct GoldenFile {
+  std::map<std::string, ScenarioResult> scenarios;
+  ToleranceMap tolerances;  // Empty (all-exact) for pre-tolerance files.
+};
+
+GoldenFile LoadGoldens(const DomainSpec& spec) {
+  GoldenFile golden;
   std::ifstream in(GoldenPath(spec));
   EXPECT_TRUE(in.good()) << "missing golden file " << GoldenPath(spec)
                          << " — record it with tools/record_goldens.sh";
   std::string line;
   while (std::getline(in, line)) {
+    if (line.find("\"tolerances\"") != std::string::npos) {
+      golden.tolerances = ExtractTolerances(line);
+      continue;
+    }
     ScenarioResult r;
     if (!ExtractString(line, "key", &r.key)) {
       continue;  // Header / structural line.
@@ -207,20 +305,45 @@ std::map<std::string, ScenarioResult> LoadGoldens(const DomainSpec& spec) {
     r.skipped = static_cast<int>(value);
     EXPECT_TRUE(ExtractInt(line, "iterations", &r.iterations)) << line;
     EXPECT_TRUE(ExtractInt(line, "forward_passes", &r.forward_passes)) << line;
+    EXPECT_TRUE(ExtractFloat(line, "mean_coverage", &r.mean_coverage)) << line;
     EXPECT_TRUE(ExtractIntList(line, "covered", &r.covered)) << line;
     EXPECT_TRUE(ExtractIntList(line, "total", &r.total)) << line;
-    goldens[r.key] = r;
+    golden.scenarios[r.key] = r;
   }
-  return goldens;
+  return golden;
 }
 
+// Looks up `metric` in the tolerance map; absent metrics are exact.
+testing::FloatTolerance MetricTolerance(const ToleranceMap& tolerances,
+                                        const std::string& metric) {
+  const auto it = tolerances.find(metric);
+  return it == tolerances.end() ? testing::kExactTolerance : it->second;
+}
+
+void ExpectFloatMetricNear(float got, float want, const testing::FloatTolerance& tol,
+                           const std::string& context) {
+  if (std::abs(got - want) <= tol.max_abs) {
+    return;
+  }
+  const int64_t ulp = testing::UlpDistance(got, want);
+  EXPECT_LE(ulp, tol.max_ulp) << context << ": got " << FloatToJson(got) << " want "
+                              << FloatToJson(want) << " (tolerance " << tol.max_ulp
+                              << " ULP / " << FloatToJson(tol.max_abs) << " abs)";
+}
+
+// Integer metrics compare exactly; float metrics under the per-metric
+// tolerance (pass an empty map for the all-exact comparison used by the
+// batch/worker invariance sweep, where bit-identity is the contract).
 void ExpectSameScenario(const ScenarioResult& got, const ScenarioResult& want,
-                        const std::string& context) {
+                        const ToleranceMap& tolerances, const std::string& context) {
   EXPECT_EQ(got.tests, want.tests) << context;
   EXPECT_EQ(got.tried, want.tried) << context;
   EXPECT_EQ(got.skipped, want.skipped) << context;
   EXPECT_EQ(got.iterations, want.iterations) << context;
   EXPECT_EQ(got.forward_passes, want.forward_passes) << context;
+  ExpectFloatMetricNear(got.mean_coverage, want.mean_coverage,
+                        MetricTolerance(tolerances, "mean_coverage"),
+                        context + " mean_coverage");
   EXPECT_EQ(got.covered, want.covered) << context;
   EXPECT_EQ(got.total, want.total) << context;
 }
@@ -256,7 +379,8 @@ TEST_P(ScenarioMatrixTest, FullRegistryCrossProductMatchesGoldens) {
             const ScenarioResult variant =
                 RunScenario(ptrs, constraint.get(), spec, metric, objective, scheduler,
                             batch_size, workers);
-            ExpectSameScenario(variant, canonical,
+            // Bit-identity contract: no tolerance across batch/worker combos.
+            ExpectSameScenario(variant, canonical, ToleranceMap{},
                                spec.display_name + "/" + canonical.key + " batch=" +
                                    std::to_string(batch_size) + " workers=" +
                                    std::to_string(workers));
@@ -271,18 +395,19 @@ TEST_P(ScenarioMatrixTest, FullRegistryCrossProductMatchesGoldens) {
     WriteGoldens(spec, results);
     return;
   }
-  const std::map<std::string, ScenarioResult> goldens = LoadGoldens(spec);
-  EXPECT_EQ(goldens.size(), results.size())
+  const GoldenFile golden = LoadGoldens(spec);
+  EXPECT_EQ(golden.scenarios.size(), results.size())
       << "golden file and registry cross-product disagree — re-record with "
          "tools/record_goldens.sh";
   for (const ScenarioResult& result : results) {
-    const auto it = goldens.find(result.key);
-    if (it == goldens.end()) {
+    const auto it = golden.scenarios.find(result.key);
+    if (it == golden.scenarios.end()) {
       ADD_FAILURE() << spec.display_name << "/" << result.key
                     << " has no golden — re-record with tools/record_goldens.sh";
       continue;
     }
-    ExpectSameScenario(result, it->second, spec.display_name + "/" + result.key);
+    ExpectSameScenario(result, it->second, golden.tolerances,
+                       spec.display_name + "/" + result.key);
   }
 }
 

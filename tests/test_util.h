@@ -1,5 +1,6 @@
-// Shared test helpers: numerical differentiation for gradient checking and
-// the batched-kernel vs scalar-kernel bit-identity harness.
+// Shared test helpers: numerical differentiation for gradient checking, the
+// batched-kernel vs scalar-kernel bit-identity harness, and ULP/abs float
+// tolerances for comparing the SIMD/GEMM plan path against the scalar oracle.
 #ifndef DX_TESTS_TEST_UTIL_H_
 #define DX_TESTS_TEST_UTIL_H_
 
@@ -8,7 +9,10 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,6 +49,80 @@ inline Tensor NumericalGradient(const std::function<double(const Tensor&)>& f, T
     grad[i] = static_cast<float>((plus - minus) / (2.0 * eps));
   }
   return grad;
+}
+
+// Maps a float onto the integers such that adjacent representable floats are
+// adjacent integers (negative values below zero, -0 == +0). The difference of
+// two keys is the number of representable floats between the values.
+inline int64_t UlpKey(float f) {
+  int32_t i;
+  std::memcpy(&i, &f, sizeof(i));
+  return i >= 0 ? int64_t{i} : int64_t{std::numeric_limits<int32_t>::min()} - i;
+}
+
+inline int64_t UlpDistance(float a, float b) {
+  if (!(std::isfinite(a) && std::isfinite(b))) {
+    const bool same = (a == b) || (std::isnan(a) && std::isnan(b));
+    return same ? 0 : std::numeric_limits<int64_t>::max();
+  }
+  const int64_t d = UlpKey(a) - UlpKey(b);
+  return d < 0 ? -d : d;
+}
+
+// An element passes if it is within max_abs absolutely OR within max_ulp
+// representable floats. The ULP bound scales with magnitude (relative error);
+// the abs floor absorbs catastrophic ULP counts on near-zero values, where
+// the error inherited from upstream accumulation is absolutely tiny.
+struct FloatTolerance {
+  int64_t max_ulp = 0;
+  float max_abs = 0.0f;
+};
+
+// Exact comparison expressed in tolerance form ({0 ULP, 0 abs}).
+inline constexpr FloatTolerance kExactTolerance{};
+
+// Default bound for comparing the GEMM/SIMD forward kernels (ascending-k FMA
+// accumulation) against the by-value scalar oracle (per-element partial-sum
+// order, double accumulation in dense). Reassociation error grows with the
+// reduction length; 512 ULP ≈ 3e-5 relative covers the zoo's largest layers
+// with ~10x headroom.
+inline constexpr FloatTolerance kKernelForwardTolerance{512, 1e-5f};
+
+// Gradients compound the forward divergence through the backward chain (and
+// through activation-grad masks computed from slightly different outputs),
+// so they get an order of magnitude more headroom.
+inline constexpr FloatTolerance kKernelBackwardTolerance{8192, 1e-4f};
+
+// Elementwise near-comparison over raw buffers; reports the worst offender.
+inline void ExpectBuffersNear(const float* got, const float* want, int64_t n,
+                              const FloatTolerance& tol, const std::string& what) {
+  int64_t worst_i = -1;
+  int64_t worst_ulp = -1;
+  for (int64_t i = 0; i < n; ++i) {
+    const float abs = std::abs(got[i] - want[i]);
+    if (abs <= tol.max_abs) {
+      continue;
+    }
+    const int64_t ulp = UlpDistance(got[i], want[i]);
+    if (ulp <= tol.max_ulp) {
+      continue;
+    }
+    if (ulp > worst_ulp) {
+      worst_ulp = ulp;
+      worst_i = i;
+    }
+  }
+  EXPECT_EQ(worst_i, -1) << what << ": element " << worst_i << " got "
+                         << (worst_i >= 0 ? got[worst_i] : 0.0f) << " want "
+                         << (worst_i >= 0 ? want[worst_i] : 0.0f) << " ("
+                         << worst_ulp << " ULP, tolerance " << tol.max_ulp
+                         << " ULP / " << tol.max_abs << " abs)";
+}
+
+inline void ExpectTensorsNear(const Tensor& got, const Tensor& want,
+                              const FloatTolerance& tol, const std::string& what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  ExpectBuffersNear(got.data(), want.data(), want.numel(), tol, what);
 }
 
 // Max absolute elementwise difference, normalized by max(1, |a|, |b|).

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "src/util/cache.h"
@@ -166,6 +170,84 @@ TEST(ThreadPoolTest, GlobalPoolUsable) {
   std::atomic<int64_t> sum{0};
   ParallelFor(100, [&](int64_t i) { sum += i; });
   EXPECT_EQ(sum.load(), 4950);
+}
+
+// Regression test for the nested-ParallelFor deadlock: before re-entrant
+// calls degraded to serial, a task calling ParallelFor on its own pool queued
+// chunks that no worker could ever pick up (they were all blocked waiting for
+// the outer loop). The whole thing runs on a watchdog thread so a regression
+// fails the test after a timeout instead of hanging ctest forever.
+TEST(ThreadPoolTest, NestedParallelForOnSamePoolRunsSerially) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::packaged_task<void()> work([&] {
+    pool.ParallelFor(8, [&](int64_t) {
+      pool.ParallelFor(8, [&](int64_t) { count.fetch_add(1); });
+    });
+  });
+  std::future<void> done = work.get_future();
+  std::thread runner(std::move(work));
+  if (done.wait_for(std::chrono::seconds(120)) != std::future_status::ready) {
+    runner.detach();  // Leak the wedged thread; the test already failed.
+    FAIL() << "nested ParallelFor deadlocked (timed out after 120s)";
+  }
+  runner.join();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForStillCoversAllIndicesThreeDeep) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.ParallelFor(4, [&](int64_t) {
+    pool.ParallelFor(4, [&](int64_t) {
+      pool.ParallelFor(4, [&](int64_t) { count.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](int64_t i) {
+                                  pool.ParallelFor(4, [&](int64_t j) {
+                                    if (i == 2 && j == 3) {
+                                      throw std::runtime_error("nested boom");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, InParallelRegionReflectsNesting) {
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  pool.ParallelFor(4, [&](int64_t) {
+    if (ThreadPool::InParallelRegion()) {
+      inside.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(inside.load(), 4);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, ConcurrentIndependentParallelForsShareOnePool) {
+  // The daemon shares one compute pool across campaigns: independent
+  // (non-nested) ParallelFor calls from different threads must interleave
+  // without deadlock or lost indices.
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(100, [&](int64_t i) { sum.fetch_add(i + 1); });
+    });
+  }
+  for (auto& c : callers) {
+    c.join();
+  }
+  EXPECT_EQ(sum.load(), 4 * 5050);
 }
 
 // ---- Image IO ----------------------------------------------------------------------------

@@ -12,10 +12,19 @@
 #   shared coverage trackers, which is exactly the surface a data race
 #   would corrupt.
 #
-#   mode "release": build the steady-state execution-plan bench with
-#   CMAKE_BUILD_TYPE=Release and run it once as a smoke test. Asserts vanish
-#   in optimized builds; the bench's inline bit-identity checks (plan vs
-#   by-value execution) keep the zero-allocation path honest there.
+#   mode "release": build all three benches with CMAKE_BUILD_TYPE=Release,
+#   run each once as a smoke test (the plan bench's inline tolerance checks
+#   keep the GEMM/SIMD path honest where asserts vanish), compare the
+#   artifacts against bench/baselines with compare_baselines.py --strict
+#   (files recorded on a different host core count are skipped, not
+#   failed), and consolidate every artifact into BENCH_results.json at the
+#   repo root.
+#
+#   mode "simd-off": configure with -DDX_SIMD=OFF (scalar kernel fallback —
+#   the build any non-AVX2/NEON host gets) and run ctest. Guards the
+#   portability path: the scalar GemmBias/std::fma kernels must pass the
+#   same suite, including the SIMD-vs-scalar tolerance sweeps, which become
+#   self-comparisons there.
 #
 #   mode "service-smoke": build the campaign daemon + client and drive the
 #   full lifecycle end to end over real sockets: start dxplored on ephemeral
@@ -55,6 +64,8 @@ elif [ "$MODE" = "tsan" ]; then
   CMAKE_EXTRA+=(-DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer")
 elif [ "$MODE" = "release" ]; then
   CMAKE_EXTRA+=(-DCMAKE_BUILD_TYPE=Release)
+elif [ "$MODE" = "simd-off" ]; then
+  CMAKE_EXTRA+=(-DDX_SIMD=OFF)
 fi
 
 echo "==> configure ($BUILD_DIR${MODE:+, $MODE})"
@@ -62,11 +73,36 @@ echo "==> configure ($BUILD_DIR${MODE:+, $MODE})"
 cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"}
 
 if [ "$MODE" = "release" ]; then
-  echo "==> build (Release: plan bench only)"
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_plan_steady_state
+  echo "==> build (Release: bench suite)"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target bench_plan_steady_state bench_batch_forward bench_session_scaling
+  ARTIFACTS="$BUILD_DIR/bench_artifacts"
   echo "==> smoke: plan steady-state bench (Release)"
-  DEEPXPLORE_ARTIFACT_DIR="$BUILD_DIR/bench_artifacts" \
-    "$BUILD_DIR/bench_plan_steady_state"
+  DEEPXPLORE_ARTIFACT_DIR="$ARTIFACTS" "$BUILD_DIR/bench_plan_steady_state"
+  echo "==> smoke: batched forward bench (Release)"
+  DEEPXPLORE_ARTIFACT_DIR="$ARTIFACTS" "$BUILD_DIR/bench_batch_forward"
+  echo "==> smoke: session scaling bench (Release)"
+  DEEPXPLORE_ARTIFACT_DIR="$ARTIFACTS" "$BUILD_DIR/bench_session_scaling" --seeds 10
+  echo "==> baseline vs current comparison (strict)"
+  if command -v python3 > /dev/null; then
+    python3 tools/compare_baselines.py --strict bench/baselines "$ARTIFACTS"
+    echo "==> consolidated bench results -> BENCH_results.json"
+    python3 - "$ARTIFACTS" << 'EOF'
+import json, os, sys
+artifacts = sys.argv[1]
+merged = {}
+for name in sorted(os.listdir(artifacts)):
+    if name.endswith(".json"):
+        with open(os.path.join(artifacts, name)) as f:
+            merged[name[: -len(".json")]] = json.load(f)
+with open("BENCH_results.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"BENCH_results.json: {', '.join(merged)}")
+EOF
+  else
+    echo "python3 not found; skipping strict comparison + consolidation"
+  fi
   echo "==> OK (release)"
   exit 0
 fi
@@ -309,7 +345,7 @@ if [ "$CTEST_RC" -ne 0 ]; then
   exit "$CTEST_RC"
 fi
 
-if [ "$MODE" = "sanitize" ] || [ "$MODE" = "tsan" ]; then
+if [ "$MODE" = "sanitize" ] || [ "$MODE" = "tsan" ] || [ "$MODE" = "simd-off" ]; then
   echo "==> OK ($MODE)"
   exit 0
 fi
@@ -325,6 +361,29 @@ done
 # The domain-conformance certification suite already ran under ctest above
 # (domain_conformance_test covers every registered domain); the greps here
 # only guard the CLI registry surface.
+
+echo "==> smoke: malformed numeric flags exit 2 naming the flag"
+for bad in "--step 0.O1" "--lambda1 1e" "--seeds 5x" "--rng-seed -3" \
+  "--threshold nan" "--dedup-threshold x"; do
+  flag="${bad%% *}"
+  RC=0
+  if [ "$flag" = "--dedup-threshold" ]; then
+    OUT=$("$BUILD_DIR/dxplore" corpus dedup --corpus-dir /nonexistent \
+      --out /nonexistent2 $bad 2>&1) || RC=$?
+  else
+    OUT=$("$BUILD_DIR/dxplore" --domain mnist $bad 2>&1) || RC=$?
+  fi
+  if [ "$RC" -ne 2 ] || ! echo "$OUT" | grep -q "invalid value for $flag"; then
+    echo "==> FAILED ('dxplore $bad' exited $RC; want exit 2 naming $flag)"
+    echo "$OUT"
+    exit 1
+  fi
+done
+echo "    all malformed values rejected with exit 2"
+
+echo "==> smoke: --version reports the SIMD backend"
+"$BUILD_DIR/dxplore" --version
+"$BUILD_DIR/dxplore" --version | grep -q "simd backend:"
 
 echo "==> smoke: micro_nn"
 if [ -x "$BUILD_DIR/micro_nn" ]; then

@@ -71,13 +71,18 @@ def main():
         if base_cores != cur_cores:
             # Throughput on an N-core host is not comparable to a baseline
             # recorded on an M-core host; don't let the numbers below read as
-            # apples-to-apples. Warn loudly, never fail (exit stays 0).
+            # apples-to-apples. Warn loudly. In strict mode the file is
+            # skipped outright — a mismatched host must neither fail the job
+            # on phantom regressions nor pass it on phantom wins.
             core_warnings += 1
             lines.append(
                 f"    WARNING: host core count differs (baseline {base_cores} "
-                f"vs current {cur_cores}); throughput deltas below are not "
+                f"vs current {cur_cores}); throughput deltas are not "
                 f"apples-to-apples — re-record on the reference host"
             )
+            if strict:
+                lines.append("    skipped in --strict mode (host mismatch)")
+                continue
         # Match rows by key, not position: a bench that adds/reorders rows
         # must not pair unrelated measurements.
         current_rows = {row_key(r): r for r in cur.get("rows", [])}

@@ -31,13 +31,17 @@
 // manifest whose keys are no longer registered fails with a clear
 // "unknown domain 'X'; registered: ..." error (exit 2), never a crash or a
 // silent default.
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "src/constraints/constraint.h"
 #include "src/core/domain.h"
@@ -53,8 +57,10 @@
 #include "src/service/client.h"
 #include "src/models/trainer.h"
 #include "src/models/zoo.h"
+#include "src/tensor/simd.h"
 #include "src/util/image_io.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace {
 
@@ -66,6 +72,70 @@ std::string Join(const std::vector<std::string>& names) {
     out += (out.empty() ? "" : " | ") + name;
   }
   return out;
+}
+
+// ---- Strict numeric flag parsing ---------------------------------------------------------
+//
+// std::atof/atoi return 0 on garbage, so a typo like `--step 0.O1` used to
+// run a full campaign with step=0 instead of failing. Every numeric flag
+// goes through these helpers: the whole value must parse (no trailing
+// junk), fit the target type, and — for floats — be finite. Anything else
+// exits 2 naming the flag and the offending value.
+
+[[noreturn]] void BadFlagValue(const std::string& flag, const char* value,
+                               const char* expected) {
+  std::cerr << "invalid value for " << flag << ": \"" << value << "\" (expected "
+            << expected << ")\n";
+  std::exit(2);
+}
+
+float ParseFloatFlag(const std::string& flag, const char* value) {
+  float out = 0.0f;
+  const char* end = value + std::strlen(value);
+  const auto [ptr, ec] = std::from_chars(value, end, out);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(out)) {
+    BadFlagValue(flag, value, "a finite number");
+  }
+  return out;
+}
+
+int64_t ParseInt64Flag(const std::string& flag, const char* value) {
+  int64_t out = 0;
+  const char* end = value + std::strlen(value);
+  const auto [ptr, ec] = std::from_chars(value, end, out, 10);
+  if (ec != std::errc{} || ptr != end) {
+    BadFlagValue(flag, value, "an integer");
+  }
+  return out;
+}
+
+int ParseIntFlag(const std::string& flag, const char* value) {
+  const int64_t out = ParseInt64Flag(flag, value);
+  if (out < std::numeric_limits<int>::min() || out > std::numeric_limits<int>::max()) {
+    BadFlagValue(flag, value, "a 32-bit integer");
+  }
+  return static_cast<int>(out);
+}
+
+uint64_t ParseUint64Flag(const std::string& flag, const char* value) {
+  uint64_t out = 0;
+  const char* end = value + std::strlen(value);
+  const auto [ptr, ec] = std::from_chars(value, end, out, 10);
+  if (ec != std::errc{} || ptr != end) {
+    BadFlagValue(flag, value, "an unsigned integer");
+  }
+  return out;
+}
+
+// Build/runtime provenance for perf reports: which SIMD backend the kernels
+// were compiled for, and how wide the intra-op pool is on this host.
+void PrintVersion() {
+  std::cout << "dxplore (DeepXplore reproduction, conf_sosp_PeiCYJ17)\n"
+            << "  simd backend: " << SimdBackendName() << " (" << SimdLanes()
+            << " float lanes)\n"
+            << "  intra-op threads: " << ThreadPool::Global().num_threads()
+            << " (DEEPXPLORE_THREADS overrides; host cores: "
+            << std::thread::hardware_concurrency() << ")\n";
 }
 
 [[noreturn]] void Usage(int code) {
@@ -100,6 +170,7 @@ std::string Join(const std::vector<std::string>& names) {
   --profile       print a per-phase wall-time table after the run (stack /
                   forward / gradient / constraint / coverage)
   --list          print the model zoo and exit
+  --version       print build provenance (SIMD backend, intra-op threads)
   --list-domains     print registered domains (models, constraints) and exit
   --list-metrics     print registered coverage metrics and exit
   --list-objectives  print registered objectives and exit
@@ -184,11 +255,11 @@ int CorpusMain(int argc, char** argv) {
     if (arg == "--corpus-dir") corpus_dir = next();
     else if (arg == "--out") out_dir = next();
     else if (arg == "--deduper") deduper = next();
-    else if (arg == "--dedup-threshold") dedup_threshold = static_cast<float>(std::atof(next()));
-    else if (arg == "--regions") regions = std::atoi(next());
-    else if (arg == "--rounds") rounds = std::atoi(next());
-    else if (arg == "--workers") workers = std::atoi(next());
-    else if (arg == "--batch-size") batch_size = std::atoi(next());
+    else if (arg == "--dedup-threshold") dedup_threshold = ParseFloatFlag(arg, next());
+    else if (arg == "--regions") regions = ParseIntFlag(arg, next());
+    else if (arg == "--rounds") rounds = ParseIntFlag(arg, next());
+    else if (arg == "--workers") workers = ParseIntFlag(arg, next());
+    else if (arg == "--batch-size") batch_size = ParseIntFlag(arg, next());
     else if (arg == "--no-preserve-coverage") preserve_coverage = false;
     else if (arg == "--help" || arg == "-h") CorpusUsage(0);
     else {
@@ -369,23 +440,23 @@ int Main(int argc, char** argv) {
     else if (arg == "--metric") metric_name = next();
     else if (arg == "--objective") objective_name = next();
     else if (arg == "--scheduler") scheduler_name = next();
-    else if (arg == "--workers") workers = std::atoi(next());
-    else if (arg == "--batch-size") batch_size = std::atoi(next());
-    else if (arg == "--rng-seed") rng_seed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--seeds") seeds = std::atoi(next());
-    else if (arg == "--max-tests") max_tests = std::atoi(next());
-    else if (arg == "--lambda1") lambda1 = static_cast<float>(std::atof(next()));
-    else if (arg == "--lambda2") lambda2 = static_cast<float>(std::atof(next()));
-    else if (arg == "--step") step = static_cast<float>(std::atof(next()));
-    else if (arg == "--threshold") threshold = static_cast<float>(std::atof(next()));
-    else if (arg == "--iters") iters = std::atoi(next());
-    else if (arg == "--target") target = std::atoi(next());
+    else if (arg == "--workers") workers = ParseIntFlag(arg, next());
+    else if (arg == "--batch-size") batch_size = ParseIntFlag(arg, next());
+    else if (arg == "--rng-seed") rng_seed = ParseUint64Flag(arg, next());
+    else if (arg == "--seeds") seeds = ParseIntFlag(arg, next());
+    else if (arg == "--max-tests") max_tests = ParseIntFlag(arg, next());
+    else if (arg == "--lambda1") lambda1 = ParseFloatFlag(arg, next());
+    else if (arg == "--lambda2") lambda2 = ParseFloatFlag(arg, next());
+    else if (arg == "--step") step = ParseFloatFlag(arg, next());
+    else if (arg == "--threshold") threshold = ParseFloatFlag(arg, next());
+    else if (arg == "--iters") iters = ParseIntFlag(arg, next());
+    else if (arg == "--target") target = ParseIntFlag(arg, next());
     else if (arg == "--out") out_dir = next();
     else if (arg == "--corpus-dir") corpus_dir = next();
     else if (arg == "--resume") resume = true;
     else if (arg == "--replay") replay = true;
-    else if (arg == "--max-batches") max_batches = std::atoll(next());
-    else if (arg == "--progress") progress_every = std::atoll(next());
+    else if (arg == "--max-batches") max_batches = ParseInt64Flag(arg, next());
+    else if (arg == "--progress") progress_every = ParseInt64Flag(arg, next());
     else if (arg == "--profile") profile = true;
     else if (arg == "--list") list = true;
     else if (arg == "--list-domains") {
@@ -413,6 +484,10 @@ int Main(int argc, char** argv) {
     }
     else if (arg == "--list-schedulers") {
       for (const std::string& name : SeedSchedulerNames()) std::cout << name << "\n";
+      return 0;
+    }
+    else if (arg == "--version") {
+      PrintVersion();
       return 0;
     }
     else if (arg == "--help" || arg == "-h") Usage(0);

@@ -3,11 +3,17 @@
 #
 # Usage: tools/record_goldens.sh [build-dir]   (default: build)
 #
-# Run this after an INTENTIONAL engine change (or a toolchain change that
-# shifts floating-point bits), then review the golden diff like any other
-# code change — every delta is a behavior delta across the dataset x metric
-# x objective x scheduler matrix. The recording run still enforces the
-# batch-size/worker-count invariance checks.
+# Run this after an INTENTIONAL engine change, then review the golden diff
+# like any other code change — every delta is a behavior delta across the
+# dataset x metric x objective x scheduler matrix. The recording run still
+# enforces the batch-size/worker-count invariance checks.
+#
+# You usually do NOT need to re-record for a toolchain change: integer
+# metrics (counts, covered items) are robust to small float drift, and float
+# metrics are compared under the per-metric ULP/abs tolerances written into
+# each golden's "tolerances" header. Re-record only when the drift is large
+# enough to move an integer metric or exceed a float tolerance — and treat
+# that as a signal worth understanding, not noise.
 #
 # DEEPXPLORE_FAST is set by the test binary itself; the trained-model disk
 # cache makes repeat recordings fast.
