@@ -1,7 +1,9 @@
 // Steady-state execution-plan throughput: the compiled zero-allocation path
 // (Model::Compile + plan-backed ForwardBatch / BackwardInputBatch /
 // BackwardSample) against the allocating by-value API, on one conv-heavy
-// model (MNI_C1) and one dense-heavy model (PDF_C1).
+// model (MNI_C1) and one dense-heavy model (PDF_C1). Ops: "forward",
+// "forward+backward", and "backward" (gradient sweep alone over warm
+// activations — the gradient-ascent inner-loop shape).
 //
 // This is the bench behind the PR-4 refactor: once the plan is warm, an
 // iteration touches only pre-sized slabs and arena scratch — and since the
@@ -38,9 +40,20 @@ namespace {
 using namespace dx;
 using namespace dx::bench;
 
+enum class Op { kForward, kForwardBackward, kBackward };
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kForward: return "forward";
+    case Op::kForwardBackward: return "forward+backward";
+    case Op::kBackward: return "backward";
+  }
+  return "?";
+}
+
 struct Row {
   std::string model;
-  std::string op;           // "forward" or "forward+backward"
+  std::string op;           // "forward", "forward+backward", or "backward"
   int batch = 8;
   double byvalue_sps = 0.0;  // samples/sec, allocating by-value API
   double plan_sps = 0.0;     // samples/sec, compiled plan
@@ -73,7 +86,7 @@ bool BuffersNear(const float* got, const float* want, int64_t n, int64_t max_ulp
   return true;
 }
 
-Row BenchOne(const Model& model, int batch, bool backward, int reps) {
+Row BenchOne(const Model& model, int batch, Op op, int reps) {
   Rng rng(7);
   const Tensor stacked =
       Tensor::RandUniform(BatchedShape(batch, model.input_shape()), rng);
@@ -111,8 +124,33 @@ Row BenchOne(const Model& model, int batch, bool backward, int reps) {
 
   Row row;
   row.model = model.name();
-  row.op = backward ? "forward+backward" : "forward";
+  row.op = OpName(op);
   row.batch = batch;
+  if (op == Op::kBackward) {
+    // Backward phase in isolation: activations stay warm from one forward and
+    // only the gradient sweep is timed — the shape of the gradient-ascent
+    // inner loop, which reuses each forward across several ascent steps.
+    const BatchTrace trace = model.ForwardBatch(stacked);
+    {
+      Timer timer;
+      for (int r = 0; r < reps; ++r) {
+        const Tensor g = model.BackwardInputBatch(trace, last, seed);
+        (void)g;
+      }
+      row.byvalue_sps = static_cast<double>(reps) * batch / timer.ElapsedSeconds();
+    }
+    model.ForwardBatch(stacked, plan);  // Warm the slabs at this width.
+    {
+      Timer timer;
+      for (int r = 0; r < reps; ++r) {
+        model.BackwardInputBatch(plan, last, seed);
+      }
+      row.plan_sps = static_cast<double>(reps) * batch / timer.ElapsedSeconds();
+    }
+    row.speedup = row.byvalue_sps > 0.0 ? row.plan_sps / row.byvalue_sps : 0.0;
+    return row;
+  }
+  const bool backward = op == Op::kForwardBackward;
   {
     Timer timer;
     for (int r = 0; r < reps; ++r) {
@@ -169,15 +207,16 @@ int main(int argc, char** argv) {
   bool plan_wins = true;
   for (const char* name : {"MNI_C1", "PDF_C1"}) {
     const Model model = ModelZoo::Build(name, 7);
-    for (const bool backward : {false, true}) {
+    for (const Op op : {Op::kForward, Op::kForwardBackward, Op::kBackward}) {
       for (const int batch : {1, 8}) {
         const Tensor probe = Tensor::Zeros(model.input_shape());
         Timer probe_timer;
         model.Forward(probe);
         const double per_sample = std::max(1e-7, probe_timer.ElapsedSeconds());
+        const int cost_factor = op == Op::kForward ? 1 : op == Op::kBackward ? 2 : 3;
         const int reps =
-            std::max(3, static_cast<int>(0.3 / (per_sample * batch * (backward ? 3 : 1))));
-        rows.push_back(BenchOne(model, batch, backward, reps));
+            std::max(3, static_cast<int>(0.3 / (per_sample * batch * cost_factor)));
+        rows.push_back(BenchOne(model, batch, op, reps));
         const Row& r = rows.back();
         std::cerr << r.model << " " << r.op << " batch=" << r.batch << ": "
                   << r.byvalue_sps << " -> " << r.plan_sps << " samples/s ("

@@ -15,7 +15,8 @@ namespace dx {
 ExecutorProfile& ExecutorProfile::operator+=(const ExecutorProfile& other) {
   stack_seconds += other.stack_seconds;
   forward_seconds += other.forward_seconds;
-  gradient_seconds += other.gradient_seconds;
+  backward_layers_seconds += other.backward_layers_seconds;
+  objective_accumulate_seconds += other.objective_accumulate_seconds;
   constraint_seconds += other.constraint_seconds;
   coverage_seconds += other.coverage_seconds;
   iterations += other.iterations;
@@ -196,6 +197,12 @@ std::vector<std::optional<GeneratedTest>> Executor::Run(
     }
   } state_returner{this, &holder};
   ChunkState& cs = *holder;
+  // Plans are pooled across runs; (re)arm their backward timers to this
+  // run's profiling mode and drain any counter a previous run left behind.
+  for (ExecutionPlan& plan : cs.plans) {
+    plan.set_profiling(profiling);
+    plan.ConsumeBackwardSeconds();
+  }
   const Shape& in_shape = models_[0]->input_shape();
   const int64_t in_stride = NumElements(in_shape);
 
@@ -324,7 +331,18 @@ std::vector<std::optional<GeneratedTest>> Executor::Run(
                           std::sqrt(static_cast<float>(std::max<int64_t>(1, grad.numel())));
         grad.Scale(1.0f / (rms + 1e-5f));
       }
-      if (profiling) prof.gradient_seconds += phase.ElapsedSeconds();
+      if (profiling) {
+        // The plans timed their backward layer chains from the inside; what
+        // remains of the phase is the objective's own work (seed setup,
+        // gradient accumulation, RMS normalization).
+        const double elapsed = phase.ElapsedSeconds();
+        double backward = 0.0;
+        for (int k = 0; k < num_k; ++k) {
+          backward += cs.plans[static_cast<size_t>(k)].ConsumeBackwardSeconds();
+        }
+        prof.backward_layers_seconds += backward;
+        prof.objective_accumulate_seconds += std::max(0.0, elapsed - backward);
+      }
       if (profiling) phase.Reset();
       constraint_->ApplyInto(grad, state.x, *task.rng, &cs.direction);
       state.x.Axpy(engine_->step, cs.direction);

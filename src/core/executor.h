@@ -50,17 +50,22 @@ namespace dx {
 // threads (collected only while profiling is enabled — see
 // Executor::EnableProfiling and the CLI's --profile report).
 struct ExecutorProfile {
-  double stack_seconds = 0.0;       // Stacking inputs into the batch buffer.
-  double forward_seconds = 0.0;     // Batched forward passes (all models).
-  double gradient_seconds = 0.0;    // Objective gradients (incl. backprop).
+  double stack_seconds = 0.0;     // Stacking inputs into the batch buffer.
+  double forward_seconds = 0.0;   // Batched forward passes (all models).
+  // The old `gradient` phase, split so kernel-level backward optimizations
+  // are visible: time inside the plans' backward layer chains vs everything
+  // else in the objective step (seed construction, neuron bookkeeping,
+  // gradient accumulation, RMS normalization).
+  double backward_layers_seconds = 0.0;
+  double objective_accumulate_seconds = 0.0;
   double constraint_seconds = 0.0;  // Constraint apply + step + projection.
   double coverage_seconds = 0.0;    // Difference checks + coverage updates.
   int64_t iterations = 0;           // Batched lockstep iterations measured.
 
   ExecutorProfile& operator+=(const ExecutorProfile& other);
   double TotalSeconds() const {
-    return stack_seconds + forward_seconds + gradient_seconds + constraint_seconds +
-           coverage_seconds;
+    return stack_seconds + forward_seconds + backward_layers_seconds +
+           objective_accumulate_seconds + constraint_seconds + coverage_seconds;
   }
 };
 

@@ -108,9 +108,9 @@ struct SessionConfig {
   // Run (k-multisection range profiling); no-op for metrics that don't ask.
   bool profile_from_seeds = true;
   // Collect per-phase wall-time in the batched executor (stack / forward /
-  // gradient / constraint / coverage — see ExecutorProfile and the CLI's
-  // --profile flag). Purely observational: never affects results and is not
-  // part of the corpus manifest.
+  // backward layers / objective accumulate / constraint / coverage — see
+  // ExecutorProfile and the CLI's --profile flag). Purely observational:
+  // never affects results and is not part of the corpus manifest.
   bool profile_phases = false;
 };
 

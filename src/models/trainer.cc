@@ -81,6 +81,11 @@ void Trainer::Fit(Model* model, const Dataset& train, const TrainConfig& config)
   std::vector<int> order(static_cast<size_t>(train.size()));
   std::iota(order.begin(), order.end(), 0);
 
+  // One gradient accumulator for the whole fit, zeroed in place per
+  // minibatch — re-allocating every model-sized tensor each minibatch was
+  // pure churn.
+  std::vector<Tensor> grads = model->InitParamGrads();
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     if (config.shuffle) {
       rng.Shuffle(order);
@@ -88,7 +93,9 @@ void Trainer::Fit(Model* model, const Dataset& train, const TrainConfig& config)
     double epoch_loss = 0.0;
     for (int start = 0; start < train.size(); start += config.batch_size) {
       const int end = std::min(train.size(), start + config.batch_size);
-      std::vector<Tensor> grads = model->InitParamGrads();
+      for (Tensor& g : grads) {
+        g.Fill(0.0f);
+      }
       for (int bi = start; bi < end; ++bi) {
         const int i = order[static_cast<size_t>(bi)];
         const ForwardTrace trace =

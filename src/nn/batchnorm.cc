@@ -5,11 +5,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/tensor/simd.h"
+
 namespace dx {
 namespace {
 
+using simd::VecF;
+
 // One sample's gradient pass; shared by the scalar and batched backward so
 // parameter-gradient accumulation order matches a sequential sample loop.
+// When the caller discards BOTH parameter gradients (the gradient-ascent hot
+// loop), the per-channel reductions are skipped entirely and the remaining
+// pure elementwise scale vectorizes — one IEEE multiply per element, the
+// exact operation of the scalar loop, so results are bit-identical at every
+// SIMD width.
 void BatchNormBackwardKernel(const float* px, const float* pg, float* pgi,
                              const float* gamma, const float* mu, const float* var,
                              float eps, int channels, int64_t plane, float* g_gamma,
@@ -18,8 +27,19 @@ void BatchNormBackwardKernel(const float* px, const float* pg, float* pgi,
     const float inv_std = 1.0f / std::sqrt(var[c] + eps);
     const float scale = gamma[c] * inv_std;
     const float* g_row = pg + static_cast<size_t>(c) * plane;
-    const float* x_row = px + static_cast<size_t>(c) * plane;
     float* gi_row = pgi + static_cast<size_t>(c) * plane;
+    if (g_gamma == nullptr && g_beta == nullptr) {
+      const VecF vscale = VecF::Broadcast(scale);
+      int64_t i = 0;
+      for (; i + simd::kLanes <= plane; i += simd::kLanes) {
+        VecF::Mul(VecF::Load(g_row + i), vscale).Store(gi_row + i);
+      }
+      for (; i < plane; ++i) {
+        gi_row[i] = g_row[i] * scale;
+      }
+      continue;
+    }
+    const float* x_row = px + static_cast<size_t>(c) * plane;
     double acc_gamma = 0.0;
     double acc_beta = 0.0;
     for (int64_t i = 0; i < plane; ++i) {
@@ -29,6 +49,8 @@ void BatchNormBackwardKernel(const float* px, const float* pg, float* pgi,
     }
     if (g_gamma != nullptr) {
       g_gamma[c] += static_cast<float>(acc_gamma);
+    }
+    if (g_beta != nullptr) {
       g_beta[c] += static_cast<float>(acc_beta);
     }
   }
@@ -150,16 +172,10 @@ void BatchNorm::BackwardBatchInto(const Tensor& input, const Tensor& /*output*/,
                                   std::vector<Tensor>* param_grads) const {
   const int64_t sample = input.numel() / batch;
   const int64_t plane = sample / num_features_;
-  float* g_gamma = nullptr;
-  float* g_beta = nullptr;
-  if (param_grads != nullptr) {
-    if (param_grads->size() != 4) {
-      throw std::invalid_argument(
-          "BatchNorm::BackwardBatchInto: expected 4 param grad tensors");
-    }
-    g_gamma = (*param_grads)[0].data();
-    g_beta = (*param_grads)[1].data();
-  }
+  CheckParamGrads(param_grads, "BatchNorm::BackwardBatchInto");
+  float* g_gamma = GradData(param_grads, 0);
+  float* g_beta = GradData(param_grads, 1);
+  // mu/var grads (entries 2, 3) stay zero: statistics are frozen.
   for (int b = 0; b < batch; ++b) {
     const size_t offset = static_cast<size_t>(b) * sample;
     BatchNormBackwardKernel(input.data() + offset, grad_output.data() + offset,
@@ -179,21 +195,11 @@ Tensor BatchNorm::Backward(const Tensor& input, const Tensor& /*output*/,
   const float* px = input.data();
   float* pgi = grad_in.data();
 
-  Tensor* g_gamma = nullptr;
-  Tensor* g_beta = nullptr;
-  if (param_grads != nullptr) {
-    if (param_grads->size() != 4) {
-      throw std::invalid_argument("BatchNorm::Backward: expected 4 param grad tensors");
-    }
-    g_gamma = &(*param_grads)[0];
-    g_beta = &(*param_grads)[1];
-    // mu/var grads ((*param_grads)[2], [3]) stay zero: statistics are frozen.
-  }
-
+  CheckParamGrads(param_grads, "BatchNorm::Backward");
+  // mu/var grads (entries 2, 3) stay zero: statistics are frozen.
   BatchNormBackwardKernel(px, pg, pgi, gamma_.data(), mu_.data(), var_.data(), eps_,
-                          channels, plane,
-                          g_gamma != nullptr ? g_gamma->data() : nullptr,
-                          g_beta != nullptr ? g_beta->data() : nullptr);
+                          channels, plane, GradData(param_grads, 0),
+                          GradData(param_grads, 1));
   return grad_in;
 }
 
@@ -203,15 +209,9 @@ Tensor BatchNorm::BackwardBatch(const Tensor& input, const Tensor& /*output*/,
   const int64_t sample = input.numel() / batch;
   const int64_t plane = sample / num_features_;
   Tensor grad_in(input.shape());
-  float* g_gamma = nullptr;
-  float* g_beta = nullptr;
-  if (param_grads != nullptr) {
-    if (param_grads->size() != 4) {
-      throw std::invalid_argument("BatchNorm::BackwardBatch: expected 4 param grad tensors");
-    }
-    g_gamma = (*param_grads)[0].data();
-    g_beta = (*param_grads)[1].data();
-  }
+  CheckParamGrads(param_grads, "BatchNorm::BackwardBatch");
+  float* g_gamma = GradData(param_grads, 0);
+  float* g_beta = GradData(param_grads, 1);
   for (int b = 0; b < batch; ++b) {
     const size_t offset = static_cast<size_t>(b) * sample;
     BatchNormBackwardKernel(input.data() + offset, grad_output.data() + offset,

@@ -296,12 +296,9 @@ Tensor Conv2D::Backward(const Tensor& input, const Tensor& output, const Tensor&
                    stride_,      padding_,      input.dim(1),  input.dim(2),
                    output.dim(1), output.dim(2)};
   Tensor grad_in(input.shape());
-  if (param_grads != nullptr && param_grads->size() != 2) {
-    throw std::invalid_argument("Conv2D::Backward: expected 2 param grad tensors");
-  }
+  CheckParamGrads(param_grads, "Conv2D::Backward");
   ConvBackwardKernel(g, input.data(), weight_.data(), grad_pre.data(), grad_in.data(),
-                     param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
-                     param_grads != nullptr ? (*param_grads)[1].data() : nullptr);
+                     GradData(param_grads, 0), GradData(param_grads, 1));
   return grad_in;
 }
 
@@ -314,16 +311,13 @@ Tensor Conv2D::BackwardBatch(const Tensor& input, const Tensor& output,
                    stride_,      padding_,      input.dim(2),  input.dim(3),
                    output.dim(2), output.dim(3)};
   Tensor grad_in(input.shape());
-  if (param_grads != nullptr && param_grads->size() != 2) {
-    throw std::invalid_argument("Conv2D::BackwardBatch: expected 2 param grad tensors");
-  }
+  CheckParamGrads(param_grads, "Conv2D::BackwardBatch");
   for (int b = 0; b < batch; ++b) {
     ConvBackwardKernel(g, input.data() + static_cast<size_t>(b) * g.in_size(),
                        weight_.data(),
                        grad_pre.data() + static_cast<size_t>(b) * g.out_size(),
                        grad_in.data() + static_cast<size_t>(b) * g.in_size(),
-                       param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
-                       param_grads != nullptr ? (*param_grads)[1].data() : nullptr);
+                       GradData(param_grads, 0), GradData(param_grads, 1));
   }
   return grad_in;
 }
@@ -332,9 +326,7 @@ void Conv2D::BackwardBatchInto(const Tensor& input, const Tensor& output,
                                const Tensor& grad_output, const Tensor& /*aux*/, int batch,
                                Tensor* grad_input, Workspace* ws,
                                std::vector<Tensor>* param_grads) const {
-  if (param_grads != nullptr && param_grads->size() != 2) {
-    throw std::invalid_argument("Conv2D::BackwardBatchInto: expected 2 param grad tensors");
-  }
+  CheckParamGrads(param_grads, "Conv2D::BackwardBatchInto");
   const ConvGeom g{in_channels_, out_channels_, kernel_h_,     kernel_w_,
                    stride_,      padding_,      input.dim(2),  input.dim(3),
                    output.dim(2), output.dim(3)};
@@ -342,14 +334,79 @@ void Conv2D::BackwardBatchInto(const Tensor& input, const Tensor& output,
   std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
             grad_pre->data());
   ApplyActivationGrad(act_, output, grad_pre);
-  std::fill(grad_input->data(), grad_input->data() + grad_input->numel(), 0.0f);
-  for (int b = 0; b < batch; ++b) {
-    ConvBackwardKernel(g, input.data() + static_cast<size_t>(b) * g.in_size(),
-                       weight_.data(),
-                       grad_pre->data() + static_cast<size_t>(b) * g.out_size(),
-                       grad_input->data() + static_cast<size_t>(b) * g.in_size(),
-                       param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
-                       param_grads != nullptr ? (*param_grads)[1].data() : nullptr);
+  // Grad-input through the kernel layer, mirroring the forward im2col+GEMM:
+  // per sample, gcol = W^T · grad_pre (one ascending-oc FMA chain per patch
+  // element), then Col2Im scatter-accumulates the column matrix back into
+  // image geometry in a fixed order. Per-sample results never depend on the
+  // batch, and threading (below) partitions only over samples, so gradients
+  // are bit-identical across batch widths, SIMD backends, and thread counts.
+  const int64_t patch_k = static_cast<int64_t>(g.in_channels) * g.kernel_h * g.kernel_w;
+  const int64_t patch_n = static_cast<int64_t>(g.out_h) * g.out_w;
+  float* wt = ws->AcquireFlat(patch_k * g.out_channels)->data();
+  TransposeMatrix(weight_.data(), g.out_channels, static_cast<int>(patch_k), wt);
+  float* gcol = ws->AcquireFlat(patch_k * patch_n * batch)->data();
+  const auto run_sample = [&](int64_t b) {
+    float* gcol_b = gcol + static_cast<size_t>(b) * patch_k * patch_n;
+    GemmBias(static_cast<int>(patch_k), static_cast<int>(patch_n), g.out_channels, wt,
+             g.out_channels, grad_pre->data() + static_cast<size_t>(b) * g.out_size(),
+             static_cast<int>(patch_n), /*bias=*/nullptr, gcol_b,
+             static_cast<int>(patch_n));
+    Col2Im(gcol_b, g.in_channels, g.in_h, g.in_w, g.kernel_h, g.kernel_w, g.stride,
+           g.padding, g.out_h, g.out_w,
+           grad_input->data() + static_cast<size_t>(b) * g.in_size());
+  };
+  const int64_t work_per_sample = static_cast<int64_t>(g.out_channels) * patch_k * patch_n;
+  if (batch > 1 && work_per_sample * batch >= (int64_t{1} << 20) &&
+      IntraOpParallelismAvailable()) {
+    // Samples write disjoint grad_input regions; nested GemmBias calls see
+    // InParallelRegion() and stay serial, exactly like the forward path.
+    ParallelFor(batch, run_sample);
+  } else {
+    for (int b = 0; b < batch; ++b) {
+      run_sample(b);
+    }
+  }
+  float* gw = GradData(param_grads, 0);
+  float* gb = GradData(param_grads, 1);
+  if (gw == nullptr && gb == nullptr) {
+    return;  // Input-only gradient mode: all dW/db work skipped.
+  }
+  if (gw != nullptr) {
+    // dW = Σ_b grad_pre_b · Im2Col(x_b)^T, one GEMM per sample into scratch,
+    // accumulated in batch order (param grads add into the caller's running
+    // sum; the cross-sample reduction is why this stage stays serial).
+    float* colx = ws->AcquireFlat(patch_k * patch_n)->data();
+    float* colxt = ws->AcquireFlat(patch_n * patch_k)->data();
+    float* gw_scratch = ws->AcquireFlat(static_cast<int64_t>(g.out_channels) * patch_k)->data();
+    const int64_t n = static_cast<int64_t>(g.out_channels) * patch_k;
+    for (int b = 0; b < batch; ++b) {
+      Im2Col(input.data() + static_cast<size_t>(b) * g.in_size(), g.in_channels, g.in_h,
+             g.in_w, g.kernel_h, g.kernel_w, g.stride, g.padding, g.out_h, g.out_w, colx);
+      TransposeMatrix(colx, static_cast<int>(patch_k), static_cast<int>(patch_n), colxt);
+      GemmBias(g.out_channels, static_cast<int>(patch_k), static_cast<int>(patch_n),
+               grad_pre->data() + static_cast<size_t>(b) * g.out_size(),
+               static_cast<int>(patch_n), colxt, static_cast<int>(patch_k),
+               /*bias=*/nullptr, gw_scratch, static_cast<int>(patch_k));
+      for (int64_t i = 0; i < n; ++i) {
+        gw[i] += gw_scratch[i];
+      }
+    }
+  }
+  if (gb != nullptr) {
+    // db[oc] = Σ_b Σ_plane grad_pre: per-sample double plane sums in batch
+    // order — the exact reduction of the by-value oracle, so the bias
+    // gradient stays bit-identical to it.
+    for (int b = 0; b < batch; ++b) {
+      const float* pre_b = grad_pre->data() + static_cast<size_t>(b) * g.out_size();
+      for (int oc = 0; oc < g.out_channels; ++oc) {
+        const float* plane = pre_b + static_cast<size_t>(oc) * patch_n;
+        double acc = 0.0;
+        for (int64_t i = 0; i < patch_n; ++i) {
+          acc += plane[i];
+        }
+        gb[oc] += static_cast<float>(acc);
+      }
+    }
   }
 }
 

@@ -41,10 +41,14 @@ void DenseBackwardKernel(const float* pg, const float* pw, const float* px, floa
       pgi[i] += g * row[i];
     }
   }
+  if (gb != nullptr) {
+    for (int o = 0; o < out_features; ++o) {
+      gb[o] += pg[o];
+    }
+  }
   if (gw != nullptr) {
     for (int o = 0; o < out_features; ++o) {
       const float g = pg[o];
-      gb[o] += g;
       if (g == 0.0f) {
         continue;
       }
@@ -185,12 +189,9 @@ Tensor Dense::Backward(const Tensor& input, const Tensor& output, const Tensor& 
   ApplyActivationGrad(act_, output, &grad_pre);
 
   Tensor grad_in({in_features_});
-  if (param_grads != nullptr && param_grads->size() != 2) {
-    throw std::invalid_argument("Dense::Backward: expected 2 param grad tensors");
-  }
+  CheckParamGrads(param_grads, "Dense::Backward");
   DenseBackwardKernel(grad_pre.data(), weight_.data(), input.data(), grad_in.data(),
-                      param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
-                      param_grads != nullptr ? (*param_grads)[1].data() : nullptr,
+                      GradData(param_grads, 0), GradData(param_grads, 1),
                       in_features_, out_features_);
   return grad_in;
 }
@@ -261,16 +262,13 @@ Tensor Dense::BackwardBatch(const Tensor& input, const Tensor& output,
   Tensor grad_pre = grad_output;  // [batch, out]
   ApplyActivationGrad(act_, output, &grad_pre);
   Tensor grad_in({batch, in_features_});
-  if (param_grads != nullptr && param_grads->size() != 2) {
-    throw std::invalid_argument("Dense::BackwardBatch: expected 2 param grad tensors");
-  }
+  CheckParamGrads(param_grads, "Dense::BackwardBatch");
   for (int b = 0; b < batch; ++b) {
     DenseBackwardKernel(grad_pre.data() + static_cast<size_t>(b) * out_features_,
                         weight_.data(),
                         input.data() + static_cast<size_t>(b) * in_features_,
                         grad_in.data() + static_cast<size_t>(b) * in_features_,
-                        param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
-                        param_grads != nullptr ? (*param_grads)[1].data() : nullptr,
+                        GradData(param_grads, 0), GradData(param_grads, 1),
                         in_features_, out_features_);
   }
   return grad_in;
@@ -280,23 +278,53 @@ void Dense::BackwardBatchInto(const Tensor& input, const Tensor& output,
                               const Tensor& grad_output, const Tensor& /*aux*/, int batch,
                               Tensor* grad_input, Workspace* ws,
                               std::vector<Tensor>* param_grads) const {
-  if (param_grads != nullptr && param_grads->size() != 2) {
-    throw std::invalid_argument("Dense::BackwardBatchInto: expected 2 param grad tensors");
-  }
+  CheckParamGrads(param_grads, "Dense::BackwardBatchInto");
   // dL/d(pre-activation) in arena scratch instead of a fresh tensor.
   Tensor* grad_pre = ws->Acquire(output.shape());
   std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
             grad_pre->data());
   ApplyActivationGrad(act_, output, grad_pre);
-  std::fill(grad_input->data(), grad_input->data() + grad_input->numel(), 0.0f);
-  for (int b = 0; b < batch; ++b) {
-    DenseBackwardKernel(grad_pre->data() + static_cast<size_t>(b) * out_features_,
-                        weight_.data(),
-                        input.data() + static_cast<size_t>(b) * in_features_,
-                        grad_input->data() + static_cast<size_t>(b) * in_features_,
-                        param_grads != nullptr ? (*param_grads)[0].data() : nullptr,
-                        param_grads != nullptr ? (*param_grads)[1].data() : nullptr,
-                        in_features_, out_features_);
+  // Grad-input as a transposed-weight GEMM (no transpose needed: W is
+  // already [out, in] row-major, exactly the B matrix of gi[b, i] =
+  // Σ_o gpre[b, o] · W[o, i]). Each gradient element is one ascending-o FMA
+  // chain and threading partitions over rows (= samples), so results are
+  // invariant to batch width, SIMD width, and thread count, and the batch-1
+  // BackwardSample hot loop (M == 1) vectorizes over in_features in the edge
+  // kernel. GemmBias overwrites C, so no zero-fill is needed.
+  GemmBias(batch, in_features_, out_features_, grad_pre->data(), out_features_,
+           weight_.data(), in_features_, /*bias=*/nullptr, grad_input->data(),
+           in_features_);
+  float* gw = GradData(param_grads, 0);
+  float* gb = GradData(param_grads, 1);
+  if (gw == nullptr && gb == nullptr) {
+    return;  // Input-only gradient mode: all dW/db work skipped.
+  }
+  // gt = grad_pre^T [out, batch]: row o is sample-major, giving both the
+  // grad-weight GEMM its A matrix and the bias reduction contiguous reads.
+  float* gt = ws->AcquireFlat(static_cast<int64_t>(out_features_) * batch)->data();
+  TransposeMatrix(grad_pre->data(), batch, out_features_, gt);
+  if (gw != nullptr) {
+    // dW[o, i] = Σ_b gpre[b, o] · x[b, i]: GEMM against the input batch into
+    // scratch, then one accumulate pass (param grads add into the caller's
+    // running sum, so the GEMM cannot write them directly).
+    float* gw_scratch =
+        ws->AcquireFlat(static_cast<int64_t>(out_features_) * in_features_)->data();
+    GemmBias(out_features_, in_features_, batch, gt, batch, input.data(), in_features_,
+             /*bias=*/nullptr, gw_scratch, in_features_);
+    const int64_t n = static_cast<int64_t>(out_features_) * in_features_;
+    for (int64_t i = 0; i < n; ++i) {
+      gw[i] += gw_scratch[i];
+    }
+  }
+  if (gb != nullptr) {
+    // db[o] = Σ_b gpre[b, o], accumulated in batch order — the exact adds of
+    // the by-value oracle, so the bias gradient stays bit-identical to it.
+    for (int o = 0; o < out_features_; ++o) {
+      const float* row = gt + static_cast<size_t>(o) * batch;
+      for (int b = 0; b < batch; ++b) {
+        gb[o] += row[b];
+      }
+    }
   }
 }
 

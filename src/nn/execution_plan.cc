@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "src/tensor/ops.h"
+#include "src/util/timer.h"
 
 namespace dx {
 
@@ -48,6 +50,8 @@ ExecutionPlan::ExecutionPlan(const Model& model, int max_batch)
   }
   bw_input_batch_ = Tensor(BatchedShape(max_batch, model.input_shape()));
   bw_input_sample_ = Tensor(model.input_shape());
+  param_slices_ = model.ParamSlices();
+  total_param_grads_ = model.Params().size();
 }
 
 const BatchTrace& ExecutionPlan::ForwardBatch(const Tensor& input, int width) {
@@ -78,7 +82,8 @@ const BatchTrace& ExecutionPlan::ForwardBatch(const Tensor& input, int width) {
   return trace_;
 }
 
-const Tensor& ExecutionPlan::BackwardInputBatch(int from_layer, const Tensor& seed) {
+const Tensor& ExecutionPlan::BackwardInputBatch(int from_layer, const Tensor& seed,
+                                                std::vector<Tensor>* param_grads) {
   if (width_ == 0) {
     throw std::logic_error("ExecutionPlan::BackwardInputBatch: no trace (run ForwardBatch)");
   }
@@ -88,22 +93,54 @@ const Tensor& ExecutionPlan::BackwardInputBatch(int from_layer, const Tensor& se
   if (seed.numel() != out_numel_[static_cast<size_t>(from_layer)] * width_) {
     throw std::invalid_argument("ExecutionPlan::BackwardInputBatch: seed size mismatch");
   }
+  if (param_grads != nullptr && param_grads->size() != total_param_grads_) {
+    throw std::invalid_argument("ExecutionPlan::BackwardInputBatch: expected " +
+                                std::to_string(total_param_grads_) +
+                                " param grad tensors, got " +
+                                std::to_string(param_grads->size()));
+  }
+  Timer timer;
   const Tensor* grad = &seed;
-  for (int l = from_layer; l >= 1; --l) {
-    Tensor& gi = bw_[static_cast<size_t>(l)];
-    gi.SetBatchDim(width_);
+  for (int l = from_layer; l >= 0; --l) {
+    Tensor* gi;
+    if (l >= 1) {
+      gi = &bw_[static_cast<size_t>(l)];
+    } else {
+      gi = &bw_input_batch_;
+    }
+    gi->SetBatchDim(width_);
     Workspace& ws = bwd_ws_[static_cast<size_t>(l)];
     ws.Rewind();
+    // Input-only mode (param_grads == nullptr, the hot loop) passes nullptr
+    // straight through — no view vector, no allocation. The param-grads mode
+    // moves each layer's slice of the flat vector out, hands it to the
+    // layer, and moves it back (Model::BackwardParams' view pattern).
+    std::vector<Tensor> view;
+    std::vector<Tensor>* layer_grads = nullptr;
+    if (param_grads != nullptr && param_slices_[static_cast<size_t>(l)].second > 0) {
+      const auto [offset, count] = param_slices_[static_cast<size_t>(l)];
+      view.reserve(static_cast<size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        view.push_back(std::move((*param_grads)[static_cast<size_t>(offset + i)]));
+      }
+      layer_grads = &view;
+    }
     model_->layer(l).BackwardBatchInto(trace_.LayerInput(l),
                                        trace_.outputs[static_cast<size_t>(l)], *grad,
-                                       trace_.aux[static_cast<size_t>(l)], width_, &gi,
-                                       &ws, nullptr);
-    grad = &gi;
+                                       trace_.aux[static_cast<size_t>(l)], width_, gi,
+                                       &ws, layer_grads);
+    if (layer_grads != nullptr) {
+      const auto [offset, count] = param_slices_[static_cast<size_t>(l)];
+      for (int i = 0; i < count; ++i) {
+        (*param_grads)[static_cast<size_t>(offset + i)] =
+            std::move(view[static_cast<size_t>(i)]);
+      }
+    }
+    grad = gi;
   }
-  bw_input_batch_.SetBatchDim(width_);
-  bwd_ws_[0].Rewind();
-  model_->layer(0).BackwardBatchInto(trace_.input, trace_.outputs[0], *grad, trace_.aux[0],
-                                     width_, &bw_input_batch_, &bwd_ws_[0], nullptr);
+  if (profiling_) {
+    backward_seconds_ += timer.ElapsedSeconds();
+  }
   return bw_input_batch_;
 }
 
@@ -159,6 +196,7 @@ const Tensor& ExecutionPlan::BackwardSample(int pos, int from_layer, const Tenso
     throw std::invalid_argument("ExecutionPlan::BackwardSample: seed size mismatch");
   }
   EnsureSample(pos);
+  Timer timer;
   const Tensor* grad = &seed;
   for (int l = from_layer; l >= 1; --l) {
     Tensor& gi = bw_[static_cast<size_t>(l)];
@@ -175,6 +213,9 @@ const Tensor& ExecutionPlan::BackwardSample(int pos, int from_layer, const Tenso
   model_->layer(0).BackwardBatchInto(sample_.input, sample_.outputs[0], *grad,
                                      sample_.aux[0], 1, &bw_input_sample_, &bwd_ws_[0],
                                      nullptr);
+  if (profiling_) {
+    backward_seconds_ += timer.ElapsedSeconds();
+  }
   return bw_input_sample_;
 }
 
@@ -203,12 +244,13 @@ const BatchTrace& Model::ForwardBatch(const Tensor& input, ExecutionPlan& plan) 
 }
 
 const Tensor& Model::BackwardInputBatch(ExecutionPlan& plan, int from_layer,
-                                        const Tensor& seed) const {
+                                        const Tensor& seed,
+                                        std::vector<Tensor>* param_grads) const {
   if (&plan.model() != this) {
     throw std::invalid_argument(
         "Model::BackwardInputBatch: plan compiled for another model");
   }
-  return plan.BackwardInputBatch(from_layer, seed);
+  return plan.BackwardInputBatch(from_layer, seed, param_grads);
 }
 
 }  // namespace dx

@@ -25,16 +25,18 @@
 // hot loop uses BackwardSample only; tests/alloc_test.cc enforces that
 // path).
 //
-// Numerics: the plan runs the Layer::*Into kernels, whose hot forward paths
-// (Dense, Conv2D) use im2col/GEMM + SIMD (src/nn/gemm.h, src/tensor/simd.h)
-// and therefore match the by-value scalar oracle within the kernel ULP/abs
-// tolerances of tests/test_util.h rather than bit-for-bit. Plan results ARE
-// bit-identical across SIMD backends, batch widths, worker counts, and
-// thread counts — the batch/worker determinism guarantee is unchanged.
-// Backward kernels are scalar and bit-identical given the same trace, but
-// plan gradients inherit the forward divergence (they backpropagate through
-// the plan's trace), so compare against the by-value API with the backward
-// tolerance.
+// Numerics: the plan runs the Layer::*Into kernels, whose hot paths (Dense,
+// Conv2D) use im2col/GEMM + SIMD (src/nn/gemm.h, src/tensor/simd.h) in BOTH
+// directions — the backward runs grad-input as a transposed-weight GEMM
+// (conv scatters the column gradient back through Col2Im) and grad-weight as
+// a GEMM against the im2col patch matrix. Plan results therefore match the
+// by-value scalar oracle within the kernel ULP/abs tolerances of
+// tests/test_util.h (forward tolerance forward, backward tolerance backward)
+// rather than bit-for-bit. Plan results ARE bit-identical across SIMD
+// backends, batch widths, worker counts, and intra-op thread counts — every
+// output element is one fixed-order FMA chain and threading only partitions
+// independent output rows (or samples), so the batch/worker determinism
+// guarantee is unchanged.
 //
 // Lifetime & invalidation: the plan borrows the model. Weight *values* may
 // change between calls (kernels read them live), but structural changes
@@ -46,7 +48,9 @@
 #ifndef DX_SRC_NN_EXECUTION_PLAN_H_
 #define DX_SRC_NN_EXECUTION_PLAN_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/nn/layer.h"
@@ -80,7 +84,17 @@ class ExecutionPlan {
   // seed shaped like trace().outputs[from_layer]. Returns a reused
   // [width, ...input_shape] buffer matching Model::BackwardInputBatch within
   // the kernel backward tolerance (see the numerics note above).
-  const Tensor& BackwardInputBatch(int from_layer, const Tensor& seed);
+  //
+  // `param_grads` selects the gradient mode. The default (nullptr) is
+  // INPUT-ONLY: no parameter gradient is computed or allocated anywhere in
+  // the chain — the mode the gradient-ascent hot loop runs in, and the only
+  // mode with the steady-state zero-allocation guarantee. Passing a vector
+  // aligned with Model::MutableParams() (see InitParamGrads) additionally
+  // accumulates dL/dW into it, layer by layer; an EMPTY tensor entry skips
+  // that parameter (its gradient is neither computed nor touched). The
+  // vector's size must match exactly — anything else throws.
+  const Tensor& BackwardInputBatch(int from_layer, const Tensor& seed,
+                                   std::vector<Tensor>* param_grads = nullptr);
 
   // ---- Per-sample entry points (the objective-gradient hot loop) ---------
 
@@ -102,6 +116,20 @@ class ExecutionPlan {
   // without allocating).
   const BatchTrace& SampleTrace(int pos);
 
+  // ---- Profiling ---------------------------------------------------------
+
+  // When enabled, the plan accumulates wall time spent inside the backward
+  // layer chain (BackwardInputBatch + BackwardSample bodies). Off by
+  // default; the cost when off is two steady-clock reads per backward call,
+  // noise next to a single layer's GEMM.
+  void set_profiling(bool on) { profiling_ = on; }
+  // Returns the accumulated backward-layer seconds and resets the counter.
+  double ConsumeBackwardSeconds() {
+    const double s = backward_seconds_;
+    backward_seconds_ = 0.0;
+    return s;
+  }
+
  private:
   // Copies sample `pos` into sample_ unless it is already there.
   void EnsureSample(int pos);
@@ -111,6 +139,12 @@ class ExecutionPlan {
   int width_ = 0;
   int64_t input_numel_;            // Per-sample input elements.
   std::vector<int64_t> out_numel_; // Per-layer per-sample output elements.
+  // (offset, count) of each layer's slice of the flat param-grad vector,
+  // cached at compile time for the optional param-grads backward mode.
+  std::vector<std::pair<int, int>> param_slices_;
+  size_t total_param_grads_ = 0;
+  bool profiling_ = false;
+  double backward_seconds_ = 0.0;
 
   BatchTrace trace_;    // Slabs at the current width.
   BatchTrace sample_;   // Width-1 sample trace.

@@ -94,6 +94,40 @@ void EdgeKernel(int mr, int nr, int K, const float* A, int lda, const float* B,
   }
 }
 
+// M == 1 (GEMV): the blocked kernels would walk B column-block by
+// column-block — strided loads that waste half of every cache line. With k
+// outermost, B streams row-major and the single C row stays hot in L1.
+// Interchanging the loops does not touch the numerics: element C[n] still
+// receives bias + an ascending-k chain of Fma(A[k], B[k][n], ·), the exact
+// chain the blocked kernels produce. When C starts at +0 (bias == nullptr),
+// rows with A[k] == 0 are skipped: a ±0 product added to +0 or to a nonzero
+// running value cannot change it (and an exact nonzero cancellation rounds
+// to +0 in round-to-nearest, so the accumulator is never -0), making the
+// skip bit-invisible — on ReLU-masked gradient rows it drops about half the
+// work. This is the dense grad-input shape at batch 1, i.e. the per-sample
+// gradient-ascent inner loop.
+void Gemv(int N, int K, const float* A, const float* B, int ldb,
+          const float* bias, float* C) {
+  const float b0 = bias != nullptr ? bias[0] : 0.0f;
+  const bool skip_zeros = bias == nullptr;
+  std::fill(C, C + N, b0);
+  for (int k = 0; k < K; ++k) {
+    const float a = A[k];
+    if (skip_zeros && a == 0.0f) {
+      continue;
+    }
+    const float* b_row = B + static_cast<size_t>(k) * ldb;
+    const VecF av = VecF::Broadcast(a);
+    int n = 0;
+    for (; n + simd::kLanes <= N; n += simd::kLanes) {
+      VecF::Fma(av, VecF::Load(b_row + n), VecF::Load(C + n)).Store(C + n);
+    }
+    for (; n < N; ++n) {
+      C[n] = std::fma(a, b_row[n], C[n]);
+    }
+  }
+}
+
 void GemmRows(int m_begin, int m_end, int N, int K, const float* A, int lda,
               const float* B, int ldb, const float* bias, float* C, int ldc) {
   for (int m0 = m_begin; m0 < m_end; m0 += kMR) {
@@ -119,6 +153,10 @@ void GemmRows(int m_begin, int m_end, int N, int K, const float* A, int lda,
 void GemmBias(int M, int N, int K, const float* A, int lda, const float* B,
               int ldb, const float* bias, float* C, int ldc) {
   if (M <= 0 || N <= 0) {
+    return;
+  }
+  if (M == 1) {
+    Gemv(N, K, A, B, ldb, bias, C);
     return;
   }
   const int64_t work = static_cast<int64_t>(M) * N * K;
@@ -175,6 +213,55 @@ void Im2Col(const float* x, int channels, int in_h, int in_w, int kernel_h,
           }
         }
       }
+    }
+  }
+}
+
+void Col2Im(const float* col, int channels, int in_h, int in_w, int kernel_h,
+            int kernel_w, int stride, int padding, int out_h, int out_w,
+            float* x) {
+  std::fill(x, x + static_cast<size_t>(channels) * in_h * in_w, 0.0f);
+  const size_t n = static_cast<size_t>(out_h) * out_w;
+  const float* src = col;  // Row (c, ky, kx) of the [C*KH*KW, OH*OW] matrix.
+  for (int c = 0; c < channels; ++c) {
+    float* plane = x + static_cast<size_t>(c) * in_h * in_w;
+    for (int ky = 0; ky < kernel_h; ++ky) {
+      for (int kx = 0; kx < kernel_w; ++kx, src += n) {
+        for (int oy = 0; oy < out_h; ++oy) {
+          const int iy = oy * stride - padding + ky;
+          if (iy < 0 || iy >= in_h) {
+            continue;  // The whole row landed in the padding border.
+          }
+          const float* col_row = src + static_cast<size_t>(oy) * out_w;
+          float* in_row = plane + static_cast<size_t>(iy) * in_w;
+          const int ix0 = kx - padding;
+          if (stride == 1) {
+            // Contiguous accumulate over the in-bounds span, mirroring the
+            // Im2Col fast path: ix = ox + ix0 must stay inside [0, in_w).
+            const int lo = std::min(out_w, std::max(0, -ix0));
+            const int hi = std::max(lo, std::min(out_w, in_w - ix0));
+            for (int ox = lo; ox < hi; ++ox) {
+              in_row[ox + ix0] += col_row[ox];
+            }
+          } else {
+            for (int ox = 0; ox < out_w; ++ox) {
+              const int ix = ox * stride + ix0;
+              if (ix >= 0 && ix < in_w) {
+                in_row[ix] += col_row[ox];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void TransposeMatrix(const float* in, int rows, int cols, float* out) {
+  for (int i = 0; i < rows; ++i) {
+    const float* in_row = in + static_cast<size_t>(i) * cols;
+    for (int j = 0; j < cols; ++j) {
+      out[static_cast<size_t>(j) * rows + i] = in_row[j];
     }
   }
 }

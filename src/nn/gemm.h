@@ -1,5 +1,12 @@
-// Tiled float32 GEMM microkernel + im2col, the shared compute core of the
-// Conv2D and Dense ExecutionPlan forward paths.
+// Tiled float32 GEMM microkernel + im2col/col2im, the shared compute core of
+// the Conv2D and Dense ExecutionPlan forward AND backward paths.
+//
+// Forward:  y = GemmBias(W, Im2Col(x), bias).
+// Backward: grad-input is the transposed-weight GEMM — dense writes
+// GemmBias(grad_pre, W) straight into the gradient buffer; conv GEMMs
+// W^T · grad_pre into a column matrix and Col2Im scatter-accumulates it back
+// into image geometry. Grad-weight (when a caller asks for parameter
+// gradients) is the GEMM of grad_pre against the im2col patches.
 //
 // Numerics contract: every output element is computed as
 //
@@ -38,6 +45,25 @@ void GemmBias(int M, int N, int K, const float* A, int lda, const float* B,
 void Im2Col(const float* x, int channels, int in_h, int in_w, int kernel_h,
             int kernel_w, int stride, int padding, int out_h, int out_w,
             float* col);
+
+// The adjoint of Im2Col: zero-fills the CHW image `x` (channels * in_h *
+// in_w floats) and scatter-accumulates the [channels * kernel_h * kernel_w,
+// out_h * out_w] column matrix back into it — col row (c, ky, kx), column
+// (oy, ox) adds into x[c, oy*stride - padding + ky, ox*stride - padding +
+// kx]; contributions that fall in the padding border are dropped. Each image
+// element accumulates its (possibly overlapping) patch contributions in the
+// fixed ascending (c, ky, kx, oy, ox) order, so the result is deterministic
+// and independent of SIMD backend, batch width, and thread count (callers
+// parallelize only across samples, never inside one Col2Im).
+void Col2Im(const float* col, int channels, int in_h, int in_w, int kernel_h,
+            int kernel_w, int stride, int padding, int out_h, int out_w,
+            float* x);
+
+// out[j, i] = in[i, j] for a row-major [rows, cols] matrix (pure data
+// movement — bit-exact by construction). Shared scratch step of the
+// backward GEMMs: W^T for conv grad-input, grad_pre^T / im2col^T for the
+// grad-weight reductions.
+void TransposeMatrix(const float* in, int rows, int cols, float* out);
 
 }  // namespace dx
 

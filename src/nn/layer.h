@@ -46,6 +46,9 @@ class Layer {
   // Given dLoss/dOutput in `grad_output`, returns dLoss/dInput. If
   // `param_grads` is non-null it must hold one zero-or-accumulating tensor per
   // parameter (same order as Params()); parameter gradients are added into it.
+  // An individual EMPTY tensor in the vector means "this parameter's gradient
+  // is discarded — skip its work" (see CheckParamGrads), so callers that only
+  // need a subset never pay for the rest. Null means input-gradient only.
   virtual Tensor Backward(const Tensor& input, const Tensor& output,
                           const Tensor& grad_output, const Tensor& aux,
                           std::vector<Tensor>* param_grads) const = 0;
@@ -73,15 +76,18 @@ class Layer {
   // returning fresh tensors; they are the currency of ExecutionPlan
   // (src/nn/execution_plan.h), whose slabs are reused across gradient-ascent
   // iterations. Contract:
-  //   * Numerics: the by-value API is the scalar reference oracle. Forward
-  //     `*Into` kernels of hot layers (Dense, Conv2D) run the im2col/GEMM +
+  //   * Numerics: the by-value API is the scalar reference oracle. BOTH
+  //     directions of the hot layers (Dense, Conv2D) run the im2col/GEMM +
   //     SIMD path (src/nn/gemm.h, src/tensor/simd.h), which accumulates in a
-  //     different order than the oracle — results match within the ULP/abs
-  //     kernel tolerances of tests/test_util.h, not bit-for-bit. They ARE
-  //     bit-identical across SIMD backends, batch widths, and thread counts
-  //     (ascending-k FMA per output element at every width). Backward
-  //     kernels and all other layers remain bit-identical to the by-value
-  //     path.
+  //     different order than the oracle — forward results match within the
+  //     kernel forward tolerance of tests/test_util.h and backward results
+  //     (grad-input via transposed-weight GEMM + Col2Im, grad-weight via
+  //     GEMM-against-im2col) within the kernel backward tolerance, not
+  //     bit-for-bit. They ARE bit-identical across SIMD backends, batch
+  //     widths, and thread counts (ascending-k FMA per output element at
+  //     every width; threading partitions only over independent output rows
+  //     / samples). All other layers' kernels remain bit-identical to the
+  //     by-value path.
   //   * `ws` supplies scratch buffers (never null on the plan path; see
   //     src/tensor/workspace.h). Acquire in a deterministic order so the
   //     arena reaches a stable slot layout.
@@ -113,6 +119,24 @@ class Layer {
   // Trainable parameters (empty for parameterless layers).
   virtual std::vector<Tensor*> MutableParams() { return {}; }
   virtual std::vector<const Tensor*> Params() const { return {}; }
+
+ protected:
+  // Shared validation for the optional `param_grads` argument of the
+  // backward entry points: null requests input-gradient only; otherwise the
+  // vector must hold exactly Params().size() accumulators (throws
+  // std::invalid_argument naming `who` if not). Individual empty tensors are
+  // allowed and mean "skip this parameter's gradient".
+  void CheckParamGrads(const std::vector<Tensor>* param_grads, const char* who) const;
+
+  // Accumulator data pointer for parameter `i`, or nullptr when the caller
+  // passed no vector or left that entry empty (gradient discarded).
+  static float* GradData(std::vector<Tensor>* param_grads, size_t i) {
+    return param_grads != nullptr && !(*param_grads)[i].empty()
+               ? (*param_grads)[i].data()
+               : nullptr;
+  }
+
+ public:
 
   // Number of coverage neurons this layer contributes.
   virtual int NumNeurons() const { return 0; }

@@ -27,6 +27,20 @@ void Layer::AddNeuronSeed(Tensor* /*seed*/, int /*index*/, float /*weight*/) con
   throw std::logic_error("layer '" + Kind() + "' has no coverage neurons");
 }
 
+void Layer::CheckParamGrads(const std::vector<Tensor>* param_grads,
+                            const char* who) const {
+  if (param_grads == nullptr) {
+    return;  // Input-gradient only: every parameter's work is skipped.
+  }
+  const size_t expected = Params().size();
+  if (param_grads->size() != expected) {
+    throw std::invalid_argument(std::string(who) + ": expected " +
+                                std::to_string(expected) +
+                                " param grad tensors, got " +
+                                std::to_string(param_grads->size()));
+  }
+}
+
 Tensor Layer::ForwardBatch(const Tensor& input, int batch, bool training, Rng* rng,
                            Tensor* aux) const {
   // Generic fallback: per-sample Forward over slices. Bit-identical to the

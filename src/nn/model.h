@@ -83,12 +83,16 @@ class Model {
   // borrows this model and is invalidated by structural changes (Add).
   ExecutionPlan Compile(int max_batch) const;
 
-  // Plan-backed overloads: bit-identical to the by-value ForwardBatch /
-  // BackwardInputBatch but reusing the plan's buffers (the returned
-  // references live in the plan and are overwritten by its next call).
+  // Plan-backed overloads: same math as the by-value ForwardBatch /
+  // BackwardInputBatch (within the kernel tolerances — see
+  // execution_plan.h's numerics note) but reusing the plan's buffers (the
+  // returned references live in the plan and are overwritten by its next
+  // call). `param_grads` defaults to input-only gradients; pass a vector
+  // aligned with MutableParams() to also accumulate parameter gradients
+  // (see ExecutionPlan::BackwardInputBatch).
   const BatchTrace& ForwardBatch(const Tensor& input, ExecutionPlan& plan) const;
-  const Tensor& BackwardInputBatch(ExecutionPlan& plan, int from_layer,
-                                   const Tensor& seed) const;
+  const Tensor& BackwardInputBatch(ExecutionPlan& plan, int from_layer, const Tensor& seed,
+                                   std::vector<Tensor>* param_grads = nullptr) const;
 
   // Convenience: final output tensor for an input (inference mode).
   Tensor Predict(const Tensor& input) const;
@@ -129,10 +133,12 @@ class Model {
   std::string Serialize() const;
   static Model Deserialize(const std::string& blob);
 
- private:
-  // Maps the flat param-grad vector to each layer's slice.
+  // Maps the flat param-grad vector (MutableParams/InitParamGrads order) to
+  // each layer's slice. Public so execution engines (ExecutionPlan) can
+  // route per-layer parameter-gradient views without duplicating the layout.
   std::vector<std::pair<int, int>> ParamSlices() const;  // (offset, count) per layer
 
+ private:
   std::string name_;
   Shape input_shape_;
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -53,6 +53,8 @@ void PoolForwardKernel(const PoolGeom& g, PoolMode mode, const float* px, float*
   }
 }
 
+// Routes max-pool gradients through the argmax offsets cached in the forward
+// aux slab — no window re-scan in the backward. Requires pgi pre-zeroed.
 void PoolBackwardKernel(const PoolGeom& g, PoolMode mode, const float* pg,
                         const float* paux, float* pgi) {
   if (mode == PoolMode::kMax) {
@@ -62,6 +64,12 @@ void PoolBackwardKernel(const PoolGeom& g, PoolMode mode, const float* pg,
     return;
   }
   const float scale = 1.0f / static_cast<float>(g.kernel * g.kernel);
+  // Non-overlapping windows (stride >= kernel, the common pooling config):
+  // each input cell belongs to at most one window, so the scatter-add
+  // degenerates to a direct store. Bit-identical to accumulating into the
+  // pre-zeroed buffer (+0 and -0 compare equal everywhere we care), but the
+  // compiler can emit wide stores with no read-modify-write dependency.
+  const bool disjoint = g.stride >= g.kernel;
   for (int c = 0; c < g.channels; ++c) {
     float* gi_plane = pgi + static_cast<size_t>(c) * g.in_h * g.in_w;
     const float* go_plane = pg + static_cast<size_t>(c) * g.out_h * g.out_w;
@@ -69,9 +77,16 @@ void PoolBackwardKernel(const PoolGeom& g, PoolMode mode, const float* pg,
       for (int ox = 0; ox < g.out_w; ++ox) {
         const float gv = go_plane[static_cast<size_t>(oy) * g.out_w + ox] * scale;
         for (int ky = 0; ky < g.kernel; ++ky) {
-          for (int kx = 0; kx < g.kernel; ++kx) {
-            gi_plane[static_cast<size_t>(oy * g.stride + ky) * g.in_w +
-                     (ox * g.stride + kx)] += gv;
+          float* gi_row =
+              gi_plane + static_cast<size_t>(oy * g.stride + ky) * g.in_w + ox * g.stride;
+          if (disjoint) {
+            for (int kx = 0; kx < g.kernel; ++kx) {
+              gi_row[kx] = gv;
+            }
+          } else {
+            for (int kx = 0; kx < g.kernel; ++kx) {
+              gi_row[kx] += gv;
+            }
           }
         }
       }

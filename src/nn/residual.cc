@@ -153,11 +153,8 @@ Tensor ResidualBlock::Backward(const Tensor& input, const Tensor& output,
   std::vector<Tensor> slice1;
   std::vector<Tensor> slice2;
   std::vector<Tensor> slice3;
+  CheckParamGrads(param_grads, "ResidualBlock::Backward");
   if (param_grads != nullptr) {
-    const size_t expected = proj_ != nullptr ? 6 : 4;
-    if (param_grads->size() != expected) {
-      throw std::invalid_argument("ResidualBlock::Backward: bad param grad count");
-    }
     slice1.push_back(std::move((*param_grads)[0]));
     slice1.push_back(std::move((*param_grads)[1]));
     slice2.push_back(std::move((*param_grads)[2]));

@@ -22,14 +22,33 @@ Tensor SoftmaxLayer::Forward(const Tensor& input, bool /*training*/, Rng* /*rng*
 namespace {
 
 // g_in = y * (g_out - <g_out, y>) for one row; shared by the scalar and
-// batched backward.
+// batched backward (by-value AND *Into), so every path computes the exact
+// same JVP. The dot product runs kJvpLanes fixed double partial sums — lane
+// j accumulates indices ≡ j (mod kJvpLanes) in ascending order and the lanes
+// combine in one fixed sequence. The lane count is a source-level constant
+// (NOT simd::kLanes), so the operation sequence — and therefore every bit of
+// the result — is identical across SIMD backends and build flags; the
+// compiler is free to vectorize the lane-parallel inner loop.
+constexpr int kJvpLanes = 8;
+
 void SoftmaxBackwardRow(const float* py, const float* pg, float* pgi, int64_t n) {
-  double dot = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    dot += static_cast<double>(pg[i]) * py[i];
+  double acc[kJvpLanes] = {};
+  int64_t i = 0;
+  for (; i + kJvpLanes <= n; i += kJvpLanes) {
+    for (int j = 0; j < kJvpLanes; ++j) {
+      acc[j] += static_cast<double>(pg[i + j]) * py[i + j];
+    }
   }
-  for (int64_t i = 0; i < n; ++i) {
-    pgi[i] = py[i] * (pg[i] - static_cast<float>(dot));
+  for (int j = 0; i < n; ++i, ++j) {
+    acc[j] += static_cast<double>(pg[i]) * py[i];
+  }
+  double dot = 0.0;
+  for (int j = 0; j < kJvpLanes; ++j) {
+    dot += acc[j];
+  }
+  const float dotf = static_cast<float>(dot);
+  for (i = 0; i < n; ++i) {
+    pgi[i] = py[i] * (pg[i] - dotf);
   }
 }
 

@@ -389,7 +389,8 @@ std::string Daemon::MetricsText() {
     const std::pair<const char*, double> phases[] = {
         {"stack", c.profile.stack_seconds},
         {"forward", c.profile.forward_seconds},
-        {"gradient", c.profile.gradient_seconds},
+        {"backward_layers", c.profile.backward_layers_seconds},
+        {"objective_accumulate", c.profile.objective_accumulate_seconds},
         {"constraint", c.profile.constraint_seconds},
         {"coverage", c.profile.coverage_seconds},
     };

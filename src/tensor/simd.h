@@ -16,6 +16,13 @@
 // exist for comparing the GEMM path against the by-value scalar oracle
 // (different accumulation order), not for comparing backends.
 //
+// The elementwise ops (Add/Sub/Mul, Relu, ReluGrad) carry the same guarantee
+// trivially: they are single correctly-rounded IEEE operations per lane, so
+// a loop written with them produces the exact bits of the equivalent scalar
+// loop. This is what lets the activation-gradient glue (src/nn/activation.cc)
+// vectorize WITHOUT forking the numerics between the by-value oracle and the
+// plan path — both call the same vectorized helpers.
+//
 // The active backend is reported at runtime by SimdBackendName()/SimdLanes()
 // (defined in simd.cc so the whole program reports what dxcore's kernels were
 // actually compiled with), surfaced via `dxplore --version` and the daemon's
@@ -55,6 +62,20 @@ struct VecF {
   static VecF Fma(VecF a, VecF b, VecF c) {
     return {_mm256_fmadd_ps(a.v, b.v, c.v)};
   }
+  static VecF Add(VecF a, VecF b) { return {_mm256_add_ps(a.v, b.v)}; }
+  static VecF Sub(VecF a, VecF b) { return {_mm256_sub_ps(a.v, b.v)}; }
+  static VecF Mul(VecF a, VecF b) { return {_mm256_mul_ps(a.v, b.v)}; }
+  // max(x, 0) with the scalar kernel's NaN convention: x > 0 ? x : 0, so a
+  // NaN lane becomes 0 (ordered compare is false on NaN).
+  static VecF Relu(VecF x) {
+    return {_mm256_and_ps(_mm256_cmp_ps(x.v, _mm256_setzero_ps(), _CMP_GT_OQ), x.v)};
+  }
+  // The ReLU backward mask: g where !(y <= 0), else 0. A NaN y KEEPS g —
+  // exactly the scalar `if (y <= 0) g = 0`, whose ordered compare is false
+  // on NaN (note the deliberate asymmetry with Relu above).
+  static VecF ReluGrad(VecF y, VecF g) {
+    return {_mm256_andnot_ps(_mm256_cmp_ps(y.v, _mm256_setzero_ps(), _CMP_LE_OQ), g.v)};
+  }
   void Store(float* p) const { _mm256_storeu_ps(p, v); }
 };
 
@@ -71,6 +92,21 @@ struct VecF {
   static VecF Zero() { return {vdupq_n_f32(0.0f)}; }
   static VecF Fma(VecF a, VecF b, VecF c) {
     return {vfmaq_f32(c.v, a.v, b.v)};
+  }
+  static VecF Add(VecF a, VecF b) { return {vaddq_f32(a.v, b.v)}; }
+  static VecF Sub(VecF a, VecF b) { return {vsubq_f32(a.v, b.v)}; }
+  static VecF Mul(VecF a, VecF b) { return {vmulq_f32(a.v, b.v)}; }
+  // x > 0 ? x : 0 (NaN lanes become 0; vcgtq is false on NaN).
+  static VecF Relu(VecF x) {
+    const uint32x4_t gt = vcgtq_f32(x.v, vdupq_n_f32(0.0f));
+    return {vreinterpretq_f32_u32(
+        vandq_u32(gt, vreinterpretq_u32_f32(x.v)))};
+  }
+  // g where !(y <= 0), else 0 (NaN y keeps g; vcleq is false on NaN).
+  static VecF ReluGrad(VecF y, VecF g) {
+    const uint32x4_t le = vcleq_f32(y.v, vdupq_n_f32(0.0f));
+    return {vreinterpretq_f32_u32(
+        vbicq_u32(vreinterpretq_u32_f32(g.v), le))};
   }
   void Store(float* p) const { vst1q_f32(p, v); }
 };
@@ -91,6 +127,11 @@ struct VecF {
   static VecF Fma(VecF a, VecF b, VecF c) {
     return {std::fma(a.v, b.v, c.v)};
   }
+  static VecF Add(VecF a, VecF b) { return {a.v + b.v}; }
+  static VecF Sub(VecF a, VecF b) { return {a.v - b.v}; }
+  static VecF Mul(VecF a, VecF b) { return {a.v * b.v}; }
+  static VecF Relu(VecF x) { return {x.v > 0.0f ? x.v : 0.0f}; }
+  static VecF ReluGrad(VecF y, VecF g) { return {y.v <= 0.0f ? 0.0f : g.v}; }
   void Store(float* p) const { *p = v; }
 };
 

@@ -168,7 +168,8 @@ void PrintVersion() {
   --max-batches N stop this leg after N sync batches (resumable later)
   --progress N    print a progress line every N sync batches (stderr)
   --profile       print a per-phase wall-time table after the run (stack /
-                  forward / gradient / constraint / coverage)
+                  forward / backward layers / objective accumulate /
+                  constraint / coverage)
   --list          print the model zoo and exit
   --version       print build provenance (SIMD backend, intra-op threads)
   --list-domains     print registered domains (models, constraints) and exit
@@ -717,7 +718,8 @@ int Main(int argc, char** argv) {
     };
     add("stack", phases.stack_seconds);
     add("forward", phases.forward_seconds);
-    add("gradient", phases.gradient_seconds);
+    add("backward layers", phases.backward_layers_seconds);
+    add("objective accumulate", phases.objective_accumulate_seconds);
     add("constraint", phases.constraint_seconds);
     add("coverage", phases.coverage_seconds);
     std::cout << "executor phases (" << phases.iterations << " batched iterations):\n"
